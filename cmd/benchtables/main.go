@@ -1,0 +1,233 @@
+// Command benchtables regenerates every table and figure of the
+// paper's evaluation as text tables, from the calibrated synthetic
+// workload. Its output is the basis of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtables                        # all experiments, default scale
+//	benchtables -quick                 # smaller/faster configuration
+//	benchtables -exp table1,fig6      # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"otacache/internal/experiments"
+)
+
+var allExperiments = []string{
+	"calib", "table1", "featsel", "criteria", "fig2", "fig3", "fig5",
+	"fig6", "fig7", "fig8", "fig9", "fig10", "summary", "ablation", "timeline", "threshold", "baselines",
+}
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiments: "+strings.Join(allExperiments, ",")+" or all")
+		quick   = flag.Bool("quick", false, "use the quick scale (smaller trace, fewer capacities)")
+		photos  = flag.Int("photos", 0, "override object population size")
+		seed    = flag.Uint64("seed", 42, "seed")
+		outdir  = flag.String("outdir", "", "also write long-format CSV files for plotting into this directory")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	if *photos > 0 {
+		scale.Photos = *photos
+	}
+	scale.Seed = *seed
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range allExperiments {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("# otacache experiment suite\n")
+	fmt.Printf("# scale: %d photos, seed %d, capacities %v nominal GB (paper footprint %g GB)\n",
+		scale.Photos, scale.Seed, scale.NominalGBs, scale.PaperFootprintGB)
+	env, err := experiments.NewEnv(scale)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# trace: %d requests, %.2f GB footprint, generated in %s\n\n",
+		len(env.Trace.Requests), float64(env.Trace.TotalBytes())/(1<<30),
+		time.Since(start).Round(time.Millisecond))
+
+	section := func(name string, f func() (fmt.Stringer, error)) {
+		if !want[name] {
+			return
+		}
+		t0 := time.Now()
+		res, err := f()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("==== %s (%s) ====\n%s\n", name, time.Since(t0).Round(time.Millisecond), res)
+	}
+
+	section("calib", func() (fmt.Stringer, error) { return env.Calibration(), nil })
+	section("table1", func() (fmt.Stringer, error) { return env.Table1() })
+	section("featsel", func() (fmt.Stringer, error) { return env.FeatureSelection() })
+	section("criteria", func() (fmt.Stringer, error) { return env.CriteriaTable(), nil })
+	section("fig2", func() (fmt.Stringer, error) { return env.Fig2() })
+	section("fig3", func() (fmt.Stringer, error) { return env.Fig3(), nil })
+	section("fig5", func() (fmt.Stringer, error) { return env.Fig5() })
+	for i, name := range []string{"fig6", "fig7", "fig8", "fig9", "fig10"} {
+		metric := experiments.FigureMetrics()[i]
+		section(name, func() (fmt.Stringer, error) {
+			g, err := env.Grid()
+			if err != nil {
+				return nil, err
+			}
+			return stringer(g.RenderFigure(metric)), nil
+		})
+	}
+	section("summary", func() (fmt.Stringer, error) { return summarize(env) })
+	section("ablation", func() (fmt.Stringer, error) { return env.Ablations() })
+	section("timeline", func() (fmt.Stringer, error) { return env.RetrainTimeline() })
+	section("threshold", func() (fmt.Stringer, error) { return env.ThresholdSweep() })
+	section("baselines", func() (fmt.Stringer, error) { return env.Baselines() })
+
+	if *outdir != "" {
+		if err := writeCSVs(env, *outdir, want); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("# total: %s\n", time.Since(start).Round(time.Second))
+}
+
+// writeCSVs emits long-format CSV files for the requested experiments.
+func writeCSVs(env *experiments.Env, dir string, want map[string]bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", path)
+		return nil
+	}
+	if want["table1"] {
+		t1, err := env.Table1()
+		if err != nil {
+			return err
+		}
+		if err := write("table1.csv", t1.CSV()); err != nil {
+			return err
+		}
+	}
+	if want["fig2"] {
+		f2, err := env.Fig2()
+		if err != nil {
+			return err
+		}
+		if err := write("fig2.csv", f2.CSV()); err != nil {
+			return err
+		}
+	}
+	if want["fig5"] {
+		f5, err := env.Fig5()
+		if err != nil {
+			return err
+		}
+		if err := write("fig5.csv", f5.CSV()); err != nil {
+			return err
+		}
+	}
+	figNames := []string{"fig6", "fig7", "fig8", "fig9", "fig10"}
+	for i, name := range figNames {
+		if !want[name] {
+			continue
+		}
+		g, err := env.Grid()
+		if err != nil {
+			return err
+		}
+		if err := write(name+".csv", g.FigureCSV(experiments.FigureMetrics()[i])); err != nil {
+			return err
+		}
+	}
+	if want["ablation"] {
+		a, err := env.Ablations()
+		if err != nil {
+			return err
+		}
+		if err := write("ablation.csv", a.CSV()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }
+
+// summarize prints the paper's headline comparisons next to ours.
+func summarize(env *experiments.Env) (fmt.Stringer, error) {
+	g, err := env.Grid()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("Headline comparison (proposal vs original across the capacity sweep)\n\n")
+	b.WriteString("metric                policy   measured            paper\n")
+	type claim struct {
+		metric experiments.Metric
+		policy string
+		paper  string
+	}
+	ms := experiments.FigureMetrics()
+	claims := []claim{
+		{ms[0], "lru", "+3..+17 pp"},
+		{ms[0], "fifo", "+5..+20 pp"},
+		{ms[0], "s3lru", "+0.7..+4 pp"},
+		{ms[1], "lru", "+4..+16 pp"},
+		{ms[1], "fifo", "+6..+20 pp"},
+		{ms[4], "fifo", "-8..-11 %"},
+		{ms[4], "arc", "-1.5..-2.5 %"},
+	}
+	for _, c := range claims {
+		lo, hi := g.Improvement(c.policy, c.metric)
+		unit := "pp"
+		if !c.metric.Percent {
+			unit = "%"
+		}
+		fmt.Fprintf(&b, "%-21s %-8s %+.1f..%+.1f %-6s   %s\n",
+			c.metric.Name, c.policy, lo, hi, unit, c.paper)
+	}
+	b.WriteString("\nfile write reduction (proposal vs original):\n")
+	for _, p := range experiments.GridPolicies {
+		lo, hi := g.WriteReduction(p)
+		paper := ""
+		switch p {
+		case "lirs":
+			paper = "(paper: 65..81%)"
+		case "lru":
+			paper = "(paper: ~79% headline)"
+		}
+		fmt.Fprintf(&b, "  %-7s %.0f%%..%.0f%% %s\n", p, 100*lo, 100*hi, paper)
+	}
+	return stringer(b.String()), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command otasim runs one cache simulation: a replacement policy at a
+// capacity, with one of the three admission modes (original, proposal,
+// ideal), and prints the paper's metrics for it.
+//
+// Usage:
+//
+//	otasim -policy lru -mode proposal -frac 0.15 -photos 60000
+//	otasim -policy lirs -mode original -bytes 500000000 -trace t.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"otacache/internal/sim"
+	"otacache/internal/trace"
+)
+
+func main() {
+	var (
+		policy    = flag.String("policy", "lru", "replacement policy (lru|fifo|s3lru|arc|lirs|belady)")
+		mode      = flag.String("mode", "original", "admission mode (original|proposal|ideal|doorkeeper)")
+		photos    = flag.Int("photos", 60000, "synthesize a trace with this many photos (ignored with -trace)")
+		tracePath = flag.String("trace", "", "load a trace written by tracegen instead of synthesizing")
+		seed      = flag.Uint64("seed", 42, "seed")
+		bytesCap  = flag.Int64("bytes", 0, "cache capacity in bytes")
+		frac      = flag.Float64("frac", 0.15, "cache capacity as a fraction of the trace footprint (used when -bytes is 0)")
+		costV     = flag.Float64("v", 0, "cost-matrix v (0 = Table 4 rule)")
+		noTable   = flag.Bool("no-history-table", false, "disable the rectification table")
+		noRetrain = flag.Bool("no-retrain", false, "disable daily retraining")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	if *tracePath != "" {
+		tr, err = trace.Load(*tracePath)
+	} else {
+		tr, err = trace.Generate(trace.DefaultConfig(*seed, *photos))
+	}
+	if err != nil {
+		fail(err)
+	}
+	capacity := *bytesCap
+	if capacity <= 0 {
+		capacity = int64(*frac * float64(tr.TotalBytes()))
+	}
+
+	var m sim.Mode
+	switch *mode {
+	case "original":
+		m = sim.ModeOriginal
+	case "proposal":
+		m = sim.ModeProposal
+	case "ideal":
+		m = sim.ModeIdeal
+	case "doorkeeper":
+		m = sim.ModeDoorkeeper
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	cfg := sim.Config{
+		Policy:              *policy,
+		CacheBytes:          capacity,
+		Mode:                m,
+		Seed:                *seed,
+		CostV:               *costV,
+		DisableHistoryTable: *noTable,
+	}
+	if *noRetrain {
+		cfg.RetrainHour = -1
+	}
+	runner := sim.NewRunner(tr)
+	res, err := runner.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("policy=%s mode=%s capacity=%d MB (%.1f%% of footprint)\n",
+		*policy, m, capacity>>20, 100*float64(capacity)/float64(tr.TotalBytes()))
+	if m != sim.ModeOriginal {
+		fmt.Printf("criteria: %s\n", res.Criteria)
+	}
+	fmt.Printf("requests:        %d\n", res.Requests)
+	fmt.Printf("file hit rate:   %.2f%%\n", 100*res.FileHitRate())
+	fmt.Printf("byte hit rate:   %.2f%%\n", 100*res.ByteHitRate())
+	fmt.Printf("file write rate: %.2f%%  (%d SSD writes)\n", 100*res.FileWriteRate(), res.FileWrites)
+	fmt.Printf("byte write rate: %.2f%%  (%.2f GB written)\n", 100*res.ByteWriteRate(), float64(res.ByteWrites)/(1<<30))
+	fmt.Printf("mean latency:    %.1f us\n", res.MeanLatencyUs)
+	if m != sim.ModeOriginal {
+		q := res.Quality.Overall
+		fmt.Printf("bypassed:        %d  rectified: %d  retrainings: %d\n",
+			res.Bypassed, res.Rectified, res.Retrainings)
+		fmt.Printf("classifier:      precision=%.2f%% recall=%.2f%% accuracy=%.2f%%\n",
+			100*q.Precision(), 100*q.Recall(), 100*q.Accuracy())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "otasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command tracegen synthesizes a QQPhoto-style trace and reports how it
+// calibrates against the workload statistics the paper measures in §2.2
+// and Figure 3 (61.5% one-time objects, ~25.5% unique-access share, l5
+// dominating requests, diurnal cycle).
+//
+// Usage:
+//
+//	tracegen -photos 150000 -seed 42 -out trace.bin   # generate + save
+//	tracegen -photos 150000 -verify                   # generate + report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"otacache/internal/trace"
+)
+
+func main() {
+	var (
+		photos  = flag.Int("photos", 150000, "object population size")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		days    = flag.Int("days", 9, "observation window length in days")
+		out     = flag.String("out", "", "write the trace to this file (binary format)")
+		csvOut  = flag.String("csv", "", "write the trace to this file (CSV interchange format)")
+		fromCSV = flag.String("from-csv", "", "load a CSV trace instead of synthesizing (for -verify / -out conversion)")
+		verify  = flag.Bool("verify", true, "print the calibration report")
+		oneTime = flag.Float64("onetime", 0.615, "target one-time object fraction")
+		unique  = flag.Float64("unique", 0.255, "target unique-access share")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	if *fromCSV != "" {
+		var f *os.File
+		if f, err = os.Open(*fromCSV); err == nil {
+			tr, err = trace.ImportCSV(f)
+			f.Close()
+		}
+	} else {
+		cfg := trace.DefaultConfig(*seed, *photos)
+		cfg.Days = *days
+		cfg.OneTimeFraction = *oneTime
+		cfg.UniqueAccessShare = *unique
+		tr, err = trace.Generate(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if *verify {
+		fmt.Print(trace.Summarize(tr))
+	}
+	if *out != "" {
+		if err := tr.Save(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d requests, %d photos)\n", *out, len(tr.Requests), len(tr.Photos))
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err == nil {
+			err = tr.ExportCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (CSV)\n", *csvOut)
+	}
+}

@@ -1,0 +1,72 @@
+// Command trainer reproduces the paper's classifier study: Table 1 (the
+// seven-algorithm comparison, §3.1.1) and the information-gain forward
+// feature selection (§3.2.2).
+//
+// Usage:
+//
+//	trainer -photos 60000 -rows 15000            # Table 1
+//	trainer -photos 60000 -featsel               # feature selection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"otacache/internal/experiments"
+	"otacache/internal/ml/cart"
+)
+
+func main() {
+	var (
+		photos  = flag.Int("photos", 60000, "object population size")
+		seed    = flag.Uint64("seed", 42, "seed")
+		rows    = flag.Int("rows", 15000, "training dataset size cap")
+		featsel = flag.Bool("featsel", false, "run forward feature selection instead of Table 1")
+		save    = flag.String("save", "", "train the paper's cost-sensitive tree on the full sample and save it to this file")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	scale.Photos = *photos
+	scale.Seed = *seed
+	scale.Table1Rows = *rows
+	env, err := experiments.NewEnv(scale)
+	if err != nil {
+		fail(err)
+	}
+	if *featsel {
+		res, err := env.FeatureSelection()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+		return
+	}
+	if *save != "" {
+		d, err := env.Table1Dataset()
+		if err != nil {
+			fail(err)
+		}
+		tree, err := cart.Train(d, cart.Default(2))
+		if err != nil {
+			fail(err)
+		}
+		if err := tree.Save(*save); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trained on %d samples (v=2), %d splits, height %d -> %s\n",
+			d.Len(), tree.NumSplits(), tree.Height(), *save)
+		return
+	}
+	res, err := env.Table1()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(res)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "trainer:", err)
+	os.Exit(1)
+}

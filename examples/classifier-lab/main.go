@@ -1,0 +1,74 @@
+// Classifier-lab: the paper's machine-learning study, end to end.
+//
+// It walks through §3 of the paper on a synthetic workload:
+//
+//  1. label every access with the one-time-access criteria (§4.3),
+//  2. extract the nine features of §3.2.1,
+//  3. run information-gain forward feature selection (§3.2.2),
+//  4. compare the seven classifiers of Table 1,
+//  5. show what the cost matrix (Table 4) does to the chosen tree.
+//
+// Run with:
+//
+//	go run ./examples/classifier-lab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"otacache"
+	"otacache/internal/experiments"
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+func main() {
+	scale := experiments.QuickScale()
+	scale.Photos = 20000
+	scale.Seed = 3
+	env, err := experiments.NewEnv(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Steps 1-2: the labelled dataset (criteria + features).
+	d, err := env.Table1Dataset()
+	if err != nil {
+		log.Fatal(err)
+	}
+	neg, pos := d.CountLabels()
+	fmt.Printf("dataset: %d samples (%d one-time / %d reused), %d features\n\n",
+		d.Len(), pos, neg, d.NumFeatures())
+
+	// Step 3: which features carry the signal?
+	sel, err := env.FeatureSelection()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sel)
+
+	// Step 4: the Table 1 shoot-out.
+	t1, err := env.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t1)
+
+	// Step 5: cost-sensitive learning in action. Raising v makes the
+	// tree more reluctant to call a photo one-time: precision rises,
+	// recall falls (Table 4, §4.4.1).
+	fmt.Println("Cost matrix effect on the decision tree (70/30 split):")
+	fmt.Printf("%-6s %10s %10s %10s\n", "v", "precision", "recall", "accuracy")
+	rng := stats.NewRNG(99)
+	train, test := d.StratifiedSplit(rng, 0.3)
+	for _, v := range []float64{1, 2, 3, 5} {
+		tree, err := otacache.TrainTree(train, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := mlcore.Evaluate(tree, test)
+		fmt.Printf("%-6.0f %9.2f%% %9.2f%% %9.2f%%\n",
+			v, 100*m.Confusion.Precision(), 100*m.Confusion.Recall(), 100*m.Confusion.Accuracy())
+	}
+}

@@ -1,0 +1,129 @@
+// Deploy: the offline-train / online-serve split of §4.4.3.
+//
+// The paper trains its classifier offline (daily, away from the serving
+// path) and ships the model to cache servers. This example plays both
+// roles: a "trainer" process builds the cost-sensitive tree and saves
+// it to disk; a "cache server" process loads it, assembles the
+// classification system by hand (tree + history table + criteria), and
+// serves the request stream, reporting what the admission layer did.
+//
+// Run with:
+//
+//	go run ./examples/deploy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"otacache"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "otacache-deploy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "tree.bin")
+	tracePath := filepath.Join(dir, "trace.bin")
+
+	trainer(modelPath, tracePath)
+	server(modelPath, tracePath)
+}
+
+// trainer is the offline side: synthesize (or collect) a day of
+// traffic, label it with the criteria, train, save.
+func trainer(modelPath, tracePath string) {
+	tr, err := otacache.GenerateTrace(otacache.DefaultTraceConfig(21, 20000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := otacache.SaveTrace(tr, tracePath); err != nil {
+		log.Fatal(err)
+	}
+	capacity := tr.TotalBytes() / 12
+	next := otacache.BuildNextAccess(tr)
+	h := otacache.EstimateHitRate(tr, capacity)
+	crit := otacache.SolveCriteria(tr, next, capacity, h, 3)
+	labels := otacache.OneTimeLabels(next, crit)
+	ds, err := otacache.BuildDataset(tr, labels, func(i int) bool { return i%4 == 0 })
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := otacache.TrainTree(
+		ds.SelectFeatures(otacache.PaperFeatureColumns()),
+		otacache.CostV(capacity))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree := clf.(*otacache.DecisionTree)
+	if err := otacache.SaveTree(tree, modelPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[trainer] %s: %d splits, height %d, trained on %d samples\n",
+		filepath.Base(modelPath), tree.NumSplits(), tree.Height(), ds.Len())
+}
+
+// server is the online side: load the shipped model and drive the
+// cache with it.
+func server(modelPath, tracePath string) {
+	tree, err := otacache.LoadTree(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := otacache.LoadTrace(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := tr.TotalBytes() / 12
+	next := otacache.BuildNextAccess(tr)
+	h := otacache.EstimateHitRate(tr, capacity)
+	crit := otacache.SolveCriteria(tr, next, capacity, h, 3)
+
+	table := otacache.NewHistoryTable(otacache.HistoryTableCapacity(crit))
+	admission, err := otacache.NewClassifierAdmission(tree, table, crit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache, err := otacache.NewPolicy("lru", capacity, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	labels := otacache.OneTimeLabels(next, crit)
+	ds, err := otacache.BuildDataset(tr, labels, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cols := otacache.PaperFeatureColumns()
+	feat := make([]float64, len(cols))
+
+	var hits, writes, bypassed, rectified int
+	for i := range tr.Requests {
+		key := uint64(tr.Requests[i].Photo)
+		if cache.Get(key, i) {
+			hits++
+			continue
+		}
+		for j, c := range cols {
+			feat[j] = ds.X[i][c]
+		}
+		d := admission.Decide(key, i, feat)
+		if d.Rectified {
+			rectified++
+		}
+		if !d.Admit {
+			bypassed++
+			continue
+		}
+		cache.Admit(key, tr.Photos[tr.Requests[i].Photo].Size, i)
+		writes++
+	}
+	n := len(tr.Requests)
+	fmt.Printf("[server]  %d requests: hit %.1f%%, %d SSD writes, %d bypassed, %d rectified\n",
+		n, 100*float64(hits)/float64(n), writes, bypassed, rectified)
+	fmt.Printf("[server]  vs admit-all: writes would have been %d\n", n-hits)
+}

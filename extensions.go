@@ -1,0 +1,138 @@
+package otacache
+
+// Extensions beyond the paper's core evaluation: the two-tier OC/DC
+// deployment architecture of §2.1 (Figure 1), the SSD endurance model
+// behind the paper's lifetime motivation (§1), a concurrent sharded
+// cache front, and the online-learning alternative §4.4.3 mentions.
+
+import (
+	"otacache/internal/cache"
+	"otacache/internal/cluster"
+	"otacache/internal/core"
+	"otacache/internal/ml/cart"
+	"otacache/internal/ssd"
+	"otacache/internal/tier"
+	"otacache/internal/trace"
+)
+
+// Two-tier hierarchy (OC -> DC -> backend).
+type (
+	// TierConfig is a full two-layer simulation configuration.
+	TierConfig = tier.Config
+	// TierLayer configures one cache layer.
+	TierLayer = tier.LayerConfig
+	// TierResult is the two-layer outcome.
+	TierResult = tier.Result
+	// TierLatency models the three-hop read path.
+	TierLatency = tier.Latency
+	// TierFilter selects a layer's admission behaviour.
+	TierFilter = tier.FilterKind
+)
+
+// Tier admission kinds.
+const (
+	TierAdmitAll   = tier.AdmitAll
+	TierClassifier = tier.Classifier
+	TierOracle     = tier.Oracle
+)
+
+// SimulateTiers runs a trace through the two-layer hierarchy of the
+// paper's Figure 1.
+func SimulateTiers(t *Trace, cfg TierConfig) (*TierResult, error) {
+	return tier.Simulate(t, cfg)
+}
+
+// DefaultTierLatency returns the Eq. 3-6 constants plus a 1 ms OC->DC
+// network hop.
+func DefaultTierLatency() TierLatency { return tier.DefaultLatency() }
+
+// SSD endurance.
+type (
+	// Endurance is an SSD wear budget (capacity, P/E cycles, WAF).
+	Endurance = ssd.Endurance
+	// EnduranceReport compares lifetimes at two write rates.
+	EnduranceReport = ssd.Report
+)
+
+// DefaultTLC returns a typical TLC cache-device endurance profile.
+func DefaultTLC(capacityBytes int64) Endurance { return ssd.DefaultTLC(capacityBytes) }
+
+// LifetimeExtension converts a write-rate change into a lifetime
+// factor (the paper's 79% write cut is ~4.8x).
+func LifetimeExtension(beforeBytesPerDay, afterBytesPerDay float64) float64 {
+	return ssd.ExtensionFactor(beforeBytesPerDay, afterBytesPerDay)
+}
+
+// WriteDensityRatio reproduces the paper's §1 cache-vs-backend write
+// density example (1 TB SSD over 20 TB HDD -> 20:1).
+func WriteDensityRatio(cacheBytes, backendBytes int64) float64 {
+	return ssd.WriteDensityRatio(cacheBytes, backendBytes)
+}
+
+// Concurrency.
+
+// NewShardedPolicy wraps single-threaded policies into a thread-safe,
+// lock-per-shard cache front. factory builds one shard of the given
+// byte capacity.
+func NewShardedPolicy(capacity int64, shards int, factory func(shardCapacity int64) Policy) (Policy, error) {
+	return cache.NewSharded(capacity, shards, factory)
+}
+
+// Distributed fleet (the paper's "many cache servers", §2.1).
+
+// CacheCluster is a consistent-hash fleet of independent cache servers
+// exposing the Policy interface.
+type CacheCluster = cluster.Cluster
+
+// NewCacheCluster builds a fleet of n servers splitting totalCapacity
+// evenly, routed by consistent hashing. It satisfies Policy, so it
+// drops into any place a single cache fits.
+func NewCacheCluster(n int, totalCapacity int64, seed uint64, factory func(capacity int64) Policy) (*CacheCluster, error) {
+	return cluster.New(n, totalCapacity, seed, factory)
+}
+
+// Non-ML admission baseline.
+
+// FrequencyAdmission is the frequency-doorkeeper admission baseline
+// (bloom doorkeeper + decayed count-min sketch, "admit on re-access").
+type FrequencyAdmission = core.FrequencyAdmission
+
+// NewFrequencyAdmission builds the baseline filter; width sizes the
+// sketch (roughly the hot-object count), minFreq is the admission bar
+// (<=0 means admit on the second appearance). Also available as
+// ModeDoorkeeper in the simulator.
+func NewFrequencyAdmission(width, minFreq int) (*FrequencyAdmission, error) {
+	return core.NewFrequencyAdmission(width, minFreq)
+}
+
+// Online learning (the §4.4.3 alternative).
+
+// OnlineClassifier is an incrementally updated logistic classifier;
+// call Update with labelled observations as they become known.
+type OnlineClassifier = core.OnlineLogit
+
+// NewOnlineClassifier creates a cold online model over numFeatures
+// features (learningRate <= 0 and l2 < 0 pick defaults).
+func NewOnlineClassifier(numFeatures int, learningRate, l2 float64) (*OnlineClassifier, error) {
+	return core.NewOnlineLogit(numFeatures, learningRate, l2)
+}
+
+// Model persistence.
+
+// DecisionTree is the concrete trained CART model (TrainTree returns
+// one behind the Classifier interface).
+type DecisionTree = cart.Tree
+
+// SaveTree persists a trained decision tree for deployment.
+func SaveTree(t *DecisionTree, path string) error { return t.Save(path) }
+
+// LoadTree loads a tree saved by SaveTree.
+func LoadTree(path string) (*DecisionTree, error) { return cart.Load(path) }
+
+// Trace persistence.
+
+// SaveTrace writes a trace to a file in the binary trace format.
+func SaveTrace(t *Trace, path string) error { return t.Save(path) }
+
+// LoadTrace reads a trace written by SaveTrace (or cmd/tracegen).
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }

@@ -1,0 +1,137 @@
+package otacache
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestExtensionsFacade(t *testing.T) {
+	tr, err := GenerateTrace(DefaultTraceConfig(3, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two-tier hierarchy.
+	fp := float64(tr.TotalBytes())
+	res, err := SimulateTiers(tr, TierConfig{
+		OC:   TierLayer{Policy: "lru", CacheBytes: int64(0.05 * fp), Filter: TierClassifier},
+		DC:   TierLayer{Policy: "s3lru", CacheBytes: int64(0.15 * fp), Filter: TierClassifier},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CombinedHitRate() <= res.OCHitRate() {
+		t.Fatal("tier accounting broken")
+	}
+	if DefaultTierLatency().OCToDCUs <= 0 {
+		t.Fatal("tier latency defaults")
+	}
+
+	// Endurance.
+	dev := DefaultTLC(1 << 30)
+	if err := dev.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if LifetimeExtension(2, 1) != 2 {
+		t.Fatal("lifetime extension")
+	}
+
+	// Sharded policy.
+	sharded, err := NewShardedPolicy(1<<20, 8, func(c int64) Policy {
+		p, err := NewPolicy("lru", c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded.Admit(1, 100, 0)
+	if !sharded.Contains(1) {
+		t.Fatal("sharded admit lost the key")
+	}
+
+	// Cluster.
+	fleet, err := NewCacheCluster(4, 1<<20, 1, func(c int64) Policy {
+		p, _ := NewPolicy("lru", c, nil)
+		return p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Admit(7, 64, 0)
+	if !fleet.Contains(7) {
+		t.Fatal("cluster admit lost the key")
+	}
+
+	// Frequency baseline.
+	freq, err := NewFrequencyAdmission(1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freq.Decide(5, 0, nil).Admit {
+		t.Fatal("first appearance admitted")
+	}
+
+	// Online classifier.
+	online, err := NewOnlineClassifier(3, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online.Update([]float64{1, 2, 3}, 1)
+	if s := online.Score([]float64{1, 2, 3}); s < 0 || s > 1 {
+		t.Fatalf("online score %v", s)
+	}
+}
+
+func TestModelAndTracePersistenceFacade(t *testing.T) {
+	tr, err := GenerateTrace(DefaultTraceConfig(4, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Trace round trip.
+	tp := filepath.Join(dir, "t.bin")
+	if err := SaveTrace(tr, tp); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := LoadTrace(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Requests) != len(tr.Requests) {
+		t.Fatal("trace round trip lost requests")
+	}
+
+	// Train + persist a model through the facade.
+	next := BuildNextAccess(tr)
+	crit := SolveCriteria(tr, next, tr.TotalBytes()/10, 0.5, 3)
+	labels := OneTimeLabels(next, crit)
+	ds, err := BuildDataset(tr, labels, func(i int) bool { return i%2 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := TrainTree(ds.SelectFeatures(PaperFeatureColumns()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, ok := clf.(*DecisionTree)
+	if !ok {
+		t.Fatalf("TrainTree returned %T, want *DecisionTree", clf)
+	}
+	mp := filepath.Join(dir, "m.bin")
+	if err := SaveTree(tree, mp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTree(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.SelectFeatures(PaperFeatureColumns()).X[0]
+	if got.Score(x) != tree.Score(x) {
+		t.Fatal("model round trip changed score")
+	}
+}

@@ -1,0 +1,3 @@
+module otacache
+
+go 1.24

@@ -1,0 +1,206 @@
+package cache
+
+// ARC is a size-aware generalization of Adaptive Replacement Cache
+// (Megiddo & Modha, FAST'03). It keeps two resident lists — T1 for
+// objects seen once recently, T2 for objects seen at least twice — and
+// two ghost lists B1/B2 remembering recently evicted keys. A hit in a
+// ghost list steers the adaptation target p, which divides the byte
+// capacity between recency (T1) and frequency (T2).
+//
+// Size-awareness: all list budgets are in bytes, ghost entries remember
+// object sizes, and the adaptation delta is scaled by the size of the
+// object that hit the ghost list, so one large object moves p as much as
+// an equivalent volume of small ones.
+type ARC struct {
+	capacity int64
+	p        int64 // target size of T1 in bytes
+	t1, t2   dlist // resident
+	b1, b2   dlist // ghosts
+	items    map[uint64]*entry
+}
+
+// List identifiers stored in entry.seg.
+const (
+	arcT1 int8 = iota
+	arcT2
+	arcB1
+	arcB2
+)
+
+// NewARC returns an empty ARC cache with the given byte capacity.
+func NewARC(capacity int64) *ARC {
+	return &ARC{capacity: capacity, items: make(map[uint64]*entry)}
+}
+
+// Name implements Policy.
+func (c *ARC) Name() string { return "arc" }
+
+// Get implements Policy. Only resident (T1/T2) entries count as hits; a
+// ghost entry is a miss whose adaptation is applied when (and only when)
+// the object is admitted.
+func (c *ARC) Get(key uint64, _ int) bool {
+	e, ok := c.items[key]
+	if !ok || e.seg > arcT2 {
+		return false
+	}
+	c.listOf(e.seg).remove(e)
+	e.seg = arcT2
+	c.t2.pushFront(e)
+	return true
+}
+
+// Admit implements Policy.
+func (c *ARC) Admit(key uint64, size int64, _ int) {
+	if size > c.capacity {
+		return
+	}
+	e, ok := c.items[key]
+	if ok && e.seg <= arcT2 {
+		return // already resident
+	}
+	switch {
+	case ok && e.seg == arcB1:
+		// Recency ghost hit: grow the T1 target by the object's size,
+		// scaled up when B2 outweighs B1 (the original max(|B2|/|B1|,1)).
+		delta := size
+		if c.b1.bytes > 0 && c.b2.bytes > c.b1.bytes {
+			delta = size * (c.b2.bytes / c.b1.bytes)
+		}
+		c.p = minI64(c.p+delta, c.capacity)
+		c.b1.remove(e)
+		e.size = size
+		c.replace(false, size)
+		e.seg = arcT2
+		c.t2.pushFront(e)
+	case ok && e.seg == arcB2:
+		// Frequency ghost hit: shrink the T1 target.
+		delta := size
+		if c.b2.bytes > 0 && c.b1.bytes > c.b2.bytes {
+			delta = size * (c.b1.bytes / c.b2.bytes)
+		}
+		c.p = maxI64(c.p-delta, 0)
+		c.b2.remove(e)
+		e.size = size
+		c.replace(true, size)
+		e.seg = arcT2
+		c.t2.pushFront(e)
+	default:
+		// Brand-new object: ARC Case IV, generalized to bytes. First
+		// bound L1 = T1+B1 at one capacity, preferring to shed B1
+		// history; with B1 empty, T1 LRU pages fall out without
+		// ghosting, exactly as the original's Case IV-A else-branch.
+		for c.t1.bytes+c.b1.bytes+size > c.capacity {
+			if !c.b1.empty() {
+				c.dropGhost(&c.b1)
+			} else if v := c.t1.back(); v != nil {
+				c.t1.remove(v)
+				delete(c.items, v.key)
+			} else {
+				break
+			}
+		}
+		c.replace(false, size)
+		e = &entry{key: key, size: size, seg: arcT1}
+		c.t1.pushFront(e)
+		c.items[key] = e
+	}
+	c.trimDirectory()
+}
+
+// trimDirectory bounds the whole cache directory (resident + ghosts) at
+// 2x capacity in bytes, shedding frequency history before recency
+// history.
+func (c *ARC) trimDirectory() {
+	for c.totalBytes() > 2*c.capacity {
+		if !c.b2.empty() {
+			c.dropGhost(&c.b2)
+		} else if !c.b1.empty() {
+			c.dropGhost(&c.b1)
+		} else {
+			return
+		}
+	}
+}
+
+// replace frees space for an incoming object of the given size by moving
+// victims from T1 or T2 to the corresponding ghost list, per the ARC
+// REPLACE routine. inB2 biases the tie toward evicting from T1.
+func (c *ARC) replace(inB2 bool, size int64) {
+	for c.t1.bytes+c.t2.bytes+size > c.capacity {
+		fromT1 := !c.t1.empty() &&
+			(c.t1.bytes > c.p || (inB2 && c.t1.bytes == c.p) || c.t2.empty())
+		if fromT1 {
+			v := c.t1.back()
+			c.t1.remove(v)
+			v.seg = arcB1
+			c.b1.pushFront(v)
+		} else if !c.t2.empty() {
+			v := c.t2.back()
+			c.t2.remove(v)
+			v.seg = arcB2
+			c.b2.pushFront(v)
+		} else {
+			return
+		}
+	}
+}
+
+// dropGhost removes the LRU entry of a ghost list entirely.
+func (c *ARC) dropGhost(l *dlist) {
+	v := l.back()
+	l.remove(v)
+	delete(c.items, v.key)
+}
+
+func (c *ARC) listOf(seg int8) *dlist {
+	switch seg {
+	case arcT1:
+		return &c.t1
+	case arcT2:
+		return &c.t2
+	case arcB1:
+		return &c.b1
+	default:
+		return &c.b2
+	}
+}
+
+func (c *ARC) totalBytes() int64 {
+	return c.t1.bytes + c.t2.bytes + c.b1.bytes + c.b2.bytes
+}
+
+// Contains implements Policy (resident lists only).
+func (c *ARC) Contains(key uint64) bool {
+	e, ok := c.items[key]
+	return ok && e.seg <= arcT2
+}
+
+// Len implements Policy.
+func (c *ARC) Len() int { return c.t1.n + c.t2.n }
+
+// Used implements Policy.
+func (c *ARC) Used() int64 { return c.t1.bytes + c.t2.bytes }
+
+// Cap implements Policy.
+func (c *ARC) Cap() int64 { return c.capacity }
+
+// Target returns the current adaptation target p in bytes (for tests
+// and introspection).
+func (c *ARC) Target() int64 { return c.p }
+
+// GhostBytes returns the byte volume of the B1 and B2 ghost lists.
+func (c *ARC) GhostBytes() (b1, b2 int64) { return c.b1.bytes, c.b2.bytes }
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

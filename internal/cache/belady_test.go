@@ -1,0 +1,140 @@
+package cache
+
+import "testing"
+
+// buildNext computes the next-access index for a key sequence (mirrors
+// trace.BuildNextAccess without importing it, to keep the dependency
+// direction cache <- trace).
+func buildNext(seq []uint64) []int {
+	next := make([]int, len(seq))
+	last := map[uint64]int{}
+	for i := len(seq) - 1; i >= 0; i-- {
+		if j, ok := last[seq[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = -1
+		}
+		last[seq[i]] = i
+	}
+	return next
+}
+
+// driveBelady runs a unit-size sequence through Belady and returns hits.
+func driveBelady(capacity int64, seq []uint64) int {
+	next := buildNext(seq)
+	c := NewBelady(capacity, next)
+	hits := 0
+	for i, k := range seq {
+		if c.Get(k, i) {
+			hits++
+		} else {
+			c.Admit(k, 1, i)
+		}
+	}
+	return hits
+}
+
+func TestBeladyTextbookSequence(t *testing.T) {
+	// Classic OPT example: 3 frames, sequence below yields 9 misses
+	// under Belady (page-fault literature example).
+	seq := []uint64{7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1}
+	hits := driveBelady(3, seq)
+	misses := len(seq) - hits
+	if misses != 9 {
+		t.Fatalf("Belady misses = %d, want 9", misses)
+	}
+}
+
+func TestBeladyEvictsFarthest(t *testing.T) {
+	seq := []uint64{1, 2, 3, 4, 1, 2, 3}
+	// Capacity 3: when 4 arrives, the farthest next use among {1,2,3} is
+	// 3 (position 6), so 3 is evicted; 1 and 2 then hit; 3 misses.
+	next := buildNext(seq)
+	c := NewBelady(3, next)
+	results := make([]bool, len(seq))
+	for i, k := range seq {
+		results[i] = c.Get(k, i)
+		if !results[i] {
+			c.Admit(k, 1, i)
+		}
+	}
+	want := []bool{false, false, false, false, true, true, false}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Fatalf("access %d: hit=%v, want %v", i, results[i], want[i])
+		}
+	}
+}
+
+func TestBeladyNeverWorseThanLRU(t *testing.T) {
+	// Belady is optimal for unit sizes: it must match or beat LRU on any
+	// sequence. Exercise with a pseudo-random mixed workload.
+	seq := make([]uint64, 5000)
+	x := uint64(12345)
+	for i := range seq {
+		x = x*6364136223846793005 + 1442695040888963407
+		seq[i] = (x >> 33) % 300
+	}
+	for _, capacity := range []int64{10, 50, 150} {
+		optHits := driveBelady(capacity, seq)
+		lru := NewLRU(capacity)
+		lruHits := 0
+		for i, k := range seq {
+			if lru.Get(k, i) {
+				lruHits++
+			} else {
+				lru.Admit(k, 1, i)
+			}
+		}
+		if optHits < lruHits {
+			t.Fatalf("cap %d: Belady (%d) worse than LRU (%d)", capacity, optHits, lruHits)
+		}
+	}
+}
+
+func TestBeladyCapacityInvariant(t *testing.T) {
+	seq := make([]uint64, 2000)
+	x := uint64(99)
+	for i := range seq {
+		x = x*2862933555777941757 + 3037000493
+		seq[i] = (x >> 40) % 100
+	}
+	next := buildNext(seq)
+	c := NewBelady(64, next)
+	for i, k := range seq {
+		if !c.Get(k, i) {
+			c.Admit(k, int64(1+k%9), i)
+		}
+		if c.Used() > c.Cap() {
+			t.Fatalf("step %d: used %d > cap", i, c.Used())
+		}
+	}
+}
+
+func TestBeladyOversizedAndDoubleAdmit(t *testing.T) {
+	next := []int{-1, -1, -1}
+	c := NewBelady(10, next)
+	c.Admit(1, 11, 0)
+	if c.Len() != 0 {
+		t.Fatal("oversized admitted")
+	}
+	c.Admit(1, 5, 0)
+	c.Admit(1, 5, 1)
+	if c.Len() != 1 || c.Used() != 5 {
+		t.Fatalf("double admit: len=%d used=%d", c.Len(), c.Used())
+	}
+}
+
+func TestBeladyTickOutOfRange(t *testing.T) {
+	c := NewBelady(10, []int{5})
+	// Ticks outside the index are treated as never-accessed-again.
+	c.Admit(1, 5, 99)
+	c.Admit(2, 5, -3)
+	if c.Len() != 2 {
+		t.Fatal("out-of-range ticks must still admit")
+	}
+	c.Admit(3, 5, 0)
+	if c.Used() > 10 {
+		t.Fatal("capacity violated")
+	}
+}

@@ -1,0 +1,87 @@
+package cache
+
+// entry is an intrusive doubly-linked-list node shared by the list-based
+// policies. Using an intrusive list instead of container/list halves the
+// allocations per resident object and keeps the hot paths free of
+// interface conversions.
+type entry struct {
+	key        uint64
+	size       int64
+	prev, next *entry
+	// seg is policy-specific: the segment index for SLRU, the ARC list
+	// id, or the LIRS state bits.
+	seg int8
+}
+
+// dlist is an intrusive doubly-linked list with byte accounting.
+// front = most recently used end; back = eviction end.
+type dlist struct {
+	head, tail *entry
+	n          int
+	bytes      int64
+}
+
+// pushFront inserts e at the MRU end.
+func (l *dlist) pushFront(e *entry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	l.n++
+	l.bytes += e.size
+}
+
+// pushBack inserts e at the eviction end.
+func (l *dlist) pushBack(e *entry) {
+	e.next = nil
+	e.prev = l.tail
+	if l.tail != nil {
+		l.tail.next = e
+	}
+	l.tail = e
+	if l.head == nil {
+		l.head = e
+	}
+	l.n++
+	l.bytes += e.size
+}
+
+// remove unlinks e from the list.
+func (l *dlist) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.n--
+	l.bytes -= e.size
+}
+
+// moveToFront relocates e to the MRU end.
+func (l *dlist) moveToFront(e *entry) {
+	if l.head == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
+}
+
+// back returns the eviction-end entry, or nil.
+func (l *dlist) back() *entry { return l.tail }
+
+// front returns the MRU-end entry, or nil.
+func (l *dlist) front() *entry { return l.head }
+
+// empty reports whether the list has no entries.
+func (l *dlist) empty() bool { return l.n == 0 }

@@ -1,0 +1,118 @@
+package cache
+
+// LRU is the classic least-recently-used policy: hits move the object to
+// the MRU end, evictions take the LRU end. It is the paper's baseline
+// (§2.3) and the policy its one-time-access criteria (§4.3) is derived
+// for.
+type LRU struct {
+	capacity int64
+	list     dlist
+	items    map[uint64]*entry
+}
+
+// NewLRU returns an empty LRU cache with the given byte capacity.
+func NewLRU(capacity int64) *LRU {
+	return &LRU{capacity: capacity, items: make(map[uint64]*entry)}
+}
+
+// Name implements Policy.
+func (c *LRU) Name() string { return "lru" }
+
+// Get implements Policy.
+func (c *LRU) Get(key uint64, _ int) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.list.moveToFront(e)
+	return true
+}
+
+// Admit implements Policy.
+func (c *LRU) Admit(key uint64, size int64, _ int) {
+	if size > c.capacity {
+		return
+	}
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	for c.list.bytes+size > c.capacity {
+		victim := c.list.back()
+		c.list.remove(victim)
+		delete(c.items, victim.key)
+	}
+	e := &entry{key: key, size: size}
+	c.list.pushFront(e)
+	c.items[key] = e
+}
+
+// Contains implements Policy.
+func (c *LRU) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Len implements Policy.
+func (c *LRU) Len() int { return c.list.n }
+
+// Used implements Policy.
+func (c *LRU) Used() int64 { return c.list.bytes }
+
+// Cap implements Policy.
+func (c *LRU) Cap() int64 { return c.capacity }
+
+// FIFO evicts in insertion order; hits do not update any state. The
+// paper includes it as the simplest baseline, and it benefits the most
+// from the one-time-access-exclusion policy (Figures 6 and 10).
+type FIFO struct {
+	capacity int64
+	list     dlist
+	items    map[uint64]*entry
+}
+
+// NewFIFO returns an empty FIFO cache with the given byte capacity.
+func NewFIFO(capacity int64) *FIFO {
+	return &FIFO{capacity: capacity, items: make(map[uint64]*entry)}
+}
+
+// Name implements Policy.
+func (c *FIFO) Name() string { return "fifo" }
+
+// Get implements Policy. A FIFO hit changes no state.
+func (c *FIFO) Get(key uint64, _ int) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Admit implements Policy.
+func (c *FIFO) Admit(key uint64, size int64, _ int) {
+	if size > c.capacity {
+		return
+	}
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	for c.list.bytes+size > c.capacity {
+		victim := c.list.back()
+		c.list.remove(victim)
+		delete(c.items, victim.key)
+	}
+	e := &entry{key: key, size: size}
+	c.list.pushFront(e)
+	c.items[key] = e
+}
+
+// Contains implements Policy.
+func (c *FIFO) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Len implements Policy.
+func (c *FIFO) Len() int { return c.list.n }
+
+// Used implements Policy.
+func (c *FIFO) Used() int64 { return c.list.bytes }
+
+// Cap implements Policy.
+func (c *FIFO) Cap() int64 { return c.capacity }

@@ -1,0 +1,129 @@
+package cache
+
+import "testing"
+
+func TestLRUBasicHitMiss(t *testing.T) {
+	c := NewLRU(100)
+	if c.Get(1, 0) {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Admit(1, 10, 0)
+	if !c.Get(1, 1) {
+		t.Fatal("admitted object not resident")
+	}
+	if c.Len() != 1 || c.Used() != 10 {
+		t.Fatalf("len=%d used=%d", c.Len(), c.Used())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU(30)
+	c.Admit(1, 10, 0)
+	c.Admit(2, 10, 0)
+	c.Admit(3, 10, 0)
+	// Touch 1 so 2 becomes LRU.
+	if !c.Get(1, 0) {
+		t.Fatal("expected hit on 1")
+	}
+	c.Admit(4, 10, 0)
+	if c.Contains(2) {
+		t.Fatal("2 should have been evicted (LRU)")
+	}
+	for _, k := range []uint64{1, 3, 4} {
+		if !c.Contains(k) {
+			t.Fatalf("%d should be resident", k)
+		}
+	}
+}
+
+func TestLRUSizeAwareEviction(t *testing.T) {
+	c := NewLRU(100)
+	for k := uint64(0); k < 10; k++ {
+		c.Admit(k, 10, 0)
+	}
+	// A 55-byte object must displace the 6 least recent objects.
+	c.Admit(100, 55, 0)
+	if c.Used() > 100 {
+		t.Fatalf("used %d exceeds capacity", c.Used())
+	}
+	if !c.Contains(100) {
+		t.Fatal("large object not admitted")
+	}
+	for k := uint64(0); k < 6; k++ {
+		if c.Contains(k) {
+			t.Fatalf("object %d should have been evicted", k)
+		}
+	}
+}
+
+func TestLRUOversizedObjectRejected(t *testing.T) {
+	c := NewLRU(100)
+	c.Admit(1, 10, 0)
+	c.Admit(2, 101, 0)
+	if c.Contains(2) {
+		t.Fatal("oversized object admitted")
+	}
+	if !c.Contains(1) {
+		t.Fatal("existing object disturbed by rejected admit")
+	}
+}
+
+func TestLRUDoubleAdmitNoop(t *testing.T) {
+	c := NewLRU(100)
+	c.Admit(1, 10, 0)
+	c.Admit(1, 10, 0)
+	if c.Len() != 1 || c.Used() != 10 {
+		t.Fatalf("double admit corrupted accounting: len=%d used=%d", c.Len(), c.Used())
+	}
+}
+
+func TestLRUContainsDoesNotPromote(t *testing.T) {
+	c := NewLRU(20)
+	c.Admit(1, 10, 0)
+	c.Admit(2, 10, 0)
+	// Contains must not refresh 1's recency...
+	if !c.Contains(1) {
+		t.Fatal("1 resident")
+	}
+	c.Admit(3, 10, 0)
+	// ...so 1 is still the LRU victim.
+	if c.Contains(1) {
+		t.Fatal("Contains promoted the entry")
+	}
+}
+
+func TestFIFOIgnoresHits(t *testing.T) {
+	c := NewFIFO(30)
+	c.Admit(1, 10, 0)
+	c.Admit(2, 10, 0)
+	c.Admit(3, 10, 0)
+	// Hit 1 repeatedly; FIFO must still evict it first.
+	for i := 0; i < 5; i++ {
+		if !c.Get(1, i) {
+			t.Fatal("expected hit")
+		}
+	}
+	c.Admit(4, 10, 0)
+	if c.Contains(1) {
+		t.Fatal("FIFO should evict insertion order regardless of hits")
+	}
+	if !c.Contains(2) || !c.Contains(3) || !c.Contains(4) {
+		t.Fatal("wrong FIFO eviction")
+	}
+}
+
+func TestFIFOBasics(t *testing.T) {
+	c := NewFIFO(100)
+	if c.Name() != "fifo" {
+		t.Fatal("name")
+	}
+	c.Admit(1, 101, 0)
+	if c.Len() != 0 {
+		t.Fatal("oversized admitted")
+	}
+	c.Admit(1, 50, 0)
+	c.Admit(1, 50, 0)
+	if c.Len() != 1 || c.Used() != 50 || c.Cap() != 100 {
+		t.Fatalf("accounting: len=%d used=%d", c.Len(), c.Used())
+	}
+}

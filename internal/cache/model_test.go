@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refLRU is an intentionally naive O(n) reference LRU used to
+// model-check the production implementation: a slice ordered from LRU
+// (front) to MRU (back).
+type refLRU struct {
+	capacity int64
+	used     int64
+	order    []uint64
+	sizes    map[uint64]int64
+}
+
+func newRefLRU(capacity int64) *refLRU {
+	return &refLRU{capacity: capacity, sizes: map[uint64]int64{}}
+}
+
+func (r *refLRU) get(key uint64) bool {
+	for i, k := range r.order {
+		if k == key {
+			r.order = append(append([]uint64{}, r.order[:i]...), r.order[i+1:]...)
+			r.order = append(r.order, key)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refLRU) admit(key uint64, size int64) {
+	if size > r.capacity {
+		return
+	}
+	if _, ok := r.sizes[key]; ok {
+		return
+	}
+	for r.used+size > r.capacity {
+		victim := r.order[0]
+		r.order = r.order[1:]
+		r.used -= r.sizes[victim]
+		delete(r.sizes, victim)
+	}
+	r.order = append(r.order, key)
+	r.sizes[key] = size
+	r.used += size
+}
+
+// TestLRUModelCheck drives the production LRU and the reference model
+// with identical random workloads and requires byte-identical
+// observable behaviour at every step.
+func TestLRUModelCheck(t *testing.T) {
+	f := func(ops []uint16) bool {
+		impl := NewLRU(64)
+		ref := newRefLRU(64)
+		for i, op := range ops {
+			key := uint64(op % 48)
+			size := int64(1 + (op>>6)%16)
+			hitImpl := impl.Get(key, i)
+			hitRef := ref.get(key)
+			if hitImpl != hitRef {
+				return false
+			}
+			if !hitImpl {
+				impl.Admit(key, size, i)
+				ref.admit(key, size)
+			}
+			if impl.Used() != ref.used || impl.Len() != len(ref.sizes) {
+				return false
+			}
+			// Residency agreement for every key in the model.
+			for k := range ref.sizes {
+				if !impl.Contains(k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFIFOModelCheck does the same for FIFO with a queue model.
+func TestFIFOModelCheck(t *testing.T) {
+	f := func(ops []uint16) bool {
+		impl := NewFIFO(64)
+		type mEntry struct {
+			key  uint64
+			size int64
+		}
+		var queue []mEntry
+		sizes := map[uint64]int64{}
+		var used int64
+		for i, op := range ops {
+			key := uint64(op % 48)
+			size := int64(1 + (op>>6)%16)
+			_, hitRef := sizes[key]
+			if impl.Get(key, i) != hitRef {
+				return false
+			}
+			if !hitRef {
+				impl.Admit(key, size, i)
+				if size <= 64 {
+					for used+size > 64 {
+						v := queue[0]
+						queue = queue[1:]
+						used -= v.size
+						delete(sizes, v.key)
+					}
+					queue = append(queue, mEntry{key, size})
+					sizes[key] = size
+					used += size
+				}
+			}
+			if impl.Used() != used || impl.Len() != len(sizes) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedEquivalentToUnsharded: with one shard, the wrapper must
+// behave exactly like the bare policy.
+func TestShardedEquivalentToUnsharded(t *testing.T) {
+	bare := NewLRU(256)
+	wrapped, err := NewSharded(256, 1, func(c int64) Policy { return NewLRU(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := uint64(99)
+	for i := 0; i < 5000; i++ {
+		x = x*6364136223846793005 + 1
+		key := (x >> 33) % 100
+		size := int64(1 + (x>>50)%16)
+		hb := bare.Get(key, i)
+		hw := wrapped.Get(key, i)
+		if hb != hw {
+			t.Fatalf("step %d: bare hit=%v wrapped hit=%v", i, hb, hw)
+		}
+		if !hb {
+			bare.Admit(key, size, i)
+			wrapped.Admit(key, size, i)
+		}
+		if bare.Used() != wrapped.Used() || bare.Len() != wrapped.Len() {
+			t.Fatalf("step %d: accounting diverged", i)
+		}
+	}
+}

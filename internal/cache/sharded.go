@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded is a thread-safe cache front that partitions the key space
+// over independent single-threaded policies, one lock per shard. It is
+// how a production cache server (the paper's OC/DC nodes serve many
+// concurrent downloads) would deploy the policies in this package,
+// which are deliberately lock-free single-threaded implementations.
+//
+// Keys are routed by a 64-bit multiplicative hash, so each shard sees a
+// uniform slice of the keyspace and gets an equal share of the byte
+// capacity. Hit/miss behaviour of a shard equals that of its policy
+// over the key subsequence routed to it.
+type Sharded struct {
+	shards []shardSlot
+	mask   uint64
+}
+
+type shardSlot struct {
+	mu sync.Mutex
+	p  Policy
+	// padding keeps adjacent locks off one cache line under contention.
+	_ [40]byte
+}
+
+// NewSharded builds a sharded cache with n shards (rounded up to a
+// power of two, minimum 1), each holding capacity/n bytes produced by
+// factory.
+func NewSharded(capacity int64, n int, factory func(shardCapacity int64) Policy) (*Sharded, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: sharded capacity must be positive, got %d", capacity)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("cache: nil shard factory")
+	}
+	if n < 1 {
+		n = 1
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &Sharded{shards: make([]shardSlot, pow), mask: uint64(pow - 1)}
+	per := capacity / int64(pow)
+	if per < 1 {
+		per = 1
+	}
+	for i := range s.shards {
+		p := factory(per)
+		if p == nil {
+			return nil, fmt.Errorf("cache: shard factory returned nil for shard %d", i)
+		}
+		s.shards[i].p = p
+	}
+	return s, nil
+}
+
+// fibmix is a Fibonacci multiplicative hash spreading low-entropy keys
+// across shards.
+func fibmix(key uint64) uint64 {
+	h := key * 0x9e3779b97f4a7c15
+	return h >> 32
+}
+
+func (s *Sharded) shardFor(key uint64) *shardSlot {
+	return &s.shards[fibmix(key)&s.mask]
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Name implements Policy.
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("sharded-%d-%s", len(s.shards), s.shards[0].p.Name())
+}
+
+// Get implements Policy.
+func (s *Sharded) Get(key uint64, tick int) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.p.Get(key, tick)
+}
+
+// Admit implements Policy.
+func (s *Sharded) Admit(key uint64, size int64, tick int) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.p.Admit(key, size, tick)
+}
+
+// Contains implements Policy.
+func (s *Sharded) Contains(key uint64) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.p.Contains(key)
+}
+
+// Len implements Policy.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += s.shards[i].p.Len()
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Used implements Policy.
+func (s *Sharded) Used() int64 {
+	var b int64
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		b += s.shards[i].p.Used()
+		s.shards[i].mu.Unlock()
+	}
+	return b
+}
+
+// Cap implements Policy.
+func (s *Sharded) Cap() int64 {
+	var b int64
+	for i := range s.shards {
+		b += s.shards[i].p.Cap()
+	}
+	return b
+}
+
+var _ Policy = (*Sharded)(nil)

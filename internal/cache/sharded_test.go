@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+func newShardedLRU(t testing.TB, capacity int64, n int) *Sharded {
+	s, err := NewSharded(capacity, n, func(c int64) Policy { return NewLRU(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShardedBasics(t *testing.T) {
+	s := newShardedLRU(t, 1024, 4)
+	if s.NumShards() != 4 {
+		t.Fatalf("shards = %d", s.NumShards())
+	}
+	if s.Cap() != 1024 {
+		t.Fatalf("cap = %d", s.Cap())
+	}
+	s.Admit(1, 10, 0)
+	if !s.Get(1, 1) || !s.Contains(1) {
+		t.Fatal("admitted object missing")
+	}
+	if s.Len() != 1 || s.Used() != 10 {
+		t.Fatalf("len=%d used=%d", s.Len(), s.Used())
+	}
+	if s.Name() != "sharded-4-lru" {
+		t.Fatalf("name = %s", s.Name())
+	}
+}
+
+func TestShardedRoundsUpToPowerOfTwo(t *testing.T) {
+	s := newShardedLRU(t, 1000, 5)
+	if s.NumShards() != 8 {
+		t.Fatalf("shards = %d, want 8", s.NumShards())
+	}
+	s1 := newShardedLRU(t, 1000, 0)
+	if s1.NumShards() != 1 {
+		t.Fatalf("shards = %d, want 1", s1.NumShards())
+	}
+}
+
+func TestShardedErrors(t *testing.T) {
+	if _, err := NewSharded(0, 4, func(c int64) Policy { return NewLRU(c) }); err == nil {
+		t.Fatal("zero capacity must error")
+	}
+	if _, err := NewSharded(100, 4, nil); err == nil {
+		t.Fatal("nil factory must error")
+	}
+	if _, err := NewSharded(100, 4, func(int64) Policy { return nil }); err == nil {
+		t.Fatal("nil shard must error")
+	}
+}
+
+func TestShardedRoutingIsStable(t *testing.T) {
+	s := newShardedLRU(t, 1<<20, 8)
+	// The same key must always land on the same shard: admitting then
+	// getting through the wrapper must never miss due to routing.
+	for k := uint64(0); k < 2000; k++ {
+		s.Admit(k, 1, 0)
+	}
+	for k := uint64(0); k < 2000; k++ {
+		if !s.Contains(k) {
+			t.Fatalf("key %d lost by routing", k)
+		}
+	}
+}
+
+func TestShardedDistribution(t *testing.T) {
+	s := newShardedLRU(t, 8<<20, 8)
+	// Sequential keys (worst case for naive modulo) must spread evenly.
+	for k := uint64(0); k < 8000; k++ {
+		s.Admit(k, 1, 0)
+	}
+	for i := range s.shards {
+		n := s.shards[i].p.Len()
+		if n < 700 || n > 1300 {
+			t.Fatalf("shard %d holds %d of 8000 (poor distribution)", i, n)
+		}
+	}
+}
+
+func TestShardedConcurrentAccess(t *testing.T) {
+	s := newShardedLRU(t, 1<<20, 8)
+	const goroutines = 8
+	const opsPer = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := uint64((g*opsPer + i) % 5000)
+				if !s.Get(k, i) {
+					s.Admit(k, int64(1+k%64), i)
+				}
+				if i%1024 == 0 {
+					_ = s.Used()
+					_ = s.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Used() > s.Cap() {
+		t.Fatalf("capacity violated under concurrency: %d > %d", s.Used(), s.Cap())
+	}
+	if s.Len() == 0 {
+		t.Fatal("empty after concurrent workload")
+	}
+}
+
+func TestShardedCapacityInvariant(t *testing.T) {
+	s := newShardedLRU(t, 4096, 4)
+	for k := uint64(0); k < 10000; k++ {
+		s.Admit(k, int64(1+k%200), 0)
+		if s.Used() > s.Cap() {
+			t.Fatalf("used %d > cap %d", s.Used(), s.Cap())
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package cache
+
+import "testing"
+
+func TestSLRUInsertGoesProbationary(t *testing.T) {
+	c := NewSLRU(90, 3)
+	c.Admit(1, 10, 0)
+	if c.SegmentBytes(0) != 10 || c.SegmentBytes(1) != 0 || c.SegmentBytes(2) != 0 {
+		t.Fatalf("segments: %d/%d/%d", c.SegmentBytes(0), c.SegmentBytes(1), c.SegmentBytes(2))
+	}
+}
+
+func TestSLRUPromotionOnHit(t *testing.T) {
+	c := NewSLRU(90, 3)
+	c.Admit(1, 10, 0)
+	c.Get(1, 0)
+	if c.SegmentBytes(1) != 10 {
+		t.Fatalf("after one hit object should be in segment 1, got %d/%d/%d",
+			c.SegmentBytes(0), c.SegmentBytes(1), c.SegmentBytes(2))
+	}
+	c.Get(1, 0)
+	if c.SegmentBytes(2) != 10 {
+		t.Fatal("after two hits object should be in segment 2")
+	}
+	c.Get(1, 0) // capped at the top segment
+	if c.SegmentBytes(2) != 10 {
+		t.Fatal("top-segment hit must stay in top segment")
+	}
+}
+
+func TestSLRUScanResistance(t *testing.T) {
+	// A once-hit object must survive a scan of one-time objects that is
+	// larger than the probationary segment.
+	c := NewSLRU(90, 3)
+	c.Admit(100, 10, 0)
+	c.Get(100, 0) // promote to segment 1
+	for k := uint64(0); k < 20; k++ {
+		c.Admit(k, 10, 0)
+	}
+	if !c.Contains(100) {
+		t.Fatal("promoted object evicted by a scan")
+	}
+}
+
+func TestSLRUDemotionCascade(t *testing.T) {
+	c := NewSLRU(30, 3) // 10 bytes per segment
+	c.Admit(1, 10, 0)
+	c.Get(1, 0) // 1 -> seg1
+	c.Admit(2, 10, 0)
+	c.Get(2, 0) // 2 -> seg1 overflows (20 > 10): 1 demoted to seg0
+	if c.SegmentBytes(1) != 10 {
+		t.Fatalf("segment1 bytes = %d, want 10", c.SegmentBytes(1))
+	}
+	if c.SegmentBytes(0) != 10 {
+		t.Fatalf("segment0 bytes = %d, want 10 (demoted)", c.SegmentBytes(0))
+	}
+	// Demotion out of segment 0 evicts.
+	c.Admit(3, 10, 0)
+	if c.Used() > 30 {
+		t.Fatalf("used %d > capacity", c.Used())
+	}
+}
+
+func TestSLRUCapacityInvariant(t *testing.T) {
+	c := NewSLRU(100, 3)
+	for k := uint64(0); k < 500; k++ {
+		c.Admit(k, int64(1+k%30), 0)
+		if k%3 == 0 {
+			c.Get(k/2, 0)
+		}
+		if c.Used() > c.Cap() {
+			t.Fatalf("used %d > cap %d at step %d", c.Used(), c.Cap(), k)
+		}
+	}
+}
+
+func TestSLRUName(t *testing.T) {
+	if NewSLRU(10, 3).Name() != "s3lru" {
+		t.Fatal("name")
+	}
+	if NewSLRU(10, 2).Name() != "s2lru" {
+		t.Fatal("name for k=2")
+	}
+}
+
+func TestSLRUPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 must panic")
+		}
+	}()
+	NewSLRU(10, 0)
+}
+
+func TestSLRUOversized(t *testing.T) {
+	c := NewSLRU(30, 3)
+	c.Admit(1, 31, 0)
+	if c.Len() != 0 {
+		t.Fatal("oversized object admitted")
+	}
+	// An object bigger than one segment but smaller than the cache is
+	// still admitted (global trim keeps total under capacity).
+	c.Admit(2, 25, 0)
+	if !c.Contains(2) {
+		t.Fatal("object larger than a segment rejected")
+	}
+	if c.Used() > 30 {
+		t.Fatalf("used %d > cap", c.Used())
+	}
+}

@@ -1,0 +1,198 @@
+// Package cluster models the paper's distributed cache layer (§2.1):
+// the Outside Cache consists of *many cache servers*, each holding a
+// partition of the photo space. Photos are routed to servers by
+// consistent hashing with virtual nodes, so adding or losing a server
+// remaps only ~1/n of the keyspace — the property that makes cache
+// fleets operable.
+//
+// A Cluster composes the ring with one independent replacement policy
+// per server and exposes the cache.Policy interface, so the simulation
+// engine (and the admission system in front of it) works unchanged over
+// a fleet.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"otacache/internal/cache"
+	"otacache/internal/stats"
+)
+
+// Ring is a consistent-hash ring with virtual nodes.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	servers int
+	vnodes  int
+	seed    uint64
+}
+
+type ringPoint struct {
+	hash   uint64
+	server int32
+}
+
+// NewRing builds a ring over the given number of servers, each owning
+// vnodes virtual points (vnodes <= 0 defaults to 64). seed fixes the
+// point placement.
+func NewRing(servers, vnodes int, seed uint64) (*Ring, error) {
+	if servers <= 0 {
+		return nil, fmt.Errorf("cluster: servers must be positive, got %d", servers)
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{servers: servers, vnodes: vnodes, seed: seed}
+	r.points = make([]ringPoint, 0, servers*vnodes)
+	for s := 0; s < servers; s++ {
+		r.addPoints(int32(s))
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// addPoints appends server s's virtual points (unsorted).
+func (r *Ring) addPoints(s int32) {
+	// Each server's points derive from a per-server RNG stream so that
+	// the same server id always lands on the same points regardless of
+	// fleet size — the key to minimal remapping.
+	rng := stats.NewRNG(r.seed ^ (uint64(s)+1)*0x9e3779b97f4a7c15)
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hash: rng.Uint64(), server: s})
+	}
+}
+
+// Servers returns the fleet size.
+func (r *Ring) Servers() int { return r.servers }
+
+// keyHash spreads keys uniformly around the ring.
+func keyHash(key uint64) uint64 {
+	x := key + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Server returns the server owning key: the first ring point clockwise
+// from the key's hash.
+func (r *Ring) Server(key uint64) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return int(r.points[i].server)
+}
+
+// WithoutServer returns a new ring with server s's points removed
+// (simulating a server loss). Keys owned by other servers keep their
+// placement — the consistent-hashing guarantee the tests verify.
+func (r *Ring) WithoutServer(s int) (*Ring, error) {
+	if s < 0 || s >= r.servers {
+		return nil, fmt.Errorf("cluster: no server %d in a fleet of %d", s, r.servers)
+	}
+	if r.servers == 1 {
+		return nil, fmt.Errorf("cluster: cannot remove the last server")
+	}
+	nr := &Ring{servers: r.servers, vnodes: r.vnodes, seed: r.seed}
+	nr.points = make([]ringPoint, 0, len(r.points)-r.vnodes)
+	for _, p := range r.points {
+		if int(p.server) != s {
+			nr.points = append(nr.points, p)
+		}
+	}
+	return nr, nil
+}
+
+// Cluster is a fleet of independent cache servers behind a ring.
+type Cluster struct {
+	ring    *Ring
+	servers []cache.Policy
+}
+
+// New builds a cluster of n servers, splitting totalCapacity evenly;
+// factory builds each server's policy.
+func New(n int, totalCapacity int64, seed uint64, factory func(capacity int64) cache.Policy) (*Cluster, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("cluster: nil factory")
+	}
+	if totalCapacity <= 0 {
+		return nil, fmt.Errorf("cluster: capacity must be positive, got %d", totalCapacity)
+	}
+	ring, err := NewRing(n, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{ring: ring, servers: make([]cache.Policy, n)}
+	per := totalCapacity / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.servers {
+		p := factory(per)
+		if p == nil {
+			return nil, fmt.Errorf("cluster: factory returned nil for server %d", i)
+		}
+		c.servers[i] = p
+	}
+	return c, nil
+}
+
+var _ cache.Policy = (*Cluster)(nil)
+
+// Name implements cache.Policy.
+func (c *Cluster) Name() string {
+	return fmt.Sprintf("cluster-%d-%s", len(c.servers), c.servers[0].Name())
+}
+
+// Get implements cache.Policy.
+func (c *Cluster) Get(key uint64, tick int) bool {
+	return c.servers[c.ring.Server(key)].Get(key, tick)
+}
+
+// Admit implements cache.Policy.
+func (c *Cluster) Admit(key uint64, size int64, tick int) {
+	c.servers[c.ring.Server(key)].Admit(key, size, tick)
+}
+
+// Contains implements cache.Policy.
+func (c *Cluster) Contains(key uint64) bool {
+	return c.servers[c.ring.Server(key)].Contains(key)
+}
+
+// Len implements cache.Policy.
+func (c *Cluster) Len() int {
+	n := 0
+	for _, s := range c.servers {
+		n += s.Len()
+	}
+	return n
+}
+
+// Used implements cache.Policy.
+func (c *Cluster) Used() int64 {
+	var b int64
+	for _, s := range c.servers {
+		b += s.Used()
+	}
+	return b
+}
+
+// Cap implements cache.Policy.
+func (c *Cluster) Cap() int64 {
+	var b int64
+	for _, s := range c.servers {
+		b += s.Cap()
+	}
+	return b
+}
+
+// ServerLoad returns each server's resident byte count, for balance
+// inspection.
+func (c *Cluster) ServerLoad() []int64 {
+	out := make([]int64, len(c.servers))
+	for i, s := range c.servers {
+		out[i] = s.Used()
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"testing"
+
+	"otacache/internal/cache"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0, 64, 1); err == nil {
+		t.Fatal("zero servers must error")
+	}
+	r, err := NewRing(4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Servers() != 4 {
+		t.Fatalf("servers = %d", r.Servers())
+	}
+}
+
+func TestRingDeterministicRouting(t *testing.T) {
+	a, _ := NewRing(8, 64, 42)
+	b, _ := NewRing(8, 64, 42)
+	for key := uint64(0); key < 10000; key++ {
+		if a.Server(key) != b.Server(key) {
+			t.Fatalf("key %d routes differently on identical rings", key)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, _ := NewRing(8, 128, 1)
+	counts := make([]int, 8)
+	const keys = 100000
+	for key := uint64(0); key < keys; key++ {
+		counts[r.Server(key)]++
+	}
+	want := keys / 8
+	for s, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("server %d owns %d of %d keys (want ~%d)", s, c, keys, want)
+		}
+	}
+}
+
+func TestRingMinimalRemapping(t *testing.T) {
+	// Removing one of n servers must remap ~1/n of the keys and ONLY
+	// keys previously owned by the removed server.
+	r, _ := NewRing(10, 128, 7)
+	smaller, err := r.WithoutServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 50000
+	moved, ownedByRemoved := 0, 0
+	for key := uint64(0); key < keys; key++ {
+		before := r.Server(key)
+		after := smaller.Server(key)
+		if before == 3 {
+			ownedByRemoved++
+			if after == 3 {
+				t.Fatalf("key %d still routed to removed server", key)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys owned by surviving servers were remapped", moved)
+	}
+	frac := float64(ownedByRemoved) / keys
+	if frac < 0.05 || frac > 0.2 {
+		t.Fatalf("removed server owned %.3f of keys, want ~0.1", frac)
+	}
+}
+
+func TestWithoutServerErrors(t *testing.T) {
+	r, _ := NewRing(2, 16, 1)
+	if _, err := r.WithoutServer(5); err == nil {
+		t.Fatal("unknown server must error")
+	}
+	one, _ := NewRing(1, 16, 1)
+	if _, err := one.WithoutServer(0); err == nil {
+		t.Fatal("removing the last server must error")
+	}
+}
+
+func newCluster(t testing.TB, n int, capacity int64) *Cluster {
+	c, err := New(n, capacity, 1, func(cap int64) cache.Policy { return cache.NewLRU(cap) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterBasics(t *testing.T) {
+	c := newCluster(t, 4, 4000)
+	if c.Cap() != 4000 {
+		t.Fatalf("cap = %d", c.Cap())
+	}
+	c.Admit(1, 10, 0)
+	if !c.Get(1, 1) || !c.Contains(1) {
+		t.Fatal("admitted key missing")
+	}
+	if c.Len() != 1 || c.Used() != 10 {
+		t.Fatalf("len=%d used=%d", c.Len(), c.Used())
+	}
+	if c.Name() != "cluster-4-lru" {
+		t.Fatalf("name = %s", c.Name())
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := New(4, 100, 1, nil); err == nil {
+		t.Fatal("nil factory must error")
+	}
+	if _, err := New(0, 100, 1, func(int64) cache.Policy { return cache.NewLRU(1) }); err == nil {
+		t.Fatal("zero servers must error")
+	}
+	if _, err := New(2, 0, 1, func(c int64) cache.Policy { return cache.NewLRU(c) }); err == nil {
+		t.Fatal("zero capacity must error")
+	}
+	if _, err := New(2, 100, 1, func(int64) cache.Policy { return nil }); err == nil {
+		t.Fatal("nil server must error")
+	}
+}
+
+func TestClusterOfOneEqualsSingleCache(t *testing.T) {
+	c := newCluster(t, 1, 512)
+	single := cache.NewLRU(512)
+	x := uint64(7)
+	for i := 0; i < 5000; i++ {
+		x = x*6364136223846793005 + 1
+		key := (x >> 33) % 200
+		size := int64(1 + (x>>50)%8)
+		hc := c.Get(key, i)
+		hs := single.Get(key, i)
+		if hc != hs {
+			t.Fatalf("step %d: cluster-of-1 diverged from single cache", i)
+		}
+		if !hc {
+			c.Admit(key, size, i)
+			single.Admit(key, size, i)
+		}
+	}
+	if c.Used() != single.Used() || c.Len() != single.Len() {
+		t.Fatal("accounting diverged")
+	}
+}
+
+func TestClusterLoadSpread(t *testing.T) {
+	c := newCluster(t, 8, 1<<20)
+	for key := uint64(0); key < 20000; key++ {
+		c.Admit(key, 8, 0)
+	}
+	loads := c.ServerLoad()
+	var total int64
+	for _, l := range loads {
+		total += l
+	}
+	per := total / int64(len(loads))
+	for s, l := range loads {
+		if l < per/2 || l > per*2 {
+			t.Fatalf("server %d load %d, mean %d: unbalanced", s, l, per)
+		}
+	}
+}
+
+func TestClusterVsMonolithicHitRate(t *testing.T) {
+	// Partitioning costs a little hit rate (per-server capacity
+	// fragments the working set) but must stay in the same ballpark.
+	run := func(p cache.Policy) float64 {
+		x := uint64(3)
+		hits, total := 0, 30000
+		for i := 0; i < total; i++ {
+			x = x*6364136223846793005 + 1
+			key := (x >> 33) % 3000
+			if p.Get(key, i) {
+				hits++
+			} else {
+				p.Admit(key, 16, i)
+			}
+		}
+		return float64(hits) / float64(total)
+	}
+	mono := run(cache.NewLRU(16 * 1024))
+	clus := run(newCluster(t, 8, 16*1024))
+	if clus > mono+0.01 {
+		t.Fatalf("cluster hit rate %.4f above monolithic %.4f?", clus, mono)
+	}
+	if clus < mono-0.15 {
+		t.Fatalf("cluster hit rate %.4f collapsed vs monolithic %.4f", clus, mono)
+	}
+}

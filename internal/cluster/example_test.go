@@ -1,0 +1,46 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"otacache/internal/cache"
+	"otacache/internal/cluster"
+)
+
+// Example shows the consistent-hashing guarantee operators rely on:
+// losing one server of a fleet remaps only that server's keys.
+func Example() {
+	ring, _ := cluster.NewRing(10, 128, 1)
+	smaller, _ := ring.WithoutServer(3)
+
+	moved, total := 0, 0
+	for key := uint64(0); key < 10000; key++ {
+		if ring.Server(key) == 3 {
+			continue // the removed server's keys must move
+		}
+		total++
+		if smaller.Server(key) != ring.Server(key) {
+			moved++
+		}
+	}
+	fmt.Printf("thousands of surviving keys checked: %v\n", total > 8000)
+	fmt.Printf("surviving keys remapped: %d\n", moved)
+	// Output:
+	// thousands of surviving keys checked: true
+	// surviving keys remapped: 0
+}
+
+// ExampleNew drives a fleet through the cache.Policy interface.
+func ExampleNew() {
+	fleet, _ := cluster.New(4, 4096, 7, func(capacity int64) cache.Policy {
+		return cache.NewLRU(capacity)
+	})
+	for key := uint64(0); key < 100; key++ {
+		fleet.Admit(key, 16, 0)
+	}
+	fmt.Println("name:", fleet.Name())
+	fmt.Println("all resident:", fleet.Len() == 100)
+	// Output:
+	// name: cluster-4-lru
+	// all resident: true
+}

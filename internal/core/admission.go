@@ -1,0 +1,268 @@
+// Package core implements the paper's primary contribution: the
+// "one-time-access-exclusion" classification system (Figure 4) that
+// sits in front of the SSD cache and decides, at miss time, whether the
+// missed photo should be admitted.
+//
+// The system has two components (§4.2):
+//
+//   - a classifier (a cost-sensitive CART decision tree, §3.1) that
+//     predicts from social/photo/system features whether the access is
+//     one-time under the criteria of §4.3;
+//   - a history table (§4.4.2), a FIFO-evicted hash map remembering
+//     recently bypassed photos: if a photo predicted one-time returns
+//     within the reaccess-distance threshold M, the prediction was
+//     wrong, and the photo is admitted on this second chance and
+//     removed from the table.
+//
+// An oracle variant (OracleAdmission) implements the paper's "Ideal"
+// curves: a classifier with perfect knowledge of the future.
+package core
+
+import (
+	"fmt"
+
+	"otacache/internal/labeling"
+	"otacache/internal/mlcore"
+	"otacache/internal/trace"
+)
+
+// Filter decides whether a missed object enters the cache. tick is the
+// global request index; feat is the request's feature vector (may be
+// nil for filters that do not use features).
+type Filter interface {
+	// Name returns the filter's short name.
+	Name() string
+	// Decide returns the admission decision for one miss.
+	Decide(key uint64, tick int, feat []float64) Decision
+}
+
+// Decision describes one admission choice with enough detail to score
+// the classification system (Figure 5).
+type Decision struct {
+	// Admit is the final verdict after rectification.
+	Admit bool
+	// PredictedOneTime is the classifier's raw prediction (before the
+	// history table is consulted). For filters without a classifier it
+	// mirrors !Admit.
+	PredictedOneTime bool
+	// Rectified reports that the history table overrode a one-time
+	// prediction because the photo returned within distance M.
+	Rectified bool
+}
+
+// AdmitAll is the traditional no-filter behaviour ("Original" curves).
+type AdmitAll struct{}
+
+// Name implements Filter.
+func (AdmitAll) Name() string { return "admit-all" }
+
+// Decide implements Filter.
+func (AdmitAll) Decide(uint64, int, []float64) Decision { return Decision{Admit: true} }
+
+// OracleAdmission admits exactly the accesses that are not one-time
+// under the criteria — the paper's "Ideal" classifier with 100%
+// accuracy (§5.3).
+type OracleAdmission struct {
+	next []int
+	m    int
+}
+
+// NewOracle builds the ideal filter from the trace's next-access index
+// and a solved criteria.
+func NewOracle(next []int, crit labeling.Criteria) *OracleAdmission {
+	return &OracleAdmission{next: next, m: crit.M}
+}
+
+// Name implements Filter.
+func (o *OracleAdmission) Name() string { return "ideal" }
+
+// Decide implements Filter.
+func (o *OracleAdmission) Decide(_ uint64, tick int, _ []float64) Decision {
+	oneTime := o.next[tick] == trace.NoNext || o.next[tick]-tick > o.m
+	return Decision{Admit: !oneTime, PredictedOneTime: oneTime}
+}
+
+// HistoryTable is the FIFO-evicted hash map of recently bypassed photos
+// (§4.4.2). Capacity is fixed at construction; inserting beyond it
+// evicts the oldest entry.
+//
+// FIFO slots are lazily reclaimed: Remove only deletes the map entry,
+// and each slot carries the insertion sequence number so that a key
+// removed and later re-inserted cannot be evicted through its stale
+// older slot.
+type HistoryTable struct {
+	capacity int
+	ticks    map[uint64]htEntry
+	fifo     []htSlot
+	head     int    // index of the oldest live slot in fifo
+	seq      uint64 // insertion sequence counter
+}
+
+type htEntry struct {
+	tick int
+	seq  uint64
+}
+
+type htSlot struct {
+	key uint64
+	seq uint64
+}
+
+// NewHistoryTable returns an empty table. capacity < 1 is clamped to 1.
+func NewHistoryTable(capacity int) *HistoryTable {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &HistoryTable{capacity: capacity, ticks: make(map[uint64]htEntry)}
+}
+
+// TableCapacity returns the paper's sizing rule M·(1-h)·p·0.05
+// (§4.4.2), clamped to at least 16 entries.
+func TableCapacity(crit labeling.Criteria) int {
+	c := int(float64(crit.M) * (1 - crit.HitRate) * crit.OneTimeP * 0.05)
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// Len returns the number of live entries.
+func (t *HistoryTable) Len() int { return len(t.ticks) }
+
+// Capacity returns the configured bound.
+func (t *HistoryTable) Capacity() int { return t.capacity }
+
+// Lookup returns the tick recorded for key, if present.
+func (t *HistoryTable) Lookup(key uint64) (int, bool) {
+	e, ok := t.ticks[key]
+	return e.tick, ok
+}
+
+// Insert records (or refreshes) key at the given tick, evicting the
+// oldest entry if the table is full. A refreshed key keeps its FIFO
+// position, so a frequently re-bypassed photo cannot monopolize the
+// table.
+func (t *HistoryTable) Insert(key uint64, tick int) {
+	if e, ok := t.ticks[key]; ok {
+		e.tick = tick
+		t.ticks[key] = e
+		return
+	}
+	for len(t.ticks) >= t.capacity {
+		t.evictOldest()
+	}
+	t.seq++
+	t.ticks[key] = htEntry{tick: tick, seq: t.seq}
+	t.fifo = append(t.fifo, htSlot{key: key, seq: t.seq})
+	t.compact()
+}
+
+// Remove deletes key if present. Its FIFO slot is lazily reclaimed.
+func (t *HistoryTable) Remove(key uint64) {
+	delete(t.ticks, key)
+}
+
+func (t *HistoryTable) evictOldest() {
+	for t.head < len(t.fifo) {
+		slot := t.fifo[t.head]
+		t.head++
+		if e, ok := t.ticks[slot.key]; ok && e.seq == slot.seq {
+			delete(t.ticks, slot.key)
+			return
+		}
+		// Stale slot (removed, or superseded by a re-insert): skip.
+	}
+}
+
+// compact reclaims the consumed prefix of the FIFO slice once it
+// dominates the backing array.
+func (t *HistoryTable) compact() {
+	if t.head > 4096 && t.head*2 > len(t.fifo) {
+		t.fifo = append([]htSlot(nil), t.fifo[t.head:]...)
+		t.head = 0
+	}
+}
+
+// ClassifierAdmission is the paper's classification system ("Proposal"
+// curves): classifier + history table.
+type ClassifierAdmission struct {
+	clf   mlcore.Classifier
+	table *HistoryTable
+	m     int
+	// threshold, when > 0, replaces the classifier's own decision rule:
+	// predict one-time only when Score >= threshold. It selects an
+	// operating point on the classifier's ROC curve, trading write
+	// savings (recall) for hit-rate safety (precision) continuously
+	// where the cost matrix does so at train time.
+	threshold float64
+}
+
+// SetScoreThreshold enables threshold-based prediction (0 disables,
+// restoring the classifier's own decision rule).
+func (a *ClassifierAdmission) SetScoreThreshold(t float64) { a.threshold = t }
+
+// NewClassifierAdmission assembles the system. table may be nil to run
+// without rectification (the history-table ablation).
+func NewClassifierAdmission(clf mlcore.Classifier, table *HistoryTable, crit labeling.Criteria) (*ClassifierAdmission, error) {
+	if clf == nil {
+		return nil, fmt.Errorf("core: nil classifier")
+	}
+	if crit.M < 1 {
+		return nil, fmt.Errorf("core: criteria M must be >= 1, got %d", crit.M)
+	}
+	return &ClassifierAdmission{clf: clf, table: table, m: crit.M}, nil
+}
+
+// Name implements Filter.
+func (a *ClassifierAdmission) Name() string { return "classifier" }
+
+// SetClassifier swaps in a newly trained model (daily retraining,
+// §4.4.3). The history table and criteria are preserved.
+func (a *ClassifierAdmission) SetClassifier(clf mlcore.Classifier) {
+	if clf != nil {
+		a.clf = clf
+	}
+}
+
+// Classifier returns the current model.
+func (a *ClassifierAdmission) Classifier() mlcore.Classifier { return a.clf }
+
+// M returns the reaccess-distance threshold in force.
+func (a *ClassifierAdmission) M() int { return a.m }
+
+// Decide implements Filter, following the workflow of §4.2 steps
+// (4)–(6): classify; if predicted one-time, consult the history table
+// and rectify when the photo returned within M.
+func (a *ClassifierAdmission) Decide(key uint64, tick int, feat []float64) Decision {
+	var oneTime bool
+	if a.threshold > 0 {
+		oneTime = a.clf.Score(feat) >= a.threshold
+	} else {
+		oneTime = a.clf.Predict(feat) == mlcore.Positive
+	}
+	if !oneTime {
+		if a.table != nil {
+			a.table.Remove(key)
+		}
+		return Decision{Admit: true}
+	}
+	if a.table != nil {
+		if t0, ok := a.table.Lookup(key); ok && tick-t0 < a.m {
+			a.table.Remove(key)
+			return Decision{Admit: true, PredictedOneTime: true, Rectified: true}
+		}
+		a.table.Insert(key, tick)
+	}
+	return Decision{Admit: false, PredictedOneTime: true}
+}
+
+// CostV returns the cost-matrix penalty v for misclassifying a
+// non-one-time photo as one-time, by cache size (Table 4, §4.4.1):
+// v = 2 for caches up to 12 GB, v = 3 for 12–20 GB and beyond.
+func CostV(cacheBytes int64) float64 {
+	const gb = int64(1) << 30
+	if cacheBytes < 12*gb {
+		return 2
+	}
+	return 3
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"otacache/internal/sketch"
+)
+
+// FrequencyAdmission is the classic non-ML admission baseline the
+// comparison experiments measure the paper's classifier against:
+// frequency-based "admit on re-access". A bloom doorkeeper catches the
+// first appearance of a key; a decayed count-min sketch tracks recent
+// popularity beyond it. A missed object is admitted only when its
+// recent frequency reaches MinFreq — one-hit wonders bounce off.
+//
+// Unlike the paper's classifier it needs no features, no labels and no
+// training, but it can only recognize one-time-access objects *after*
+// paying one bypassed miss per object, and it has no notion of the
+// criteria distance M.
+type FrequencyAdmission struct {
+	door    *sketch.Doorkeeper
+	freq    *sketch.CountMin
+	minFreq int
+}
+
+var _ Filter = (*FrequencyAdmission)(nil)
+
+// NewFrequencyAdmission builds the filter. width sizes the sketch
+// (roughly the number of hot objects to track); minFreq <= 0 defaults
+// to 1 (admit on second appearance).
+func NewFrequencyAdmission(width, minFreq int) (*FrequencyAdmission, error) {
+	if minFreq <= 0 {
+		minFreq = 1
+	}
+	door, err := sketch.NewDoorkeeper(width * 8)
+	if err != nil {
+		return nil, fmt.Errorf("core: frequency admission: %w", err)
+	}
+	freq, err := sketch.NewCountMin(width)
+	if err != nil {
+		return nil, fmt.Errorf("core: frequency admission: %w", err)
+	}
+	return &FrequencyAdmission{door: door, freq: freq, minFreq: minFreq}, nil
+}
+
+// Name implements Filter.
+func (f *FrequencyAdmission) Name() string { return "doorkeeper" }
+
+// Decide implements Filter: record the appearance, admit once the
+// key's recent frequency clears the bar.
+func (f *FrequencyAdmission) Decide(key uint64, _ int, _ []float64) Decision {
+	var count int
+	if f.door.Seen(key) {
+		f.freq.Add(key)
+		count = f.freq.Estimate(key)
+	} else {
+		f.door.Mark(key)
+	}
+	admit := count >= f.minFreq
+	return Decision{Admit: admit, PredictedOneTime: !admit}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refTable is a naive reference for HistoryTable: a slice of live
+// (key, tick) pairs in insertion order.
+type refTable struct {
+	capacity int
+	entries  []refEntry
+}
+
+type refEntry struct {
+	key  uint64
+	tick int
+}
+
+func (r *refTable) lookup(key uint64) (int, bool) {
+	for _, e := range r.entries {
+		if e.key == key {
+			return e.tick, true
+		}
+	}
+	return 0, false
+}
+
+func (r *refTable) insert(key uint64, tick int) {
+	for i := range r.entries {
+		if r.entries[i].key == key {
+			r.entries[i].tick = tick // refresh keeps position
+			return
+		}
+	}
+	for len(r.entries) >= r.capacity {
+		r.entries = r.entries[1:]
+	}
+	r.entries = append(r.entries, refEntry{key, tick})
+}
+
+func (r *refTable) remove(key uint64) {
+	for i := range r.entries {
+		if r.entries[i].key == key {
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// TestHistoryTableModelCheck compares the production table against the
+// reference on random operation streams: inserts, removes, lookups.
+func TestHistoryTableModelCheck(t *testing.T) {
+	f := func(ops []uint16) bool {
+		impl := NewHistoryTable(7)
+		ref := &refTable{capacity: 7}
+		for i, op := range ops {
+			key := uint64(op % 23)
+			switch (op >> 8) % 4 {
+			case 0: // remove
+				impl.Remove(key)
+				ref.remove(key)
+			default: // insert/refresh
+				impl.Insert(key, i)
+				ref.insert(key, i)
+			}
+			if impl.Len() != len(ref.entries) {
+				return false
+			}
+			for _, e := range ref.entries {
+				tick, ok := impl.Lookup(e.key)
+				if !ok || tick != e.tick {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

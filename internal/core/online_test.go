@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+func TestOnlineLogitLearnsLinearProblem(t *testing.T) {
+	o, err := NewOnlineLogit(2, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	// Stream 20k labelled points of a linearly separable problem.
+	for i := 0; i < 20000; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y := mlcore.Negative
+		if x[0]+x[1] > 0 {
+			y = mlcore.Positive
+		}
+		o.Update(x, y)
+	}
+	correct := 0
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		want := mlcore.Negative
+		if x[0]+x[1] > 0 {
+			want = mlcore.Positive
+		}
+		if o.Predict(x) == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / probes; acc < 0.93 {
+		t.Fatalf("online accuracy = %v", acc)
+	}
+	if o.Steps() != 20000 {
+		t.Fatalf("steps = %d", o.Steps())
+	}
+}
+
+func TestOnlineLogitColdModelAdmits(t *testing.T) {
+	o, _ := NewOnlineLogit(3, 0, -1)
+	// With no updates the safe default is Negative (admit).
+	if o.Predict([]float64{1, 2, 3}) != mlcore.Negative {
+		t.Fatal("cold model must predict negative")
+	}
+}
+
+func TestOnlineLogitScoreRange(t *testing.T) {
+	o, _ := NewOnlineLogit(1, 0.1, 0)
+	rng := stats.NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		x := []float64{rng.NormFloat64()}
+		y := mlcore.Negative
+		if x[0] > 0 {
+			y = mlcore.Positive
+		}
+		o.Update(x, y)
+		s := o.Score(x)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+	}
+}
+
+func TestOnlineLogitHandlesConstantFeature(t *testing.T) {
+	o, _ := NewOnlineLogit(2, 0.1, 0)
+	rng := stats.NewRNG(3)
+	for i := 0; i < 5000; i++ {
+		x := []float64{7, rng.NormFloat64()} // first feature constant
+		y := mlcore.Negative
+		if x[1] > 0 {
+			y = mlcore.Positive
+		}
+		o.Update(x, y)
+	}
+	if o.Predict([]float64{7, 2}) != mlcore.Positive || o.Predict([]float64{7, -2}) != mlcore.Negative {
+		t.Fatal("constant feature broke online learning")
+	}
+}
+
+func TestOnlineLogitErrors(t *testing.T) {
+	if _, err := NewOnlineLogit(0, 0.1, 0); err == nil {
+		t.Fatal("zero features must error")
+	}
+	if o, _ := NewOnlineLogit(1, 0, -1); o.lr != 0.05 || o.l2 != 1e-5 {
+		t.Fatalf("defaults not applied: lr=%v l2=%v", o.lr, o.l2)
+	}
+	if o, _ := NewOnlineLogit(1, 0.2, 0); o.l2 != 0 {
+		t.Fatal("explicit l2=0 must be honoured")
+	}
+	if o, _ := NewOnlineLogit(1, 0.2, 0.5); o.Name() != "Online Logistic" {
+		t.Fatal("name")
+	}
+}

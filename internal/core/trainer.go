@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"otacache/internal/ml/cart"
+	"otacache/internal/mlcore"
+)
+
+// TrainTree fits the paper's classifier — a CART tree with the §3.1.2
+// configuration (30-split budget) and the Table 4 cost matrix — on a
+// labelled feature dataset. v <= 0 selects v = 1 (cost-insensitive).
+func TrainTree(d *mlcore.Dataset, v float64) (*cart.Tree, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	return cart.Train(d, cart.Default(v))
+}
+
+// SampleBuffer collects training records with the paper's sampling rule
+// — at most ratePerMinute records per trace minute (§3.1.1 samples 100
+// per minute) — and a sliding retention horizon for daily retraining
+// (§4.4.3 trains on the previous 24 hours).
+type SampleBuffer struct {
+	ratePerMinute int
+	horizonSec    int64
+
+	times  []int64
+	rows   [][]float64
+	labels []int
+	head   int
+
+	curMinute int64
+	curCount  int
+}
+
+// NewSampleBuffer returns an empty buffer. ratePerMinute < 1 clamps to
+// 1; horizonSec <= 0 means 24 hours.
+func NewSampleBuffer(ratePerMinute int, horizonSec int64) *SampleBuffer {
+	if ratePerMinute < 1 {
+		ratePerMinute = 1
+	}
+	if horizonSec <= 0 {
+		horizonSec = 24 * 3600
+	}
+	return &SampleBuffer{ratePerMinute: ratePerMinute, horizonSec: horizonSec, curMinute: -1 << 62}
+}
+
+// Offer records one (feature, label) observation at the given trace
+// time if the current minute's budget allows. The row is copied.
+func (b *SampleBuffer) Offer(timeSec int64, feat []float64, label int) {
+	minute := timeSec / 60
+	if minute != b.curMinute {
+		b.curMinute = minute
+		b.curCount = 0
+	}
+	if b.curCount >= b.ratePerMinute {
+		return
+	}
+	b.curCount++
+	row := make([]float64, len(feat))
+	copy(row, feat)
+	b.times = append(b.times, timeSec)
+	b.rows = append(b.rows, row)
+	b.labels = append(b.labels, label)
+}
+
+// Len returns the number of retained samples (including any not yet
+// expired).
+func (b *SampleBuffer) Len() int { return len(b.rows) - b.head }
+
+// Dataset returns the samples within the horizon before now as a
+// training set, expiring older ones.
+func (b *SampleBuffer) Dataset(now int64, names []string) *mlcore.Dataset {
+	cutoff := now - b.horizonSec
+	for b.head < len(b.times) && b.times[b.head] < cutoff {
+		b.head++
+	}
+	if b.head > 65536 && b.head*2 > len(b.times) {
+		b.times = append([]int64(nil), b.times[b.head:]...)
+		b.rows = append([][]float64(nil), b.rows[b.head:]...)
+		b.labels = append([]int(nil), b.labels[b.head:]...)
+		b.head = 0
+	}
+	return &mlcore.Dataset{
+		X:     b.rows[b.head:],
+		Y:     b.labels[b.head:],
+		Names: names,
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"otacache/internal/mlcore"
+)
+
+func TestTrainTree(t *testing.T) {
+	d := &mlcore.Dataset{
+		X: [][]float64{{1}, {2}, {3}, {10}, {11}, {12}},
+		Y: []int{0, 0, 0, 1, 1, 1},
+	}
+	tree, err := TrainTree(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]float64{11}) != mlcore.Positive {
+		t.Fatal("tree misclassifies")
+	}
+	if _, err := TrainTree(&mlcore.Dataset{}, 2); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}
+
+func TestSampleBufferRateLimit(t *testing.T) {
+	b := NewSampleBuffer(2, 3600)
+	// 5 offers in the same minute: only 2 kept.
+	for i := 0; i < 5; i++ {
+		b.Offer(30, []float64{float64(i)}, 0)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len = %d, want 2", b.Len())
+	}
+	// Next minute gets its own budget.
+	b.Offer(61, []float64{9}, 1)
+	if b.Len() != 3 {
+		t.Fatalf("len = %d, want 3", b.Len())
+	}
+}
+
+func TestSampleBufferHorizon(t *testing.T) {
+	b := NewSampleBuffer(100, 100)
+	b.Offer(0, []float64{1}, 0)
+	b.Offer(50, []float64{2}, 1)
+	b.Offer(120, []float64{3}, 0)
+	d := b.Dataset(150, []string{"f"})
+	// Cutoff 50: sample at t=0 expired.
+	if d.Len() != 2 {
+		t.Fatalf("len = %d, want 2", d.Len())
+	}
+	if d.X[0][0] != 2 || d.Y[1] != 0 {
+		t.Fatalf("wrong retained samples: %+v", d.X)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleBufferCopiesRows(t *testing.T) {
+	b := NewSampleBuffer(10, 0)
+	row := []float64{1, 2}
+	b.Offer(0, row, 1)
+	row[0] = 99
+	d := b.Dataset(10, nil)
+	if d.X[0][0] != 1 {
+		t.Fatal("buffer must copy feature rows")
+	}
+}
+
+func TestSampleBufferDefaults(t *testing.T) {
+	b := NewSampleBuffer(0, 0)
+	if b.ratePerMinute != 1 || b.horizonSec != 24*3600 {
+		t.Fatalf("defaults: rate=%d horizon=%d", b.ratePerMinute, b.horizonSec)
+	}
+}
+
+func TestSampleBufferCompaction(t *testing.T) {
+	b := NewSampleBuffer(1000000, 60)
+	for i := int64(0); i < 200000; i++ {
+		b.Offer(i, []float64{0}, 0)
+	}
+	_ = b.Dataset(200000, nil)
+	if b.head > 1<<17 {
+		t.Fatalf("buffer never compacts: head=%d", b.head)
+	}
+	if b.Len() > 62 {
+		t.Fatalf("retained %d samples for a 60s horizon at 1/sec", b.Len())
+	}
+}

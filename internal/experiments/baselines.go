@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"otacache/internal/sim"
+)
+
+// BaselinesResult compares admission strategies over the LRU cache: the
+// traditional admit-all, the non-ML frequency doorkeeper ("admit on
+// re-access"), the paper's classifier, and the oracle. It answers the
+// natural question the paper leaves open: how much of the win needs
+// machine learning, and how much a boring frequency filter delivers.
+type BaselinesResult struct {
+	NominalGBs []float64
+	// Series[mode][capIdx]; modes keyed by sim.Mode.String().
+	HitRate   map[string][]float64
+	WriteRate map[string][]float64
+}
+
+var baselineModes = []sim.Mode{sim.ModeOriginal, sim.ModeDoorkeeper, sim.ModeProposal, sim.ModeIdeal}
+
+// Baselines runs the comparison, reusing the grid's LRU runs for the
+// three paper modes and sweeping the doorkeeper fresh.
+func (e *Env) Baselines() (*BaselinesResult, error) {
+	g, err := e.Grid()
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]sim.Config, len(e.Scale.NominalGBs))
+	for i, gb := range e.Scale.NominalGBs {
+		cfg := e.baseConfig(gb)
+		cfg.Policy = "lru"
+		cfg.Mode = sim.ModeDoorkeeper
+		cfgs[i] = cfg
+	}
+	door, err := e.Runner.Sweep(cfgs, e.Scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &BaselinesResult{
+		NominalGBs: e.Scale.NominalGBs,
+		HitRate:    map[string][]float64{},
+		WriteRate:  map[string][]float64{},
+	}
+	collect := func(mode string, rs []*sim.Result) {
+		hr := make([]float64, len(rs))
+		wr := make([]float64, len(rs))
+		for i, r := range rs {
+			hr[i] = r.FileHitRate()
+			wr[i] = r.FileWriteRate()
+		}
+		out.HitRate[mode] = hr
+		out.WriteRate[mode] = wr
+	}
+	collect("original", g.Cells["lru"][sim.ModeOriginal])
+	collect("doorkeeper", door)
+	collect("proposal", g.Cells["lru"][sim.ModeProposal])
+	collect("ideal", g.Cells["lru"][sim.ModeIdeal])
+	return out, nil
+}
+
+// String renders the comparison.
+func (b *BaselinesResult) String() string {
+	var s strings.Builder
+	s.WriteString("Admission baselines over LRU: admit-all vs frequency doorkeeper vs learned classifier vs oracle\n")
+	for _, block := range []struct {
+		title string
+		data  map[string][]float64
+	}{
+		{"file hit rate", b.HitRate},
+		{"file write rate", b.WriteRate},
+	} {
+		fmt.Fprintf(&s, "\n[%s]\n%-12s", block.title, "GB")
+		for _, gb := range b.NominalGBs {
+			fmt.Fprintf(&s, "%9.0f", gb)
+		}
+		s.WriteString("\n")
+		for _, m := range baselineModes {
+			fmt.Fprintf(&s, "%-12s", m)
+			for _, v := range block.data[m.String()] {
+				fmt.Fprintf(&s, "%8.2f%%", 100*v)
+			}
+			s.WriteString("\n")
+		}
+	}
+	s.WriteString("\n(the doorkeeper pays one bypassed miss per object to learn what the\nclassifier predicts up front; the gap between them is the value of features)\n")
+	return s.String()
+}

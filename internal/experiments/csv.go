@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"otacache/internal/sim"
+)
+
+// CSV emitters for plotting tools: every figure can be exported as a
+// long-format table (one observation per row), the shape gnuplot,
+// pandas, and R all ingest directly.
+
+// FigureCSV renders one of Figures 6-10 as CSV with columns
+// figure,policy,variant,nominal_gb,value.
+func (g *GridResult) FigureCSV(m Metric) string {
+	var b strings.Builder
+	b.WriteString("figure,policy,variant,nominal_gb,value\n")
+	emit := func(policy, variant string, res []*sim.Result) {
+		for i, r := range res {
+			fmt.Fprintf(&b, "%s,%s,%s,%g,%.6f\n", m.Figure, policy, variant, g.NominalGBs[i], m.Get(r))
+		}
+	}
+	for _, p := range GridPolicies {
+		emit(p, "belady", g.Belady)
+		emit(p, "ideal", g.Cells[p][sim.ModeIdeal])
+		emit(p, "proposal", g.Cells[p][sim.ModeProposal])
+		emit(p, "original", g.Cells[p][sim.ModeOriginal])
+	}
+	return b.String()
+}
+
+// CSV renders Figure 2 as columns policy,nominal_gb,hit_rate.
+func (f *Fig2Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("policy,nominal_gb,hit_rate\n")
+	for _, p := range Fig2Policies {
+		for i, gb := range f.NominalGBs {
+			fmt.Fprintf(&b, "%s,%g,%.6f\n", p, gb, f.Series[p][i])
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Figure 5 as columns criteria,nominal_gb,metric,value.
+func (f *Fig5Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("criteria,nominal_gb,metric,value\n")
+	for _, p := range []string{"lru", "lirs"} {
+		for i, gb := range f.NominalGBs {
+			q := f.Quality[p][i]
+			fmt.Fprintf(&b, "%s,%g,precision,%.6f\n", p, gb, q.Precision())
+			fmt.Fprintf(&b, "%s,%g,recall,%.6f\n", p, gb, q.Recall())
+			fmt.Fprintf(&b, "%s,%g,accuracy,%.6f\n", p, gb, q.Accuracy())
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Table 1 with one row per classifier.
+func (t *Table1Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("algorithm,precision,recall,accuracy,auc,train_ms,predict_ns\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%q,%.6f,%.6f,%.6f,%.6f,%.3f,%.1f\n",
+			r.Algorithm, r.Precision, r.Recall, r.Accuracy, r.AUC,
+			float64(r.TrainTime.Microseconds())/1000, r.PredictNs)
+	}
+	return b.String()
+}
+
+// CSV renders the ablation table.
+func (a *AblationResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("variant,hit_rate,write_rate,precision,accuracy,bypassed,rectified,retrains\n")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%q,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
+			r.Variant, r.HitRate, r.WriteRate, r.Precision, r.Accuracy,
+			r.Bypassed, r.Rectified, r.Retrains)
+	}
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"otacache/internal/features"
+	"otacache/internal/labeling"
+	"otacache/internal/mlcore"
+	"otacache/internal/sim"
+	"otacache/internal/stats"
+	"otacache/internal/trace"
+)
+
+// Fig2Result is the hit-rate-vs-capacity study of §2.3.
+type Fig2Result struct {
+	NominalGBs []float64
+	// Series[policy][capIdx] is the file hit rate. Policies: lru,
+	// s3lru, arc, lirs, belady (the paper's Figure 2 set).
+	Series map[string][]float64
+}
+
+// Fig2Policies is the §2.3 policy set.
+var Fig2Policies = []string{"lru", "s3lru", "arc", "lirs", "belady"}
+
+// Fig2 reproduces Figure 2 by reusing the grid's Original-mode runs.
+func (e *Env) Fig2() (*Fig2Result, error) {
+	g, err := e.Grid()
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{NominalGBs: g.NominalGBs, Series: map[string][]float64{}}
+	for _, p := range Fig2Policies {
+		vals := make([]float64, len(g.NominalGBs))
+		for i := range g.NominalGBs {
+			if p == "belady" {
+				vals[i] = g.Belady[i].FileHitRate()
+			} else {
+				vals[i] = g.Cells[p][sim.ModeOriginal][i].FileHitRate()
+			}
+		}
+		out.Series[p] = vals
+	}
+	return out, nil
+}
+
+// String renders Figure 2 as a table.
+func (f *Fig2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: Hit Rate under Different Cache Capacity (no admission control)\n")
+	fmt.Fprintf(&b, "%-8s", "GB")
+	for _, gb := range f.NominalGBs {
+		fmt.Fprintf(&b, "%9.0f", gb)
+	}
+	b.WriteString("\n")
+	for _, p := range Fig2Policies {
+		fmt.Fprintf(&b, "%-8s", p)
+		for _, v := range f.Series[p] {
+			fmt.Fprintf(&b, "%8.2f%%", 100*v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig3Result is the request-per-photo-type distribution.
+type Fig3Result struct {
+	Summary trace.Summary
+}
+
+// Fig3 reproduces Figure 3 from the trace itself.
+func (e *Env) Fig3() *Fig3Result {
+	return &Fig3Result{Summary: trace.Summarize(e.Trace)}
+}
+
+// String renders the type shares.
+func (f *Fig3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Number of Requests for Different Type of Photos\n")
+	fmt.Fprintf(&b, "%-6s %14s %10s\n", "type", "requests", "share")
+	total := float64(f.Summary.NumRequests)
+	for ty := 0; ty < trace.NumPhotoTypes; ty++ {
+		share := f.Summary.TypeRequestShare[ty]
+		fmt.Fprintf(&b, "%-6s %14.0f %9.2f%%\n", trace.PhotoType(ty), share*total, 100*share)
+	}
+	b.WriteString("(paper: l5 has the most requests, ~45%)\n")
+	return b.String()
+}
+
+// Fig5Result is the classification-system quality vs capacity for the
+// LRU and LIRS criteria (§5.2).
+type Fig5Result struct {
+	NominalGBs []float64
+	// Quality[policy][capIdx] for policy in {lru, lirs}.
+	Quality map[string][]mlcore.Confusion
+}
+
+// Fig5 reproduces Figure 5 from the grid's Proposal runs.
+func (e *Env) Fig5() (*Fig5Result, error) {
+	g, err := e.Grid()
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{NominalGBs: g.NominalGBs, Quality: map[string][]mlcore.Confusion{}}
+	for _, p := range []string{"lru", "lirs"} {
+		q := make([]mlcore.Confusion, len(g.NominalGBs))
+		for i := range g.NominalGBs {
+			q[i] = g.Cells[p][sim.ModeProposal][i].Quality.Overall
+		}
+		out.Quality[p] = q
+	}
+	return out, nil
+}
+
+// String renders precision/recall/accuracy per capacity for both
+// criteria variants.
+func (f *Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Performance of Classification System (live, on misses)\n")
+	for _, p := range []string{"lru", "lirs"} {
+		fmt.Fprintf(&b, "\n[%s criteria]\n%-10s", p, "GB")
+		for _, gb := range f.NominalGBs {
+			fmt.Fprintf(&b, "%9.0f", gb)
+		}
+		b.WriteString("\n")
+		rows := []struct {
+			name string
+			get  func(mlcore.Confusion) float64
+		}{
+			{"precision", mlcore.Confusion.Precision},
+			{"recall", mlcore.Confusion.Recall},
+			{"accuracy", mlcore.Confusion.Accuracy},
+		}
+		for _, row := range rows {
+			fmt.Fprintf(&b, "%-10s", row.name)
+			for _, q := range f.Quality[p] {
+				fmt.Fprintf(&b, "%8.2f%%", 100*row.get(q))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// CalibrationResult is the §2.2 workload-statistics check.
+type CalibrationResult struct {
+	Summary trace.Summary
+}
+
+// Calibration verifies the trace against the paper's §2.2 numbers.
+func (e *Env) Calibration() *CalibrationResult {
+	return &CalibrationResult{Summary: trace.Summarize(e.Trace)}
+}
+
+// String renders the calibration report.
+func (c *CalibrationResult) String() string {
+	return "Workload calibration vs paper §2.2\n" + c.Summary.String()
+}
+
+// FeatureSelectionResult is the §3.2.2 forward-selection walkthrough.
+type FeatureSelectionResult struct {
+	Steps    []features.SelectionStep
+	Selected []string
+	Gains    map[string]float64
+}
+
+// FeatureSelection runs information-gain forward selection on the
+// Table 1 dataset.
+func (e *Env) FeatureSelection() (*FeatureSelectionResult, error) {
+	d, err := e.Table1Dataset()
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(e.Scale.Seed ^ 0xfea75e1)
+	cols, steps, err := features.SelectForward(d, rng, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &FeatureSelectionResult{Steps: steps, Gains: map[string]float64{}}
+	for _, c := range cols {
+		res.Selected = append(res.Selected, d.Names[c])
+	}
+	gd := features.ForGainDiscretized(d, 24, 64)
+	for c, g := range mlcore.InfoGainAll(gd) {
+		res.Gains[d.Names[c]] = g
+	}
+	return res, nil
+}
+
+// String renders the per-round selection log and final set.
+func (f *FeatureSelectionResult) String() string {
+	var b strings.Builder
+	b.WriteString("Feature selection (§3.2.2): greedy information-gain forward selection\n\n")
+	fmt.Fprintf(&b, "%-18s %10s %10s %6s\n", "feature", "info gain", "cv score", "kept")
+	for _, s := range f.Steps {
+		fmt.Fprintf(&b, "%-18s %10.4f %10.4f %6v\n", s.Name, s.Gain, s.Score, s.Kept)
+	}
+	fmt.Fprintf(&b, "\nselected: %s\n", strings.Join(f.Selected, ", "))
+	b.WriteString("(paper selects: owner_avg_views, recency, photo_age, access_time, photo_type)\n")
+	return b.String()
+}
+
+// CriteriaTableResult records the solved M per capacity (the §4.3
+// model in action).
+type CriteriaTableResult struct {
+	NominalGBs []float64
+	LRU        []labeling.Criteria
+	LIRS       []labeling.Criteria
+}
+
+// CriteriaTable solves the one-time criteria per capacity point.
+func (e *Env) CriteriaTable() *CriteriaTableResult {
+	out := &CriteriaTableResult{NominalGBs: e.Scale.NominalGBs}
+	for _, gb := range e.Scale.NominalGBs {
+		cfg := e.baseConfig(gb)
+		cfg.Policy = "lru"
+		cfg.MIterations = 3
+		out.LRU = append(out.LRU, e.Runner.Criteria(cfg))
+		cfg.Policy = "lirs"
+		out.LIRS = append(out.LIRS, e.Runner.Criteria(cfg))
+	}
+	return out
+}
+
+// String renders the criteria table.
+func (c *CriteriaTableResult) String() string {
+	var b strings.Builder
+	b.WriteString("One-time-access criteria (§4.3): M per capacity\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %8s %8s\n", "GB", "M(LRU)", "M(LIRS)", "h", "p")
+	for i, gb := range c.NominalGBs {
+		fmt.Fprintf(&b, "%-8.0f %12d %12d %8.3f %8.3f\n",
+			gb, c.LRU[i].M, c.LIRS[i].M, c.LRU[i].HitRate, c.LRU[i].OneTimeP)
+	}
+	return b.String()
+}

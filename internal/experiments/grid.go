@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"otacache/internal/sim"
+)
+
+// GridPolicies are the five online policies of Figures 6–10, in the
+// paper's panel order.
+var GridPolicies = []string{"lru", "fifo", "s3lru", "arc", "lirs"}
+
+// GridResult holds the (policy × mode × capacity) sweep all of Figures
+// 6–10 are derived from, plus the per-capacity Belady runs.
+type GridResult struct {
+	NominalGBs []float64
+	// Cells[policy][mode][capIdx].
+	Cells map[string]map[sim.Mode][]*sim.Result
+	// Belady[capIdx] is the offline-optimal run (policy-independent).
+	Belady []*sim.Result
+}
+
+// Grid runs (or returns the cached) full sweep.
+func (e *Env) Grid() (*GridResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.grid != nil {
+		return e.grid, nil
+	}
+	modes := []sim.Mode{sim.ModeOriginal, sim.ModeProposal, sim.ModeIdeal}
+	var cfgs []sim.Config
+	for _, gb := range e.Scale.NominalGBs {
+		base := e.baseConfig(gb)
+		for _, p := range GridPolicies {
+			for _, m := range modes {
+				cfg := base
+				cfg.Policy = p
+				cfg.Mode = m
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		bel := base
+		bel.Policy = "belady"
+		bel.Mode = sim.ModeOriginal
+		cfgs = append(cfgs, bel)
+	}
+	results, err := e.Runner.Sweep(cfgs, e.Scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	g := &GridResult{
+		NominalGBs: e.Scale.NominalGBs,
+		Cells:      make(map[string]map[sim.Mode][]*sim.Result),
+		Belady:     make([]*sim.Result, len(e.Scale.NominalGBs)),
+	}
+	for _, p := range GridPolicies {
+		g.Cells[p] = make(map[sim.Mode][]*sim.Result)
+		for _, m := range modes {
+			g.Cells[p][m] = make([]*sim.Result, len(e.Scale.NominalGBs))
+		}
+	}
+	i := 0
+	for capIdx := range e.Scale.NominalGBs {
+		for _, p := range GridPolicies {
+			for _, m := range modes {
+				g.Cells[p][m][capIdx] = results[i]
+				i++
+			}
+		}
+		g.Belady[capIdx] = results[i]
+		i++
+	}
+	e.grid = g
+	return g, nil
+}
+
+// Metric extracts one scalar from a result, selecting which figure a
+// rendering reproduces.
+type Metric struct {
+	// Name is the metric's display name.
+	Name string
+	// Figure is the paper figure it reproduces.
+	Figure string
+	// Get extracts the value.
+	Get func(*sim.Result) float64
+	// Percent renders values as percentages when true.
+	Percent bool
+}
+
+// Metrics for Figures 6-10, in figure order.
+func FigureMetrics() []Metric {
+	return []Metric{
+		{Name: "file hit rate", Figure: "Figure 6", Get: func(r *sim.Result) float64 { return r.FileHitRate() }, Percent: true},
+		{Name: "byte hit rate", Figure: "Figure 7", Get: func(r *sim.Result) float64 { return r.ByteHitRate() }, Percent: true},
+		{Name: "file write rate", Figure: "Figure 8", Get: func(r *sim.Result) float64 { return r.FileWriteRate() }, Percent: true},
+		{Name: "byte write rate", Figure: "Figure 9", Get: func(r *sim.Result) float64 { return r.ByteWriteRate() }, Percent: true},
+		{Name: "response time (us)", Figure: "Figure 10", Get: func(r *sim.Result) float64 { return r.MeanLatencyUs }},
+	}
+}
+
+// RenderFigure renders one figure's five panels (one per policy) as
+// text tables of metric-vs-capacity for the four curve families.
+func (g *GridResult) RenderFigure(m Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s per cache capacity (nominal GB)\n", m.Figure, m.Name)
+	for _, p := range GridPolicies {
+		fmt.Fprintf(&b, "\n[%s]\n%-10s", p, "GB")
+		for _, gb := range g.NominalGBs {
+			fmt.Fprintf(&b, "%9.0f", gb)
+		}
+		b.WriteString("\n")
+		rows := []struct {
+			label string
+			res   []*sim.Result
+		}{
+			{"belady", g.Belady},
+			{"ideal", g.Cells[p][sim.ModeIdeal]},
+			{"proposal", g.Cells[p][sim.ModeProposal]},
+			{"original", g.Cells[p][sim.ModeOriginal]},
+		}
+		for _, row := range rows {
+			fmt.Fprintf(&b, "%-10s", row.label)
+			for _, r := range row.res {
+				v := m.Get(r)
+				if m.Percent {
+					fmt.Fprintf(&b, "%8.2f%%", 100*v)
+				} else {
+					fmt.Fprintf(&b, "%9.1f", v)
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Improvement summarizes proposal-vs-original for one metric and
+// policy: the (min, max) relative change across capacities, in
+// percentage points for rate metrics and percent for latency.
+func (g *GridResult) Improvement(policy string, m Metric) (lo, hi float64) {
+	orig := g.Cells[policy][sim.ModeOriginal]
+	prop := g.Cells[policy][sim.ModeProposal]
+	first := true
+	for i := range orig {
+		var delta float64
+		if m.Percent {
+			delta = 100 * (m.Get(prop[i]) - m.Get(orig[i])) // percentage points
+		} else {
+			delta = 100 * (m.Get(prop[i]) - m.Get(orig[i])) / m.Get(orig[i]) // percent
+		}
+		if first {
+			lo, hi = delta, delta
+			first = false
+			continue
+		}
+		if delta < lo {
+			lo = delta
+		}
+		if delta > hi {
+			hi = delta
+		}
+	}
+	return
+}
+
+// WriteReduction returns proposal-vs-original file-write reduction for
+// a policy across capacities, as fractions in [0,1].
+func (g *GridResult) WriteReduction(policy string) (lo, hi float64) {
+	orig := g.Cells[policy][sim.ModeOriginal]
+	prop := g.Cells[policy][sim.ModeProposal]
+	first := true
+	for i := range orig {
+		red := 1 - float64(prop[i].FileWrites)/float64(orig[i].FileWrites)
+		if first {
+			lo, hi = red, red
+			first = false
+			continue
+		}
+		if red < lo {
+			lo = red
+		}
+		if red > hi {
+			hi = red
+		}
+	}
+	return
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"otacache/internal/sim"
+)
+
+// ThresholdRow is one operating point of the admission-threshold sweep.
+type ThresholdRow struct {
+	// Threshold is the score cut (0 = the tree's own decision rule with
+	// the cost matrix).
+	Threshold float64
+	HitRate   float64
+	WriteRate float64
+	Precision float64
+	Recall    float64
+	// WastedWrites counts truly one-time objects that still reached
+	// flash (classifier false negatives).
+	WastedWrites int64
+}
+
+// ThresholdResult sweeps the score threshold of §ClassifierAdmission —
+// a continuously tunable alternative to the discrete cost matrix of
+// Table 4, selecting operating points along the classifier's ROC curve.
+type ThresholdResult struct {
+	NominalGB float64
+	Rows      []ThresholdRow
+}
+
+// ThresholdSweep runs the LRU proposal at a mid-sweep capacity across
+// admission thresholds.
+func (e *Env) ThresholdSweep() (*ThresholdResult, error) {
+	gb := e.Scale.NominalGBs[len(e.Scale.NominalGBs)/2]
+	thresholds := []float64{0, 0.3, 0.5, 0.7, 0.85, 0.95}
+	cfgs := make([]sim.Config, len(thresholds))
+	for i, th := range thresholds {
+		cfg := e.baseConfig(gb)
+		cfg.Policy = "lru"
+		cfg.Mode = sim.ModeProposal
+		cfg.CostV = 1 // isolate the threshold's effect from the cost matrix
+		cfg.ScoreThreshold = th
+		cfgs[i] = cfg
+	}
+	results, err := e.Runner.Sweep(cfgs, e.Scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &ThresholdResult{NominalGB: gb}
+	for i, th := range thresholds {
+		r := results[i]
+		q := r.Quality.Overall
+		out.Rows = append(out.Rows, ThresholdRow{
+			Threshold:    th,
+			HitRate:      r.FileHitRate(),
+			WriteRate:    r.FileWriteRate(),
+			Precision:    q.Precision(),
+			Recall:       q.Recall(),
+			WastedWrites: r.WastedWrites,
+		})
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (r *ThresholdResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Admission score-threshold sweep (LRU proposal at %.0f nominal GB, v=1)\n", r.NominalGB)
+	b.WriteString("threshold 0 = the tree's own decision rule\n\n")
+	fmt.Fprintf(&b, "%-10s %8s %9s %10s %8s %13s\n", "threshold", "hit", "writes", "precision", "recall", "wasted writes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10.2f %7.2f%% %8.2f%% %9.2f%% %7.2f%% %13d\n",
+			row.Threshold, 100*row.HitRate, 100*row.WriteRate,
+			100*row.Precision, 100*row.Recall, row.WastedWrites)
+	}
+	b.WriteString("\n(raising the threshold trades write savings for admission safety,\nmoving along the classifier's ROC curve)\n")
+	return b.String()
+}

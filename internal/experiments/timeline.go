@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/sim"
+)
+
+// TimelineResult is the §4.4.3 retraining study: per-day classification
+// quality for the daily-retrained model against a model frozen after
+// the day-0 bootstrap. The paper observed that "classifying performance
+// drops down significantly over time" without retraining.
+type TimelineResult struct {
+	NominalGB float64
+	Retrained []mlcore.Confusion
+	Frozen    []mlcore.Confusion
+	Online    []mlcore.Confusion
+}
+
+// RetrainTimeline runs the three training regimes at a mid-sweep
+// capacity over the LRU policy.
+func (e *Env) RetrainTimeline() (*TimelineResult, error) {
+	gb := e.Scale.NominalGBs[len(e.Scale.NominalGBs)/2]
+	base := e.baseConfig(gb)
+	base.Policy = "lru"
+	base.Mode = sim.ModeProposal
+
+	frozen := base
+	frozen.RetrainHour = -1
+	online := base
+	online.OnlineLearning = true
+
+	results, err := e.Runner.Sweep([]sim.Config{base, frozen, online}, e.Scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &TimelineResult{
+		NominalGB: gb,
+		Retrained: trimEmptyDays(results[0].Quality.Daily),
+		Frozen:    trimEmptyDays(results[1].Quality.Daily),
+		Online:    trimEmptyDays(results[2].Quality.Daily),
+	}, nil
+}
+
+func trimEmptyDays(days []mlcore.Confusion) []mlcore.Confusion {
+	out := days
+	for len(out) > 0 && out[len(out)-1].Total() == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// MeanAccuracyAfterDay pools accuracy from the given day onward.
+func MeanAccuracyAfterDay(days []mlcore.Confusion, from int) float64 {
+	var pooled mlcore.Confusion
+	for d := from; d < len(days); d++ {
+		pooled.TP += days[d].TP
+		pooled.FP += days[d].FP
+		pooled.TN += days[d].TN
+		pooled.FN += days[d].FN
+	}
+	return pooled.Accuracy()
+}
+
+// String renders the per-day accuracy series side by side.
+func (r *TimelineResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Retraining study (§4.4.3): daily classification accuracy, LRU proposal at %.0f nominal GB\n\n", r.NominalGB)
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s\n", "day", "retrained", "frozen", "online")
+	n := len(r.Retrained)
+	if len(r.Frozen) > n {
+		n = len(r.Frozen)
+	}
+	for d := 0; d < n; d++ {
+		get := func(days []mlcore.Confusion) string {
+			if d >= len(days) || days[d].Total() == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f%%", 100*days[d].Accuracy())
+		}
+		fmt.Fprintf(&b, "%-6d %12s %12s %12s\n", d, get(r.Retrained), get(r.Frozen), get(r.Online))
+	}
+	fmt.Fprintf(&b, "\npost-day-1 mean: retrained %.2f%%  frozen %.2f%%  online %.2f%%\n",
+		100*MeanAccuracyAfterDay(r.Retrained, 2),
+		100*MeanAccuracyAfterDay(r.Frozen, 2),
+		100*MeanAccuracyAfterDay(r.Online, 2))
+	b.WriteString("(paper: accuracy decays without retraining; the daily offline refresh restores it)\n")
+	return b.String()
+}

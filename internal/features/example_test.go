@@ -1,0 +1,30 @@
+package features_test
+
+import (
+	"fmt"
+
+	"otacache/internal/features"
+	"otacache/internal/trace"
+)
+
+// Example extracts the paper's §3.2.1 features for the first request of
+// a synthetic trace.
+func Example() {
+	tr := trace.MustGenerate(trace.DefaultConfig(1, 1000))
+	ex := features.NewExtractor(tr)
+	v := ex.Next(0)
+	names := features.Names()
+
+	fmt.Println("features per access:", len(v))
+	fmt.Println("first feature:", names[0])
+	// The paper's selected five are a subset of the nine.
+	fmt.Println("paper-selected count:", len(features.PaperSelected()))
+	// A never-before-seen photo's recency falls back to its age.
+	fmt.Println("recency == age on first access:",
+		v[features.FRecency] == v[features.FPhotoAge])
+	// Output:
+	// features per access: 9
+	// first feature: active_friends
+	// paper-selected count: 5
+	// recency == age on first access: true
+}

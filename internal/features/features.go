@@ -1,0 +1,150 @@
+// Package features implements the paper's feature pipeline (§3.2): the
+// nine per-access features, the discretized processing of §3.2.3, and
+// the information-gain forward feature selection of §3.2.2.
+package features
+
+import (
+	"fmt"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/trace"
+)
+
+// Feature column indices, in the order produced by the Extractor.
+const (
+	// FActiveFriends is the owner's recently interacting friend count.
+	FActiveFriends = iota
+	// FOwnerAvgViews is the owner's average views per photo.
+	FOwnerAvgViews
+	// FPhotoType is the discretized photo type, 1..12 (§3.2.3).
+	FPhotoType
+	// FPhotoSize is the photo size in KB.
+	FPhotoSize
+	// FPhotoAge is the time since upload, in 10-minute units (§3.2.3).
+	FPhotoAge
+	// FRecency is the time since the photo's previous access (or since
+	// upload if never accessed), in 10-minute units (§3.2.3).
+	FRecency
+	// FTerminal is the device class: 0 = PC, 1 = mobile (§3.2.3).
+	FTerminal
+	// FRecentRequests is the system-wide request count in the last
+	// minute, a proxy for user-group activity (§3.2.1).
+	FRecentRequests
+	// FAccessHour is the hour of day, 0..23 (§3.2.3).
+	FAccessHour
+
+	// NumFeatures is the full feature count.
+	NumFeatures = 9
+)
+
+var names = [NumFeatures]string{
+	"active_friends", "owner_avg_views", "photo_type", "photo_size_kb",
+	"photo_age_10min", "recency_10min", "terminal", "recent_requests",
+	"access_hour",
+}
+
+// Names returns the feature column names in extractor order.
+func Names() []string {
+	out := make([]string, NumFeatures)
+	copy(out, names[:])
+	return out
+}
+
+// PaperSelected returns the columns of the feature set the paper's
+// forward selection converges to (§3.2.2): average views of the owner's
+// photos, access recency, photo age, access time, and photo type.
+func PaperSelected() []int {
+	return []int{FOwnerAvgViews, FRecency, FPhotoAge, FAccessHour, FPhotoType}
+}
+
+// Extractor computes per-request feature vectors in stream order. It
+// carries the per-photo last-access state and the sliding one-minute
+// request window, so requests must be consumed strictly sequentially.
+type Extractor struct {
+	tr         *trace.Trace
+	lastAccess []int64 // last access time per photo; -1 = never
+	cursor     int
+	windowLo   int // first request index within the trailing minute
+}
+
+// NewExtractor returns an extractor positioned before request 0.
+func NewExtractor(tr *trace.Trace) *Extractor {
+	e := &Extractor{
+		tr:         tr,
+		lastAccess: make([]int64, len(tr.Photos)),
+	}
+	for i := range e.lastAccess {
+		e.lastAccess[i] = -1
+	}
+	return e
+}
+
+// Next returns the feature vector of request i, which must be exactly
+// the next unconsumed request, then advances the stream state. The
+// returned slice is freshly allocated.
+func (e *Extractor) Next(i int) []float64 {
+	v := make([]float64, NumFeatures)
+	e.NextInto(i, v)
+	return v
+}
+
+// NextInto is Next without the allocation; v must have NumFeatures
+// elements.
+func (e *Extractor) NextInto(i int, v []float64) {
+	if i != e.cursor {
+		panic(fmt.Sprintf("features: requests must be consumed in order (got %d, want %d)", i, e.cursor))
+	}
+	r := &e.tr.Requests[i]
+	p := &e.tr.Photos[r.Photo]
+	o := &e.tr.Owners[p.Owner]
+
+	// Slide the one-minute window forward.
+	for e.windowLo < i && e.tr.Requests[e.windowLo].Time <= r.Time-60 {
+		e.windowLo++
+	}
+
+	v[FActiveFriends] = float64(o.ActiveFriends)
+	v[FOwnerAvgViews] = o.AvgViews
+	v[FPhotoType] = float64(p.Type.Discretized())
+	v[FPhotoSize] = float64(p.Size) / 1024
+	v[FPhotoAge] = float64(r.Time-p.Upload) / 600
+	last := e.lastAccess[r.Photo]
+	if last < 0 {
+		v[FRecency] = float64(r.Time-p.Upload) / 600
+	} else {
+		v[FRecency] = float64(r.Time-last) / 600
+	}
+	v[FTerminal] = float64(r.Terminal)
+	v[FRecentRequests] = float64(i - e.windowLo)
+	v[FAccessHour] = float64(trace.HourOfDay(r.Time))
+
+	e.lastAccess[r.Photo] = r.Time
+	e.cursor++
+}
+
+// Cursor returns the index of the next unconsumed request.
+func (e *Extractor) Cursor() int { return e.cursor }
+
+// Dataset extracts feature vectors for the whole trace and pairs them
+// with the provided per-request labels, keeping only requests where
+// keep(i) is true (keep == nil keeps everything). labels must have one
+// entry per request.
+func Dataset(tr *trace.Trace, labels []int, keep func(i int) bool) (*mlcore.Dataset, error) {
+	if len(labels) != len(tr.Requests) {
+		return nil, fmt.Errorf("features: %d labels for %d requests", len(labels), len(tr.Requests))
+	}
+	e := NewExtractor(tr)
+	d := &mlcore.Dataset{Names: Names()}
+	var buf [NumFeatures]float64
+	for i := range tr.Requests {
+		e.NextInto(i, buf[:])
+		if keep != nil && !keep(i) {
+			continue
+		}
+		row := make([]float64, NumFeatures)
+		copy(row, buf[:])
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, labels[i])
+	}
+	return d, nil
+}

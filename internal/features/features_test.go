@@ -1,0 +1,232 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/trace"
+)
+
+// microTrace: 2 photos, 1 owner, controlled times.
+func microTrace() *trace.Trace {
+	return &trace.Trace{
+		Photos: []trace.Photo{
+			{Owner: 0, Type: trace.TypeL5, Size: 64 * 1024, Upload: -600},
+			{Owner: 0, Type: trace.TypeA0, Size: 4 * 1024, Upload: 0},
+		},
+		Owners: []trace.Owner{
+			{ActiveFriends: 7, AvgViews: 3.5, NumPhotos: 2},
+		},
+		Requests: []trace.Request{
+			{Time: 0, Photo: 0, Terminal: trace.TerminalPC},
+			{Time: 30, Photo: 1, Terminal: trace.TerminalMobile},
+			{Time: 1200, Photo: 0, Terminal: trace.TerminalMobile},
+		},
+		Horizon: 86400,
+	}
+}
+
+func TestExtractorVectors(t *testing.T) {
+	tr := microTrace()
+	e := NewExtractor(tr)
+
+	v0 := e.Next(0)
+	if v0[FActiveFriends] != 7 || v0[FOwnerAvgViews] != 3.5 {
+		t.Fatalf("owner features wrong: %v", v0)
+	}
+	if v0[FPhotoType] != 12 { // l5 discretizes to 12
+		t.Fatalf("type = %v, want 12", v0[FPhotoType])
+	}
+	if v0[FPhotoSize] != 64 {
+		t.Fatalf("size = %v KB, want 64", v0[FPhotoSize])
+	}
+	if v0[FPhotoAge] != 1 { // 600s = one 10-minute unit
+		t.Fatalf("age = %v, want 1", v0[FPhotoAge])
+	}
+	if v0[FRecency] != 1 { // never accessed: falls back to age
+		t.Fatalf("recency = %v, want 1 (upload fallback)", v0[FRecency])
+	}
+	if v0[FTerminal] != 0 {
+		t.Fatalf("terminal = %v", v0[FTerminal])
+	}
+	if v0[FRecentRequests] != 0 {
+		t.Fatalf("recent requests = %v, want 0", v0[FRecentRequests])
+	}
+	if v0[FAccessHour] != 0 {
+		t.Fatalf("hour = %v", v0[FAccessHour])
+	}
+
+	v1 := e.Next(1)
+	if v1[FPhotoType] != 1 { // a0 discretizes to 1
+		t.Fatalf("type = %v, want 1", v1[FPhotoType])
+	}
+	if v1[FTerminal] != 1 {
+		t.Fatalf("terminal = %v", v1[FTerminal])
+	}
+	if v1[FRecentRequests] != 1 { // request 0 was 30s ago
+		t.Fatalf("recent requests = %v, want 1", v1[FRecentRequests])
+	}
+
+	v2 := e.Next(2)
+	if v2[FRecency] != 2 { // 1200s since photo 0's last access
+		t.Fatalf("recency = %v, want 2", v2[FRecency])
+	}
+	if v2[FPhotoAge] != 3 { // (1200 - (-600))/600
+		t.Fatalf("age = %v, want 3", v2[FPhotoAge])
+	}
+	if v2[FRecentRequests] != 0 { // both prior requests > 60s ago
+		t.Fatalf("recent requests = %v, want 0", v2[FRecentRequests])
+	}
+}
+
+func TestExtractorOrderEnforced(t *testing.T) {
+	e := NewExtractor(microTrace())
+	e.Next(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Next must panic")
+		}
+	}()
+	e.Next(2)
+}
+
+func TestSlidingWindowCount(t *testing.T) {
+	// 100 requests 1s apart: the window must hold ~60.
+	tr := &trace.Trace{
+		Photos:  []trace.Photo{{Size: 1024}},
+		Owners:  []trace.Owner{{}},
+		Horizon: 86400,
+	}
+	for i := 0; i < 100; i++ {
+		tr.Requests = append(tr.Requests, trace.Request{Time: int64(i), Photo: 0})
+	}
+	e := NewExtractor(tr)
+	var last float64
+	for i := 0; i < 100; i++ {
+		v := e.Next(i)
+		last = v[FRecentRequests]
+		if i < 60 && last != float64(i) {
+			t.Fatalf("request %d: window = %v, want %d", i, last, i)
+		}
+	}
+	if last != 59 { // requests within (t-60, t), i.e. 59 predecessors + self excluded
+		t.Fatalf("steady-state window = %v, want 59", last)
+	}
+}
+
+func TestDatasetBuilding(t *testing.T) {
+	tr := microTrace()
+	labels := []int{1, 1, 0}
+	d, err := Dataset(tr, labels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.NumFeatures() != NumFeatures {
+		t.Fatalf("dataset shape %dx%d", d.Len(), d.NumFeatures())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Filtered variant.
+	d2, err := Dataset(tr, labels, func(i int) bool { return i != 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 2 || d2.Y[1] != 0 {
+		t.Fatalf("filtered dataset wrong: %+v", d2.Y)
+	}
+	// The filter must not corrupt stream state: recency of request 2 is
+	// still measured from request 0.
+	if d2.X[1][FRecency] != 2 {
+		t.Fatalf("recency after filtering = %v, want 2", d2.X[1][FRecency])
+	}
+	if _, err := Dataset(tr, []int{1}, nil); err == nil {
+		t.Fatal("label length mismatch must error")
+	}
+}
+
+func TestNames(t *testing.T) {
+	n := Names()
+	if len(n) != NumFeatures {
+		t.Fatalf("%d names", len(n))
+	}
+	n[0] = "mutated"
+	if Names()[0] == "mutated" {
+		t.Fatal("Names must return a copy")
+	}
+	sel := PaperSelected()
+	if len(sel) != 5 {
+		t.Fatalf("paper selects 5 features, got %d", len(sel))
+	}
+}
+
+func TestForGainDiscretized(t *testing.T) {
+	d := &mlcore.Dataset{}
+	for i := 0; i < 500; i++ {
+		d.X = append(d.X, []float64{float64(i), float64(i % 3)})
+		d.Y = append(d.Y, i%2)
+	}
+	g := ForGainDiscretized(d, 8, 16)
+	distinct := map[float64]bool{}
+	for _, row := range g.X {
+		distinct[row[0]] = true
+	}
+	if len(distinct) > 8 {
+		t.Fatalf("high-cardinality column kept %d distinct values", len(distinct))
+	}
+	// Low-cardinality column passes through unchanged.
+	for i, row := range g.X {
+		if row[1] != float64(i%3) {
+			t.Fatal("low-cardinality column was modified")
+		}
+	}
+}
+
+func TestSelectForwardFindsSignal(t *testing.T) {
+	// Feature 0 is highly predictive, 1 is weaker, 2 is pure noise.
+	d := &mlcore.Dataset{Names: []string{"strong", "weak", "noise"}}
+	rngState := uint64(1)
+	rnd := func() float64 {
+		rngState = rngState*6364136223846793005 + 1
+		return float64(rngState>>40) / float64(1<<24)
+	}
+	for i := 0; i < 4000; i++ {
+		y := 0
+		if rnd() < 0.4 {
+			y = 1
+		}
+		strong := float64(y)
+		if rnd() < 0.1 {
+			strong = 1 - strong
+		}
+		weak := float64(y)
+		if rnd() < 0.35 {
+			weak = 1 - weak
+		}
+		d.X = append(d.X, []float64{strong, weak, math.Floor(rnd() * 8)})
+		d.Y = append(d.Y, y)
+	}
+	rng := newRNG(42)
+	cols, steps, err := SelectForward(d, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) == 0 || cols[0] != 0 {
+		t.Fatalf("first selected column = %v, want strong (0); steps: %+v", cols, steps)
+	}
+	for _, c := range cols {
+		if c == 2 {
+			t.Fatalf("noise feature selected: %v", cols)
+		}
+	}
+	if len(steps) == 0 || !steps[0].Kept {
+		t.Fatal("first step must be kept")
+	}
+}
+
+func TestSelectForwardErrors(t *testing.T) {
+	if _, _, err := SelectForward(&mlcore.Dataset{}, newRNG(1), nil); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}

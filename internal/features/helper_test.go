@@ -1,0 +1,5 @@
+package features
+
+import "otacache/internal/stats"
+
+func newRNG(seed uint64) *stats.RNG { return stats.NewRNG(seed) }

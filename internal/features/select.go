@@ -1,0 +1,127 @@
+package features
+
+import (
+	"fmt"
+
+	"otacache/internal/ml/cart"
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+// SelectionStep records one round of forward selection.
+type SelectionStep struct {
+	// Feature is the column added this round.
+	Feature int
+	// Name is its display name.
+	Name string
+	// Gain is the information gain that ranked it first this round.
+	Gain float64
+	// Score is the wrapper evaluation of the goal set including it.
+	Score float64
+	// Kept reports whether the feature improved the score and stayed.
+	Kept bool
+}
+
+// ForGainDiscretized returns a copy of the dataset with high-cardinality
+// continuous columns (sizes, ages, recencies, view counts) quantile-
+// binned so information gain does not degenerate into a per-value
+// lookup. Columns with at most maxCard distinct values pass through.
+func ForGainDiscretized(d *mlcore.Dataset, bins, maxCard int) *mlcore.Dataset {
+	out := &mlcore.Dataset{Y: d.Y, W: d.W, Names: d.Names, X: make([][]float64, d.Len())}
+	for i := range out.X {
+		out.X[i] = make([]float64, d.NumFeatures())
+	}
+	col := make([]float64, d.Len())
+	for c := 0; c < d.NumFeatures(); c++ {
+		distinct := make(map[float64]struct{})
+		for i, row := range d.X {
+			col[i] = row[c]
+			if len(distinct) <= maxCard {
+				distinct[row[c]] = struct{}{}
+			}
+		}
+		if len(distinct) <= maxCard {
+			for i := range col {
+				out.X[i][c] = col[i]
+			}
+			continue
+		}
+		z := mlcore.NewQuantile(col, bins)
+		for i := range col {
+			out.X[i][c] = float64(z.Bin(col[i]))
+		}
+	}
+	return out
+}
+
+// SelectForward runs the paper's §3.2.2 procedure: rank the remaining
+// features by information gain, move the best into the goal set, keep
+// it if the goal set scores better than before (wrapper evaluation),
+// and stop at the first non-improvement.
+//
+// eval scores a candidate feature subset; nil uses DefaultEval (a CART
+// tree validated on a stratified holdout). Returns the selected columns
+// in selection order plus the per-round log.
+func SelectForward(d *mlcore.Dataset, rng *stats.RNG, eval func(sub *mlcore.Dataset) float64) ([]int, []SelectionStep, error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if d.Len() == 0 {
+		return nil, nil, fmt.Errorf("features: empty dataset")
+	}
+	if eval == nil {
+		eval = DefaultEval(rng.Split())
+	}
+	gainD := ForGainDiscretized(d, 24, 64)
+
+	remaining := make(map[int]bool, d.NumFeatures())
+	for c := 0; c < d.NumFeatures(); c++ {
+		remaining[c] = true
+	}
+	var goal []int
+	var steps []SelectionStep
+	bestScore := 0.0
+	for len(remaining) > 0 {
+		// Rank remaining features by information gain.
+		bestC, bestGain := -1, -1.0
+		for c := range remaining {
+			if g := mlcore.InfoGain(gainD, c); g > bestGain {
+				bestGain, bestC = g, c
+			}
+		}
+		candidate := append(append([]int{}, goal...), bestC)
+		score := eval(d.SelectFeatures(candidate))
+		step := SelectionStep{Feature: bestC, Gain: bestGain, Score: score}
+		if d.Names != nil {
+			step.Name = d.Names[bestC]
+		}
+		if score > bestScore {
+			step.Kept = true
+			goal = candidate
+			bestScore = score
+			delete(remaining, bestC)
+			steps = append(steps, step)
+			continue
+		}
+		steps = append(steps, step)
+		break // first non-improvement stops the procedure (§3.2.2)
+	}
+	return goal, steps, nil
+}
+
+// DefaultEval returns the wrapper evaluator used by SelectForward: it
+// trains the paper's CART configuration on 70% of the data and returns
+// accuracy on the stratified 30% holdout.
+func DefaultEval(rng *stats.RNG) func(sub *mlcore.Dataset) float64 {
+	return func(sub *mlcore.Dataset) float64 {
+		train, test := sub.StratifiedSplit(rng.Split(), 0.3)
+		if train.Len() == 0 || test.Len() == 0 {
+			return 0
+		}
+		tree, err := cart.Train(train, cart.Default(1))
+		if err != nil {
+			return 0
+		}
+		return mlcore.Evaluate(tree, test).Confusion.Accuracy()
+	}
+}

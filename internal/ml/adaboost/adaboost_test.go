@@ -1,0 +1,106 @@
+package adaboost
+
+import (
+	"testing"
+
+	"otacache/internal/ml/cart"
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+// rings is a radially separable problem that a depth-2 stump cannot
+// solve alone but boosted stumps can approximate.
+func rings(n int, seed uint64) *mlcore.Dataset {
+	rng := stats.NewRNG(seed)
+	d := &mlcore.Dataset{}
+	for i := 0; i < n; i++ {
+		x := 2*rng.Float64() - 1
+		y := 2*rng.Float64() - 1
+		label := mlcore.Negative
+		if x*x+y*y < 0.4 {
+			label = mlcore.Positive
+		}
+		d.X = append(d.X, []float64{x, y})
+		d.Y = append(d.Y, label)
+	}
+	return d
+}
+
+func TestBoostBeatsSingleStump(t *testing.T) {
+	train := rings(3000, 1)
+	test := rings(800, 2)
+
+	stump, err := cart.Train(train, cart.Config{MaxSplits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stumpAcc := mlcore.Evaluate(stump, test).Confusion.Accuracy()
+
+	boosted, err := Train(train, Config{Rounds: 30, BaseDepth: 2, BaseSplits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boostAcc := mlcore.Evaluate(boosted, test).Confusion.Accuracy()
+	if boostAcc <= stumpAcc+0.03 {
+		t.Fatalf("boosting gained too little: stump %v vs boosted %v", stumpAcc, boostAcc)
+	}
+	if boostAcc < 0.9 {
+		t.Fatalf("boosted accuracy = %v", boostAcc)
+	}
+	if boosted.Name() != "AdaBoost" {
+		t.Fatal("name")
+	}
+}
+
+func TestBoostEarlyStopOnPerfectLearner(t *testing.T) {
+	// Linearly separable: the first tree is perfect, boosting stops.
+	d := &mlcore.Dataset{}
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		y := mlcore.Negative
+		if x >= 50 {
+			y = mlcore.Positive
+		}
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, y)
+	}
+	m, err := Train(d, Config{Rounds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1 (early stop)", m.Rounds())
+	}
+	res := mlcore.Evaluate(m, d)
+	if res.Confusion.Accuracy() != 1 {
+		t.Fatalf("accuracy = %v", res.Confusion.Accuracy())
+	}
+}
+
+func TestBoostRoundsBounded(t *testing.T) {
+	m, err := Train(rings(500, 3), Config{Rounds: 7, BaseDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds() > 7 {
+		t.Fatalf("rounds = %d exceeds cap", m.Rounds())
+	}
+}
+
+func TestBoostErrors(t *testing.T) {
+	if _, err := Train(&mlcore.Dataset{}, Config{}); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}
+
+func TestBoostScoreOrdersConfidence(t *testing.T) {
+	m, err := Train(rings(2000, 4), Config{Rounds: 20, BaseDepth: 2, BaseSplits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := m.Score([]float64{0, 0}) // deep inside positive region
+	edge := m.Score([]float64{1, 1})   // deep negative
+	if center <= edge {
+		t.Fatalf("score ordering wrong: center %v <= corner %v", center, edge)
+	}
+}

@@ -1,0 +1,104 @@
+// Package bayes implements Gaussian naive Bayes, one of the seven
+// classifiers the paper compares in Table 1. Each feature is modelled
+// as an independent Gaussian per class; prediction maximizes the
+// class-conditional log posterior.
+package bayes
+
+import (
+	"fmt"
+	"math"
+
+	"otacache/internal/mlcore"
+)
+
+// Model is a trained Gaussian naive Bayes classifier.
+type Model struct {
+	logPrior [2]float64
+	mean     [2][]float64
+	variance [2][]float64
+}
+
+var _ mlcore.Classifier = (*Model)(nil)
+
+// Train fits per-class feature Gaussians with weighted maximum
+// likelihood. A small variance floor keeps degenerate (constant)
+// features from producing infinities.
+func Train(d *mlcore.Dataset) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("bayes: empty dataset")
+	}
+	nf := d.NumFeatures()
+	m := &Model{}
+	var classW [2]float64
+	for c := 0; c < 2; c++ {
+		m.mean[c] = make([]float64, nf)
+		m.variance[c] = make([]float64, nf)
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		w := d.Weight(i)
+		classW[c] += w
+		for j, v := range row {
+			m.mean[c][j] += w * v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if classW[c] == 0 {
+			continue
+		}
+		for j := range m.mean[c] {
+			m.mean[c][j] /= classW[c]
+		}
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		w := d.Weight(i)
+		for j, v := range row {
+			dlt := v - m.mean[c][j]
+			m.variance[c][j] += w * dlt * dlt
+		}
+	}
+	total := classW[0] + classW[1]
+	if classW[0] == 0 || classW[1] == 0 {
+		return nil, fmt.Errorf("bayes: training data must contain both classes")
+	}
+	for c := 0; c < 2; c++ {
+		m.logPrior[c] = math.Log(classW[c] / total)
+		for j := range m.variance[c] {
+			m.variance[c][j] /= classW[c]
+			if m.variance[c][j] < 1e-9 {
+				m.variance[c][j] = 1e-9
+			}
+		}
+	}
+	return m, nil
+}
+
+// Name implements mlcore.Classifier.
+func (m *Model) Name() string { return "Naive Bayes" }
+
+func (m *Model) logLikelihood(c int, x []float64) float64 {
+	ll := m.logPrior[c]
+	for j, v := range x {
+		va := m.variance[c][j]
+		dlt := v - m.mean[c][j]
+		ll += -0.5*math.Log(2*math.Pi*va) - dlt*dlt/(2*va)
+	}
+	return ll
+}
+
+// Predict implements mlcore.Classifier.
+func (m *Model) Predict(x []float64) int {
+	if m.logLikelihood(mlcore.Positive, x) > m.logLikelihood(mlcore.Negative, x) {
+		return mlcore.Positive
+	}
+	return mlcore.Negative
+}
+
+// Score implements mlcore.Classifier: the positive-class log-odds.
+func (m *Model) Score(x []float64) float64 {
+	return m.logLikelihood(mlcore.Positive, x) - m.logLikelihood(mlcore.Negative, x)
+}

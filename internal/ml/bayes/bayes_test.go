@@ -1,0 +1,102 @@
+package bayes
+
+import (
+	"testing"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+// blobs builds two Gaussian clusters, centers (0,0) and (3,3).
+func blobs(n int, seed uint64) *mlcore.Dataset {
+	rng := stats.NewRNG(seed)
+	d := &mlcore.Dataset{}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		shift := float64(c) * 3
+		d.X = append(d.X, []float64{shift + rng.NormFloat64(), shift + rng.NormFloat64()})
+		d.Y = append(d.Y, c)
+	}
+	return d
+}
+
+func TestBayesSeparableBlobs(t *testing.T) {
+	train := blobs(2000, 1)
+	test := blobs(500, 2)
+	m, err := Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mlcore.Evaluate(m, test)
+	if res.Confusion.Accuracy() < 0.95 {
+		t.Fatalf("blob accuracy = %v", res.Confusion.Accuracy())
+	}
+	if res.AUC < 0.97 {
+		t.Fatalf("blob AUC = %v", res.AUC)
+	}
+	if m.Name() != "Naive Bayes" {
+		t.Fatal("name")
+	}
+}
+
+func TestBayesPriorsMatter(t *testing.T) {
+	// Identical likelihoods, 90/10 priors: must predict the majority.
+	d := &mlcore.Dataset{}
+	rng := stats.NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		d.X = append(d.X, []float64{rng.NormFloat64()})
+		if i < 100 {
+			d.Y = append(d.Y, mlcore.Positive)
+		} else {
+			d.Y = append(d.Y, mlcore.Negative)
+		}
+	}
+	m, err := Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{0}) != mlcore.Negative {
+		t.Fatal("prior-dominated prediction should be the majority class")
+	}
+}
+
+func TestBayesWeighted(t *testing.T) {
+	// Two overlapping points; weights decide the effective prior.
+	d := &mlcore.Dataset{
+		X: [][]float64{{0}, {0.01}},
+		Y: []int{0, 1},
+		W: []float64{1, 100},
+	}
+	m, err := Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{0.005}) != mlcore.Positive {
+		t.Fatal("weighted prior must dominate")
+	}
+}
+
+func TestBayesErrors(t *testing.T) {
+	if _, err := Train(&mlcore.Dataset{}); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+	oneClass := &mlcore.Dataset{X: [][]float64{{1}, {2}}, Y: []int{1, 1}}
+	if _, err := Train(oneClass); err == nil {
+		t.Fatal("single-class dataset must error")
+	}
+}
+
+func TestBayesConstantFeature(t *testing.T) {
+	d := &mlcore.Dataset{
+		X: [][]float64{{5, 0}, {5, 1}, {5, 0}, {5, 1}},
+		Y: []int{0, 1, 0, 1},
+	}
+	m, err := Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constant feature must not poison prediction on feature 1.
+	if m.Predict([]float64{5, 1}) != mlcore.Positive || m.Predict([]float64{5, 0}) != mlcore.Negative {
+		t.Fatal("constant feature broke classification")
+	}
+}

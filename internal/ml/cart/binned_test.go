@@ -1,0 +1,145 @@
+package cart
+
+import (
+	"testing"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+// gridDataset places features on a small integer grid so that binned
+// and exact trainers see identical candidate thresholds.
+func gridDataset(n int, seed uint64) *mlcore.Dataset {
+	rng := stats.NewRNG(seed)
+	d := &mlcore.Dataset{}
+	for i := 0; i < n; i++ {
+		a := float64(rng.Intn(12))
+		b := float64(rng.Intn(8))
+		y := mlcore.Negative
+		if a > 6 != (b > 4) {
+			y = mlcore.Positive
+		}
+		if rng.Bernoulli(0.05) {
+			y = 1 - y
+		}
+		d.X = append(d.X, []float64{a, b})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+// TestBinnedMatchesExactOnGridData: with enough bins, the binned
+// trainer must produce identical predictions to the exact trainer on
+// low-cardinality data.
+func TestBinnedMatchesExactOnGridData(t *testing.T) {
+	d := gridDataset(4000, 1)
+	cfg := Config{MaxSplits: 20, MaxDepth: 10, MinLeafWeight: 3}
+	exact, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binned, err := TrainBinned(d, cfg, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0.0; a < 12; a++ {
+		for b := 0.0; b < 8; b++ {
+			x := []float64{a, b}
+			if exact.Predict(x) != binned.Predict(x) {
+				t.Fatalf("prediction differs at (%v,%v): exact %d, binned %d",
+					a, b, exact.Predict(x), binned.Predict(x))
+			}
+		}
+	}
+	if exact.NumSplits() != binned.NumSplits() {
+		t.Logf("note: split counts differ (%d vs %d) but predictions agree",
+			exact.NumSplits(), binned.NumSplits())
+	}
+}
+
+// TestBinnedAccuracyOnContinuousData: coarse binning loses little on a
+// continuous problem.
+func TestBinnedAccuracyOnContinuousData(t *testing.T) {
+	rng := stats.NewRNG(2)
+	d := xorDataset(5000, rng)
+	cfg := Config{MaxSplits: 12, MaxDepth: 8, MinLeafWeight: 5}
+	exact, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binned, err := TrainBinned(d, cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := xorDataset(1500, stats.NewRNG(3))
+	ae := mlcore.Evaluate(exact, test).Confusion.Accuracy()
+	ab := mlcore.Evaluate(binned, test).Confusion.Accuracy()
+	if ab < ae-0.03 {
+		t.Fatalf("binned accuracy %.4f trails exact %.4f by too much", ab, ae)
+	}
+}
+
+func TestBinnedRespectsBudgets(t *testing.T) {
+	d := gridDataset(2000, 4)
+	tree, err := TrainBinned(d, Config{MaxSplits: 5, MaxDepth: 3}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumSplits() > 5 {
+		t.Fatalf("splits = %d", tree.NumSplits())
+	}
+	if tree.Height() > 3 {
+		t.Fatalf("height = %d", tree.Height())
+	}
+}
+
+func TestBinnedCostSensitive(t *testing.T) {
+	d := &mlcore.Dataset{}
+	for i := 0; i < 100; i++ {
+		d.X = append(d.X, []float64{1})
+		if i < 60 {
+			d.Y = append(d.Y, mlcore.Positive)
+		} else {
+			d.Y = append(d.Y, mlcore.Negative)
+		}
+	}
+	plain, err := TrainBinned(d, Config{NegCost: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := TrainBinned(d, Config{NegCost: 2}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Predict([]float64{1}) != mlcore.Positive || costly.Predict([]float64{1}) != mlcore.Negative {
+		t.Fatal("cost matrix not honoured by binned trainer")
+	}
+}
+
+func TestBinnedErrors(t *testing.T) {
+	if _, err := TrainBinned(&mlcore.Dataset{}, Config{}, 32); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+	d := &mlcore.Dataset{X: [][]float64{{1}, {2}}, Y: []int{0, 1}}
+	if _, err := TrainBinned(d, Config{MTry: 1}, 32); err == nil {
+		t.Fatal("MTry without Rand must error")
+	}
+	// Degenerate bins clamp instead of failing.
+	if _, err := TrainBinned(d, Config{}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinnedConstantFeature(t *testing.T) {
+	d := &mlcore.Dataset{
+		X: [][]float64{{5, 0}, {5, 1}, {5, 0}, {5, 1}},
+		Y: []int{0, 1, 0, 1},
+	}
+	tree, err := TrainBinned(d, Config{MinLeafWeight: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]float64{5, 1}) != mlcore.Positive || tree.Predict([]float64{5, 0}) != mlcore.Negative {
+		t.Fatal("constant feature broke the binned trainer")
+	}
+}

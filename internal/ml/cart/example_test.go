@@ -1,0 +1,54 @@
+package cart_test
+
+import (
+	"fmt"
+
+	"otacache/internal/ml/cart"
+	"otacache/internal/mlcore"
+)
+
+// Example trains the paper's cost-sensitive configuration and shows the
+// cost matrix flipping a borderline decision.
+func Example() {
+	// A region where 60% of accesses are one-time (Positive).
+	d := &mlcore.Dataset{}
+	for i := 0; i < 100; i++ {
+		d.X = append(d.X, []float64{1})
+		if i < 60 {
+			d.Y = append(d.Y, mlcore.Positive)
+		} else {
+			d.Y = append(d.Y, mlcore.Negative)
+		}
+	}
+	plain, _ := cart.Train(d, cart.Default(1))
+	costly, _ := cart.Train(d, cart.Default(2)) // Table 4: v = 2
+
+	// Cost-insensitive: bypass (majority is one-time). With v=2, the
+	// expected cost of a wrong bypass outweighs it: admit.
+	fmt.Println("v=1 predicts one-time:", plain.Predict([]float64{1}) == mlcore.Positive)
+	fmt.Println("v=2 predicts one-time:", costly.Predict([]float64{1}) == mlcore.Positive)
+	// Output:
+	// v=1 predicts one-time: true
+	// v=2 predicts one-time: false
+}
+
+// ExampleTree_Height shows the §3.1.2 complexity bound: prediction cost
+// is the tree height, independent of training-set size.
+func ExampleTree_Height() {
+	d := &mlcore.Dataset{}
+	for i := 0; i < 1000; i++ {
+		x := float64(i % 100)
+		y := mlcore.Negative
+		if x > 50 {
+			y = mlcore.Positive
+		}
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, y)
+	}
+	tree, _ := cart.Train(d, cart.Default(1))
+	fmt.Println("splits:", tree.NumSplits())
+	fmt.Println("comparisons per prediction:", tree.PathLen([]float64{75}))
+	// Output:
+	// splits: 1
+	// comparisons per prediction: 1
+}

@@ -1,0 +1,117 @@
+package cart
+
+import (
+	"fmt"
+	"math"
+
+	"otacache/internal/mlcore"
+)
+
+// Minimal cost-complexity pruning (Breiman et al. 1984, ch. 3). The
+// paper controls over-fitting with a split budget (§3.1.2); pruning is
+// the classic complement: grow generously, then collapse the subtrees
+// whose risk reduction does not justify their size. Both knobs are
+// exposed so their trade-off can be measured.
+
+// subtreeStats returns the number of leaves under n and the subtree's
+// training risk (the summed cost-adjusted weight of the minority class
+// over its leaves).
+func subtreeStats(n *node) (leaves int, risk float64) {
+	if n.isLeaf() {
+		return 1, leafRisk(n)
+	}
+	ll, lr := subtreeStats(n.left)
+	rl, rr := subtreeStats(n.right)
+	return ll + rl, lr + rr
+}
+
+// leafRisk is the cost-adjusted misclassification weight of treating n
+// as a leaf.
+func leafRisk(n *node) float64 {
+	if n.wPos < n.wNeg {
+		return n.wPos
+	}
+	return n.wNeg
+}
+
+// weakestLink finds the internal node with the smallest link strength
+// g = (R(collapse) - R(subtree)) / (leaves - 1); collapsing it costs
+// the least risk per leaf removed. Returns nil for a single-leaf tree.
+func weakestLink(n *node) (*node, float64) {
+	if n.isLeaf() {
+		return nil, math.Inf(1)
+	}
+	leaves, risk := subtreeStats(n)
+	g := (leafRisk(n) - risk) / float64(leaves-1)
+	best, bestG := n, g
+	if c, cg := weakestLink(n.left); c != nil && cg < bestG {
+		best, bestG = c, cg
+	}
+	if c, cg := weakestLink(n.right); c != nil && cg < bestG {
+		best, bestG = c, cg
+	}
+	return best, bestG
+}
+
+// collapse turns an internal node into a leaf.
+func collapse(n *node) {
+	n.feature = -1
+	n.left, n.right = nil, nil
+}
+
+// Prune collapses every subtree whose link strength is at most alpha
+// (alpha >= 0), weakest first, and returns the number of internal
+// nodes removed. Prune(0) removes only splits that do not reduce
+// training risk at all; Prune(+Inf) collapses to a single leaf.
+func (t *Tree) Prune(alpha float64) int {
+	if alpha < 0 {
+		alpha = 0
+	}
+	removed := 0
+	for {
+		link, g := weakestLink(t.root)
+		if link == nil || g > alpha {
+			break
+		}
+		splits, _ := subtreeStats(link)
+		// An internal node with L leaves contains L-1 splits.
+		removed += splits - 1
+		collapse(link)
+	}
+	t.splits -= removed
+	return removed
+}
+
+// PruneWithValidation prunes weakest links while the validation
+// accuracy does not drop, returning the number of internal nodes
+// removed. It greedily accepts each collapse whose validation accuracy
+// is at least as good as the current tree's.
+func (t *Tree) PruneWithValidation(val *mlcore.Dataset) (int, error) {
+	if err := val.Validate(); err != nil {
+		return 0, err
+	}
+	if val.Len() == 0 {
+		return 0, fmt.Errorf("cart: empty validation set")
+	}
+	removed := 0
+	current := mlcore.Evaluate(t, val).Confusion.Accuracy()
+	for {
+		link, _ := weakestLink(t.root)
+		if link == nil {
+			break
+		}
+		// Tentatively collapse, keeping what we need to restore.
+		saved := *link
+		leaves, _ := subtreeStats(link)
+		collapse(link)
+		after := mlcore.Evaluate(t, val).Confusion.Accuracy()
+		if after+1e-12 < current {
+			*link = saved // restore and stop
+			break
+		}
+		current = after
+		removed += leaves - 1
+	}
+	t.splits -= removed
+	return removed, nil
+}

@@ -1,0 +1,132 @@
+package cart
+
+import (
+	"math"
+	"testing"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+// noisyThreshold builds a 1-feature problem: x>0.5 is positive, with
+// label noise to tempt the tree into overfitting.
+func noisyThreshold(n int, noise float64, seed uint64) *mlcore.Dataset {
+	rng := stats.NewRNG(seed)
+	d := &mlcore.Dataset{}
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		y := mlcore.Negative
+		if x > 0.5 {
+			y = mlcore.Positive
+		}
+		if rng.Bernoulli(noise) {
+			y = 1 - y
+		}
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func TestPruneInfinityCollapsesToLeaf(t *testing.T) {
+	d := noisyThreshold(2000, 0.2, 1)
+	tree, err := Train(d, Config{MaxSplits: 30, MaxDepth: 20, MinLeafWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumSplits() < 5 {
+		t.Skipf("tree too small to exercise pruning: %d splits", tree.NumSplits())
+	}
+	removed := tree.Prune(math.Inf(1))
+	if tree.NumSplits() != 0 {
+		t.Fatalf("splits after full prune = %d", tree.NumSplits())
+	}
+	if removed < 5 {
+		t.Fatalf("removed only %d splits", removed)
+	}
+	if tree.Height() != 1 {
+		t.Fatalf("height after full prune = %d", tree.Height())
+	}
+	// Still functional: predicts the majority class everywhere.
+	p := tree.Predict([]float64{0.1})
+	if p != tree.Predict([]float64{0.9}) {
+		t.Fatal("single leaf must predict one class")
+	}
+}
+
+func TestPruneZeroKeepsUsefulSplits(t *testing.T) {
+	// A clean threshold problem: the root split reduces risk to ~0, so
+	// alpha=0 pruning must keep it.
+	d := noisyThreshold(2000, 0, 2)
+	tree, err := Train(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mlcore.Evaluate(tree, d).Confusion.Accuracy()
+	tree.Prune(0)
+	after := mlcore.Evaluate(tree, d).Confusion.Accuracy()
+	if after < before-1e-12 {
+		t.Fatalf("alpha=0 pruning lost training accuracy: %v -> %v", before, after)
+	}
+	if tree.NumSplits() == 0 {
+		t.Fatal("alpha=0 removed the perfect split")
+	}
+}
+
+func TestPruneNegativeAlphaClamps(t *testing.T) {
+	d := noisyThreshold(500, 0.1, 3)
+	tree, _ := Train(d, Config{})
+	n := tree.NumSplits()
+	tree.Prune(-5)
+	if tree.NumSplits() > n {
+		t.Fatal("split count grew?!")
+	}
+}
+
+func TestPruneWithValidationNeverHurtsValAccuracy(t *testing.T) {
+	rng := stats.NewRNG(4)
+	train := noisyThreshold(3000, 0.25, 5)
+	val := noisyThreshold(1500, 0.25, 6)
+	tree, err := Train(train, Config{MaxSplits: 60, MaxDepth: 15, MinLeafWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mlcore.Evaluate(tree, val).Confusion.Accuracy()
+	removed, err := tree.PruneWithValidation(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := mlcore.Evaluate(tree, val).Confusion.Accuracy()
+	if after+1e-12 < before {
+		t.Fatalf("validation pruning lowered val accuracy: %v -> %v (removed %d)", before, after, removed)
+	}
+	// Splits accounting stays consistent with the structure.
+	leaves, _ := subtreeStats(tree.root)
+	if tree.NumSplits() != leaves-1 {
+		t.Fatalf("split accounting drifted: NumSplits=%d leaves=%d", tree.NumSplits(), leaves)
+	}
+	_ = rng
+}
+
+func TestPruneWithValidationErrors(t *testing.T) {
+	d := noisyThreshold(100, 0, 7)
+	tree, _ := Train(d, Config{})
+	if _, err := tree.PruneWithValidation(&mlcore.Dataset{}); err == nil {
+		t.Fatal("empty validation set must error")
+	}
+	bad := &mlcore.Dataset{X: [][]float64{{1}}, Y: []int{9}}
+	if _, err := tree.PruneWithValidation(bad); err == nil {
+		t.Fatal("invalid validation set must error")
+	}
+}
+
+func TestWeakestLinkOnLeaf(t *testing.T) {
+	d := &mlcore.Dataset{X: [][]float64{{1}, {2}}, Y: []int{1, 1}}
+	tree, _ := Train(d, Config{})
+	if link, g := weakestLink(tree.root); link != nil || !math.IsInf(g, 1) {
+		t.Fatal("leaf-only tree must have no weakest link")
+	}
+	if tree.Prune(math.Inf(1)) != 0 {
+		t.Fatal("pruning a leaf must remove nothing")
+	}
+}

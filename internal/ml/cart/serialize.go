@@ -1,0 +1,202 @@
+package cart
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Model persistence: a trained tree serializes to a compact binary
+// stream so the classifier trained by one process (cmd/trainer) can be
+// deployed by another (a cache server), matching the paper's offline
+// train / online classify split (§4.4.3).
+//
+// Format: magic, version, split count, config floats, then the nodes in
+// pre-order; each node is a leaf flag plus either (wPos, wNeg) or
+// (feature, threshold).
+const (
+	treeMagic   = uint32(0x0ca27000)
+	treeVersion = uint32(1)
+)
+
+// WriteTo serializes the tree.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	for _, v := range []interface{}{treeMagic, treeVersion, int32(t.splits), t.cfg.NegCost} {
+		if err := put(v); err != nil {
+			return n, err
+		}
+	}
+	var walk func(nd *node) error
+	walk = func(nd *node) error {
+		if nd.isLeaf() {
+			if err := put(uint8(1)); err != nil {
+				return err
+			}
+			if err := put(nd.wPos); err != nil {
+				return err
+			}
+			return put(nd.wNeg)
+		}
+		if err := put(uint8(0)); err != nil {
+			return err
+		}
+		if err := put(int32(nd.feature)); err != nil {
+			return err
+		}
+		if err := put(nd.threshold); err != nil {
+			return err
+		}
+		if err := walk(nd.left); err != nil {
+			return err
+		}
+		return walk(nd.right)
+	}
+	if err := walk(t.root); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadTree deserializes a tree written by WriteTo.
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	get := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+	var magic, version uint32
+	if err := get(&magic); err != nil {
+		return nil, fmt.Errorf("cart: reading header: %w", err)
+	}
+	if magic != treeMagic {
+		return nil, fmt.Errorf("cart: bad magic %#x", magic)
+	}
+	if err := get(&version); err != nil {
+		return nil, err
+	}
+	if version != treeVersion {
+		return nil, fmt.Errorf("cart: unsupported version %d", version)
+	}
+	var splits int32
+	if err := get(&splits); err != nil {
+		return nil, err
+	}
+	if splits < 0 || splits > 1<<20 {
+		return nil, fmt.Errorf("cart: implausible split count %d", splits)
+	}
+	t := &Tree{splits: int(splits)}
+	if err := get(&t.cfg.NegCost); err != nil {
+		return nil, err
+	}
+	// A tree with S splits has exactly 2S+1 nodes; bound recursion by
+	// node budget so corrupt streams terminate.
+	budget := 2*int(splits) + 1
+	var read func() (*node, error)
+	read = func() (*node, error) {
+		if budget <= 0 {
+			return nil, fmt.Errorf("cart: node stream exceeds declared size")
+		}
+		budget--
+		var leaf uint8
+		if err := get(&leaf); err != nil {
+			return nil, err
+		}
+		nd := &node{feature: -1}
+		if leaf == 1 {
+			if err := get(&nd.wPos); err != nil {
+				return nil, err
+			}
+			if err := get(&nd.wNeg); err != nil {
+				return nil, err
+			}
+			if nd.wPos < 0 || nd.wNeg < 0 || math.IsNaN(nd.wPos) || math.IsNaN(nd.wNeg) {
+				return nil, fmt.Errorf("cart: invalid leaf weights")
+			}
+			return nd, nil
+		}
+		var feature int32
+		if err := get(&feature); err != nil {
+			return nil, err
+		}
+		if feature < 0 || feature > 1<<16 {
+			return nil, fmt.Errorf("cart: invalid feature index %d", feature)
+		}
+		nd.feature = int(feature)
+		if err := get(&nd.threshold); err != nil {
+			return nil, err
+		}
+		var err error
+		if nd.left, err = read(); err != nil {
+			return nil, err
+		}
+		if nd.right, err = read(); err != nil {
+			return nil, err
+		}
+		// Internal nodes also carry their class weights for pruning;
+		// reconstruct them from the children.
+		nd.wPos = nd.left.wPos + nd.right.wPos
+		nd.wNeg = nd.left.wNeg + nd.right.wNeg
+		return nd, nil
+	}
+	root, err := read()
+	if err != nil {
+		return nil, err
+	}
+	if budget != 0 {
+		return nil, fmt.Errorf("cart: node stream shorter than declared (%d missing)", budget)
+	}
+	t.root = root
+	return t, nil
+}
+
+// MaxFeature returns the largest feature index any split consults
+// (-1 for a single leaf). Feature vectors passed to Predict/Score must
+// have at least MaxFeature()+1 elements.
+func (t *Tree) MaxFeature() int {
+	max := -1
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil || nd.isLeaf() {
+			return
+		}
+		if nd.feature > max {
+			max = nd.feature
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(t.root)
+	return max
+}
+
+// Save writes the tree to a file.
+func (t *Tree) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a tree from a file.
+func Load(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTree(f)
+}

@@ -1,0 +1,109 @@
+package cart
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"otacache/internal/stats"
+)
+
+func TestTreeRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(1)
+	d := xorDataset(3000, rng)
+	orig, err := Train(d, Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSplits() != orig.NumSplits() || got.Height() != orig.Height() {
+		t.Fatalf("structure changed: splits %d/%d height %d/%d",
+			got.NumSplits(), orig.NumSplits(), got.Height(), orig.Height())
+	}
+	// Predictions and scores must be byte-identical.
+	for i := 0; i < 2000; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if got.Predict(x) != orig.Predict(x) || got.Score(x) != orig.Score(x) {
+			t.Fatalf("round-trip changed behaviour at %v", x)
+		}
+	}
+	// Pruning still works on the reloaded tree (internal weights were
+	// reconstructed).
+	got.Prune(1e18)
+	if got.NumSplits() != 0 {
+		t.Fatal("reloaded tree cannot be pruned")
+	}
+}
+
+func TestTreeSaveLoad(t *testing.T) {
+	rng := stats.NewRNG(2)
+	d := xorDataset(500, rng)
+	orig, _ := Train(d, Default(1))
+	path := filepath.Join(t.TempDir(), "tree.bin")
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.2, 0.9}
+	if got.Score(x) != orig.Score(x) {
+		t.Fatal("save/load changed score")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("loading missing file must error")
+	}
+}
+
+func TestReadTreeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{1, 2, 3},
+		{0xde, 0xad, 0xbe, 0xef, 1, 0, 0, 0},
+	}
+	for i, c := range cases {
+		if _, err := ReadTree(bytes.NewReader(c)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+	// Right magic, truncated body.
+	var buf bytes.Buffer
+	rng := stats.NewRNG(3)
+	tree, _ := Train(xorDataset(200, rng), Default(1))
+	tree.WriteTo(&buf)
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 2, len(full) - 1} {
+		if _, err := ReadTree(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated stream at %d accepted", cut)
+		}
+	}
+}
+
+// FuzzReadTree hardens the model parser.
+func FuzzReadTree(f *testing.F) {
+	rng := stats.NewRNG(4)
+	tree, _ := Train(xorDataset(200, rng), Default(1))
+	var buf bytes.Buffer
+	tree.WriteTo(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTree(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed trees must be safely usable with an adequately sized
+		// feature vector (MaxFeature tells callers how large).
+		x := make([]float64, got.MaxFeature()+1)
+		got.Predict(x)
+		_ = got.Height()
+	})
+}

@@ -1,0 +1,118 @@
+// Package forest implements a random forest — bootstrap-aggregated CART
+// trees with per-node random feature subsets — one of the ensemble
+// methods the paper compares in Table 1.
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"otacache/internal/ml/cart"
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+// Config parameterizes the forest.
+type Config struct {
+	// Trees in the ensemble. <=0 means 30 (the base-learner count the
+	// paper cites when discussing ensemble cost, §3.1.1).
+	Trees int
+	// MaxDepth per tree. <=0 means 12.
+	MaxDepth int
+	// MaxSplits per tree. <=0 means 200.
+	MaxSplits int
+	// MTry features per node. <=0 means round(sqrt(numFeatures)).
+	MTry int
+	// Seed drives bootstrapping and feature sampling.
+	Seed uint64
+}
+
+func (c *Config) normalize(nf int) {
+	if c.Trees <= 0 {
+		c.Trees = 30
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MaxSplits <= 0 {
+		c.MaxSplits = 200
+	}
+	if c.MTry <= 0 {
+		c.MTry = int(math.Round(math.Sqrt(float64(nf))))
+		if c.MTry < 1 {
+			c.MTry = 1
+		}
+	}
+}
+
+// Model is a trained random forest.
+type Model struct {
+	trees []*cart.Tree
+}
+
+var _ mlcore.Classifier = (*Model)(nil)
+
+// Train grows the forest: each tree sees a bootstrap resample of the
+// data and considers MTry random features per split.
+func Train(d *mlcore.Dataset, cfg Config) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("forest: empty dataset")
+	}
+	cfg.normalize(d.NumFeatures())
+	rng := stats.NewRNG(cfg.Seed ^ 0xf0e57)
+	n := d.Len()
+	m := &Model{}
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		boot := d.Subset(idx)
+		tree, err := cart.Train(boot, cart.Config{
+			MaxSplits:     cfg.MaxSplits,
+			MaxDepth:      cfg.MaxDepth,
+			MinLeafWeight: 2,
+			MTry:          cfg.MTry,
+			Rand:          rng.Split(),
+		})
+		if err != nil {
+			// A degenerate bootstrap (e.g. single class) can still train
+			// a stump-less tree; only structural errors are fatal.
+			return nil, fmt.Errorf("forest: tree %d: %w", t, err)
+		}
+		m.trees = append(m.trees, tree)
+	}
+	return m, nil
+}
+
+// Name implements mlcore.Classifier.
+func (m *Model) Name() string { return "Random Forest" }
+
+// Trees returns the ensemble size.
+func (m *Model) Trees() int { return len(m.trees) }
+
+// Prob returns the mean leaf-probability across trees.
+func (m *Model) Prob(x []float64) float64 {
+	if len(m.trees) == 0 {
+		return 0.5
+	}
+	var s float64
+	for _, t := range m.trees {
+		s += t.Score(x)
+	}
+	return s / float64(len(m.trees))
+}
+
+// Predict implements mlcore.Classifier.
+func (m *Model) Predict(x []float64) int {
+	if m.Prob(x) > 0.5 {
+		return mlcore.Positive
+	}
+	return mlcore.Negative
+}
+
+// Score implements mlcore.Classifier.
+func (m *Model) Score(x []float64) float64 { return m.Prob(x) }

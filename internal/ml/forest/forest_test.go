@@ -1,0 +1,103 @@
+package forest
+
+import (
+	"testing"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+func noisyXOR(n int, seed uint64) *mlcore.Dataset {
+	rng := stats.NewRNG(seed)
+	d := &mlcore.Dataset{}
+	for i := 0; i < n; i++ {
+		a := rng.Float64()
+		b := rng.Float64()
+		y := mlcore.Negative
+		if (a > 0.5) != (b > 0.5) {
+			y = mlcore.Positive
+		}
+		if rng.Bernoulli(0.05) {
+			y = 1 - y // label noise
+		}
+		// Plus two pure-noise features to exercise MTry.
+		d.X = append(d.X, []float64{a, b, rng.Float64(), rng.Float64()})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func TestForestNoisyXOR(t *testing.T) {
+	train := noisyXOR(3000, 1)
+	test := noisyXOR(800, 2)
+	m, err := Train(train, Config{Trees: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mlcore.Evaluate(m, test)
+	if res.Confusion.Accuracy() < 0.88 {
+		t.Fatalf("accuracy = %v", res.Confusion.Accuracy())
+	}
+	if m.Name() != "Random Forest" {
+		t.Fatal("name")
+	}
+	if m.Trees() != 20 {
+		t.Fatalf("trees = %d", m.Trees())
+	}
+}
+
+func TestForestDeterminism(t *testing.T) {
+	d := noisyXOR(400, 4)
+	a, _ := Train(d, Config{Trees: 5, Seed: 7})
+	b, _ := Train(d, Config{Trees: 5, Seed: 7})
+	probe := []float64{0.2, 0.8, 0.5, 0.5}
+	if a.Prob(probe) != b.Prob(probe) {
+		t.Fatal("equal seeds must produce equal forests")
+	}
+	c, _ := Train(d, Config{Trees: 5, Seed: 8})
+	// Different seed should (almost surely) differ somewhere.
+	diff := false
+	rng := stats.NewRNG(9)
+	for i := 0; i < 50 && !diff; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		if a.Prob(x) != c.Prob(x) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical forests")
+	}
+}
+
+func TestForestScoreRange(t *testing.T) {
+	m, err := Train(noisyXOR(500, 10), Config{Trees: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(12)
+	for i := 0; i < 100; i++ {
+		s := m.Score([]float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()})
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	if _, err := Train(&mlcore.Dataset{}, Config{}); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}
+
+func TestForestMTryDefault(t *testing.T) {
+	cfg := Config{}
+	cfg.normalize(9)
+	if cfg.MTry != 3 {
+		t.Fatalf("MTry default for 9 features = %d, want 3", cfg.MTry)
+	}
+	cfg2 := Config{}
+	cfg2.normalize(1)
+	if cfg2.MTry != 1 {
+		t.Fatalf("MTry default for 1 feature = %d, want 1", cfg2.MTry)
+	}
+}

@@ -1,0 +1,139 @@
+package gbdt
+
+import (
+	"testing"
+
+	"otacache/internal/ml/cart"
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+func xor(n int, seed uint64) *mlcore.Dataset {
+	rng := stats.NewRNG(seed)
+	d := &mlcore.Dataset{}
+	for i := 0; i < n; i++ {
+		a := rng.Float64()
+		b := rng.Float64()
+		y := mlcore.Negative
+		if (a > 0.5) != (b > 0.5) {
+			y = mlcore.Positive
+		}
+		d.X = append(d.X, []float64{a, b})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func TestGBDTXOR(t *testing.T) {
+	train := xor(3000, 1)
+	test := xor(800, 2)
+	m, err := Train(train, Config{Rounds: 40, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mlcore.Evaluate(m, test)
+	if res.Confusion.Accuracy() < 0.95 {
+		t.Fatalf("XOR accuracy = %v", res.Confusion.Accuracy())
+	}
+	if res.AUC < 0.97 {
+		t.Fatalf("XOR AUC = %v", res.AUC)
+	}
+	if m.Name() != "GBDT" {
+		t.Fatal("name")
+	}
+	if m.Rounds() == 0 || m.Rounds() > 40 {
+		t.Fatalf("rounds = %d", m.Rounds())
+	}
+}
+
+func TestGBDTBeatsShallowCART(t *testing.T) {
+	// A wavy boundary: sin-like alternating bands that a depth-3 tree
+	// cannot carve but 40 boosted depth-3 trees can.
+	rng := stats.NewRNG(3)
+	gen := func(n int) *mlcore.Dataset {
+		d := &mlcore.Dataset{}
+		for i := 0; i < n; i++ {
+			x := rng.Float64() * 8
+			y := mlcore.Negative
+			if int(x)%2 == 1 {
+				y = mlcore.Positive
+			}
+			d.X = append(d.X, []float64{x, rng.Float64()})
+			d.Y = append(d.Y, y)
+		}
+		return d
+	}
+	train, test := gen(4000), gen(1000)
+	shallow, err := cart.Train(train, cart.Config{MaxSplits: 3, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := Train(train, Config{Rounds: 40, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aShallow := mlcore.Evaluate(shallow, test).Confusion.Accuracy()
+	aBoost := mlcore.Evaluate(boosted, test).Confusion.Accuracy()
+	if aBoost <= aShallow+0.05 {
+		t.Fatalf("boosting gained too little: %.3f vs %.3f", aBoost, aShallow)
+	}
+}
+
+func TestGBDTProbRange(t *testing.T) {
+	m, err := Train(xor(500, 4), Config{Rounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	for i := 0; i < 200; i++ {
+		p := m.Prob([]float64{rng.Float64(), rng.Float64()})
+		if p < 0 || p > 1 {
+			t.Fatalf("prob %v out of range", p)
+		}
+	}
+}
+
+func TestGBDTPriorOnPureSplitless(t *testing.T) {
+	// Imbalanced but featureless data: the model should converge toward
+	// the base rate.
+	d := &mlcore.Dataset{}
+	for i := 0; i < 400; i++ {
+		d.X = append(d.X, []float64{1})
+		y := mlcore.Negative
+		if i%4 == 0 {
+			y = mlcore.Positive
+		}
+		d.Y = append(d.Y, y)
+	}
+	m, err := Train(d, Config{Rounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Prob([]float64{1})
+	if p < 0.15 || p > 0.35 {
+		t.Fatalf("probability %v, want ~0.25 base rate", p)
+	}
+	if m.Predict([]float64{1}) != mlcore.Negative {
+		t.Fatal("minority class predicted")
+	}
+}
+
+func TestGBDTErrors(t *testing.T) {
+	if _, err := Train(&mlcore.Dataset{}, Config{}); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+	oneClass := &mlcore.Dataset{X: [][]float64{{1}, {2}}, Y: []int{1, 1}}
+	if _, err := Train(oneClass, Config{}); err == nil {
+		t.Fatal("single-class dataset must error")
+	}
+}
+
+func TestGBDTDeterminism(t *testing.T) {
+	d := xor(600, 6)
+	a, _ := Train(d, Config{Rounds: 15})
+	b, _ := Train(d, Config{Rounds: 15})
+	probe := []float64{0.3, 0.8}
+	if a.Raw(probe) != b.Raw(probe) {
+		t.Fatal("training not deterministic")
+	}
+}

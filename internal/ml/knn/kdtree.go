@@ -1,0 +1,144 @@
+package knn
+
+import "sort"
+
+// kdTree accelerates nearest-neighbour queries over the standardized
+// training rows. For the low-dimensional feature spaces used here
+// (5–9 features), a median-split k-d tree prunes most of the training
+// set per query, replacing the O(n) scan in Model.vote with a search
+// that is typically O(log n + k) on clustered data.
+type kdTree struct {
+	points [][]float64
+	nodes  []kdNode
+	root   int32
+}
+
+type kdNode struct {
+	point       int32 // index into points
+	left, right int32 // node indices, -1 = none
+	axis        int8
+}
+
+// buildKDTree constructs the tree over the given points (not copied).
+func buildKDTree(points [][]float64) *kdTree {
+	t := &kdTree{points: points}
+	if len(points) == 0 {
+		t.root = -1
+		return t
+	}
+	idx := make([]int32, len(points))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.nodes = make([]kdNode, 0, len(points))
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *kdTree) build(idx []int32, depth int) int32 {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := depth % len(t.points[idx[0]])
+	// Median split on the axis.
+	sort.Slice(idx, func(a, b int) bool {
+		return t.points[idx[a]][axis] < t.points[idx[b]][axis]
+	})
+	mid := len(idx) / 2
+	node := kdNode{point: idx[mid], axis: int8(axis)}
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node)
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[id].left = left
+	t.nodes[id].right = right
+	return id
+}
+
+// knnHeap reuses the neighbor max-heap from knn.go without
+// container/heap overhead: fixed-capacity sift-based operations.
+type knnHeap struct {
+	items []neighbor
+	k     int
+}
+
+func (h *knnHeap) full() bool { return len(h.items) == h.k }
+
+// worst returns the current k-th distance (or +inf while underfilled).
+func (h *knnHeap) worst() float64 {
+	if !h.full() {
+		return maxFloat
+	}
+	return h.items[0].dist2
+}
+
+const maxFloat = 1.797693134862315708145274237317043567981e+308
+
+func (h *knnHeap) push(n neighbor) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, n)
+		// Sift up.
+		i := len(h.items) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h.items[p].dist2 >= h.items[i].dist2 {
+				break
+			}
+			h.items[p], h.items[i] = h.items[i], h.items[p]
+			i = p
+		}
+		return
+	}
+	if n.dist2 >= h.items[0].dist2 {
+		return
+	}
+	h.items[0] = n
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.items) && h.items[l].dist2 > h.items[big].dist2 {
+			big = l
+		}
+		if r < len(h.items) && h.items[r].dist2 > h.items[big].dist2 {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+}
+
+// search fills h with the k nearest points to q.
+func (t *kdTree) search(q []float64, h *knnHeap) {
+	t.searchNode(t.root, q, h)
+}
+
+func (t *kdTree) searchNode(id int32, q []float64, h *knnHeap) {
+	if id < 0 {
+		return
+	}
+	n := &t.nodes[id]
+	p := t.points[n.point]
+	var d2 float64
+	for j, v := range p {
+		d := q[j] - v
+		d2 += d * d
+	}
+	h.push(neighbor{dist2: d2, idx: int(n.point)})
+
+	delta := q[n.axis] - p[n.axis]
+	near, far := n.left, n.right
+	if delta > 0 {
+		near, far = far, near
+	}
+	t.searchNode(near, q, h)
+	// Prune the far side unless the splitting plane is closer than the
+	// current k-th neighbour.
+	if delta*delta < h.worst() || !h.full() {
+		t.searchNode(far, q, h)
+	}
+}

@@ -1,0 +1,117 @@
+package knn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+// TestKDTreeMatchesLinearScan: the k-d tree vote must equal the
+// brute-force vote on random data — exact, not approximate.
+func TestKDTreeMatchesLinearScan(t *testing.T) {
+	rng := stats.NewRNG(1)
+	d := &mlcore.Dataset{}
+	for i := 0; i < 2000; i++ {
+		d.X = append(d.X, []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()})
+		d.Y = append(d.Y, i%2)
+	}
+	m, err := Train(d, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		q := []float64{3 * rng.NormFloat64(), 3 * rng.NormFloat64(), 3 * rng.NormFloat64()}
+		kd := m.vote(q)
+		lin := m.voteLinear(q)
+		if math.Abs(kd-lin) > 1e-12 {
+			t.Fatalf("query %d: kd vote %v != linear vote %v", i, kd, lin)
+		}
+	}
+}
+
+// Property: for arbitrary small point sets, the tree's nearest
+// neighbour (k=1) is the true minimum-distance point.
+func TestKDTreeNearestProperty(t *testing.T) {
+	rng := stats.NewRNG(2)
+	f := func(raw []uint8) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		var pts [][]float64
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, []float64{float64(raw[i]) / 16, float64(raw[i+1]) / 16})
+		}
+		tree := buildKDTree(pts)
+		q := []float64{rng.Float64() * 16, rng.Float64() * 16}
+		h := knnHeap{k: 1}
+		tree.search(q, &h)
+		if len(h.items) != 1 {
+			return false
+		}
+		best := maxFloat
+		for _, p := range pts {
+			d2 := (p[0]-q[0])*(p[0]-q[0]) + (p[1]-q[1])*(p[1]-q[1])
+			if d2 < best {
+				best = d2
+			}
+		}
+		return math.Abs(h.items[0].dist2-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKDTreeEmptyAndSingle(t *testing.T) {
+	empty := buildKDTree(nil)
+	h := knnHeap{k: 3}
+	empty.search([]float64{1}, &h)
+	if len(h.items) != 0 {
+		t.Fatal("empty tree returned neighbours")
+	}
+	single := buildKDTree([][]float64{{5, 5}})
+	h2 := knnHeap{k: 3}
+	single.search([]float64{0, 0}, &h2)
+	if len(h2.items) != 1 || h2.items[0].idx != 0 {
+		t.Fatalf("single-point tree wrong: %+v", h2.items)
+	}
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	tree := buildKDTree(pts)
+	h := knnHeap{k: 3}
+	tree.search([]float64{1, 1}, &h)
+	if len(h.items) != 3 {
+		t.Fatalf("got %d neighbours", len(h.items))
+	}
+	for _, nb := range h.items {
+		if nb.dist2 > 2.1 {
+			t.Fatalf("wrong neighbour at distance %v", nb.dist2)
+		}
+	}
+}
+
+func TestKnnHeapKeepsKSmallest(t *testing.T) {
+	h := knnHeap{k: 3}
+	for _, d := range []float64{9, 1, 8, 2, 7, 3} {
+		h.push(neighbor{dist2: d})
+	}
+	if len(h.items) != 3 {
+		t.Fatalf("heap size %d", len(h.items))
+	}
+	var ds []float64
+	for _, n := range h.items {
+		ds = append(ds, n.dist2)
+	}
+	sum := ds[0] + ds[1] + ds[2]
+	if sum != 6 { // 1+2+3
+		t.Fatalf("kept %v, want the three smallest", ds)
+	}
+	if h.worst() != 3 {
+		t.Fatalf("worst = %v, want 3", h.worst())
+	}
+}

@@ -1,0 +1,130 @@
+// Package knn implements the k-nearest-neighbour classifier compared in
+// the paper's Table 1. Features are standardized at training time and
+// neighbours vote with inverse-distance weights.
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+
+	"otacache/internal/mlcore"
+)
+
+// Model is a trained (memorized) k-NN classifier. Queries run against
+// a k-d tree over the standardized training rows.
+type Model struct {
+	k      int
+	scaler *mlcore.Scaler
+	x      [][]float64 // standardized training rows
+	y      []int
+	w      []float64
+	tree   *kdTree
+}
+
+var _ mlcore.Classifier = (*Model)(nil)
+
+// Train memorizes the dataset. k <= 0 defaults to 15.
+func Train(d *mlcore.Dataset, k int) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("knn: empty dataset")
+	}
+	if k <= 0 {
+		k = 15
+	}
+	if k > d.Len() {
+		k = d.Len()
+	}
+	scaler := mlcore.FitScaler(d)
+	m := &Model{k: k, scaler: scaler, y: d.Y, x: make([][]float64, d.Len())}
+	for i, row := range d.X {
+		m.x[i] = scaler.Transform(row)
+	}
+	m.w = make([]float64, d.Len())
+	for i := range m.w {
+		m.w[i] = d.Weight(i)
+	}
+	m.tree = buildKDTree(m.x)
+	return m, nil
+}
+
+// Name implements mlcore.Classifier.
+func (m *Model) Name() string { return "KNN" }
+
+// neighborHeap is a max-heap on distance, keeping the k closest.
+type neighborHeap []neighbor
+
+type neighbor struct {
+	dist2 float64
+	idx   int
+}
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].dist2 > h[j].dist2 }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// vote returns the inverse-distance-weighted positive share among the k
+// nearest training rows, found via the k-d tree.
+func (m *Model) vote(x []float64) float64 {
+	q := m.scaler.Transform(x)
+	h := knnHeap{k: m.k, items: make([]neighbor, 0, m.k)}
+	m.tree.search(q, &h)
+	return m.tally(h.items)
+}
+
+// voteLinear is the brute-force reference used by the equivalence
+// tests.
+func (m *Model) voteLinear(x []float64) float64 {
+	q := m.scaler.Transform(x)
+	var h neighborHeap
+	for i, row := range m.x {
+		var d2 float64
+		for j, v := range row {
+			dlt := q[j] - v
+			d2 += dlt * dlt
+		}
+		if h.Len() < m.k {
+			heap.Push(&h, neighbor{dist2: d2, idx: i})
+		} else if d2 < h[0].dist2 {
+			h[0] = neighbor{dist2: d2, idx: i}
+			heap.Fix(&h, 0)
+		}
+	}
+	return m.tally(h)
+}
+
+func (m *Model) tally(neighbors []neighbor) float64 {
+	var pos, total float64
+	for _, nb := range neighbors {
+		w := m.w[nb.idx] / (1 + nb.dist2)
+		total += w
+		if m.y[nb.idx] == mlcore.Positive {
+			pos += w
+		}
+	}
+	if total == 0 {
+		return 0.5
+	}
+	return pos / total
+}
+
+// Predict implements mlcore.Classifier.
+func (m *Model) Predict(x []float64) int {
+	if m.vote(x) > 0.5 {
+		return mlcore.Positive
+	}
+	return mlcore.Negative
+}
+
+// Score implements mlcore.Classifier.
+func (m *Model) Score(x []float64) float64 { return m.vote(x) }

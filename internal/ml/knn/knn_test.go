@@ -1,0 +1,109 @@
+package knn
+
+import (
+	"testing"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+func blobs(n int, seed uint64) *mlcore.Dataset {
+	rng := stats.NewRNG(seed)
+	d := &mlcore.Dataset{}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		shift := float64(c) * 3
+		d.X = append(d.X, []float64{shift + rng.NormFloat64(), shift + rng.NormFloat64()})
+		d.Y = append(d.Y, c)
+	}
+	return d
+}
+
+func TestKNNBlobs(t *testing.T) {
+	m, err := Train(blobs(1000, 1), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mlcore.Evaluate(m, blobs(300, 2))
+	if res.Confusion.Accuracy() < 0.95 {
+		t.Fatalf("accuracy = %v", res.Confusion.Accuracy())
+	}
+	if m.Name() != "KNN" {
+		t.Fatal("name")
+	}
+}
+
+func TestKNNExactNeighbor(t *testing.T) {
+	d := &mlcore.Dataset{
+		X: [][]float64{{0, 0}, {10, 10}},
+		Y: []int{0, 1},
+	}
+	m, err := Train(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{0.1, 0.1}) != mlcore.Negative {
+		t.Fatal("nearest neighbour is negative")
+	}
+	if m.Predict([]float64{9, 9}) != mlcore.Positive {
+		t.Fatal("nearest neighbour is positive")
+	}
+}
+
+func TestKNNScaleInvariance(t *testing.T) {
+	// Feature 1 has a huge raw scale but is pure noise; standardization
+	// must stop it from drowning feature 0.
+	rng := stats.NewRNG(5)
+	d := &mlcore.Dataset{}
+	for i := 0; i < 600; i++ {
+		y := i % 2
+		d.X = append(d.X, []float64{float64(y) + 0.2*rng.NormFloat64(), 1e6 * rng.NormFloat64()})
+		d.Y = append(d.Y, y)
+	}
+	m, err := Train(d, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mlcore.Evaluate(m, d)
+	if res.Confusion.Accuracy() < 0.85 {
+		t.Fatalf("scaling failed: accuracy = %v", res.Confusion.Accuracy())
+	}
+}
+
+func TestKNNKClamping(t *testing.T) {
+	d := &mlcore.Dataset{X: [][]float64{{0}, {1}, {2}}, Y: []int{0, 1, 0}}
+	m, err := Train(d, 100) // k > n clamps to n
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.k != 3 {
+		t.Fatalf("k = %d, want 3", m.k)
+	}
+	m2, err := Train(d, 0) // default, clamped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.k != 3 {
+		t.Fatalf("default k = %d, want 3", m2.k)
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	if _, err := Train(&mlcore.Dataset{}, 3); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}
+
+func TestKNNScoreRange(t *testing.T) {
+	m, err := Train(blobs(200, 7), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(8)
+	for i := 0; i < 100; i++ {
+		s := m.Score([]float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+	}
+}

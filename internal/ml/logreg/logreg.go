@@ -1,0 +1,136 @@
+// Package logreg implements L2-regularized logistic regression trained
+// with mini-batch stochastic gradient descent, one of the seven
+// classifiers the paper compares in Table 1 ("Logic Regression").
+package logreg
+
+import (
+	"fmt"
+	"math"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+// Config parameterizes training. The zero value gets sensible defaults.
+type Config struct {
+	// Epochs over the training set. <=0 means 50.
+	Epochs int
+	// LearningRate for SGD. <=0 means 0.1.
+	LearningRate float64
+	// L2 regularization strength. <0 means 1e-4; 0 is allowed.
+	L2 float64
+	// BatchSize for mini-batches. <=0 means 32.
+	BatchSize int
+	// Seed drives shuffling.
+	Seed uint64
+}
+
+func (c *Config) normalize() {
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L2 < 0 {
+		c.L2 = 1e-4
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+}
+
+// Model is a trained logistic regression classifier.
+type Model struct {
+	scaler  *mlcore.Scaler
+	weights []float64
+	bias    float64
+}
+
+var _ mlcore.Classifier = (*Model)(nil)
+
+// Train fits the model by minimizing weighted cross-entropy + L2.
+func Train(d *mlcore.Dataset, cfg Config) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("logreg: empty dataset")
+	}
+	cfg.normalize()
+	rng := stats.NewRNG(cfg.Seed ^ 0x109bb9e1)
+	scaler := mlcore.FitScaler(d)
+	x := make([][]float64, d.Len())
+	for i, row := range d.X {
+		x[i] = scaler.Transform(row)
+	}
+	nf := d.NumFeatures()
+	m := &Model{scaler: scaler, weights: make([]float64, nf)}
+
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	grad := make([]float64, nf)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearningRate / (1 + 0.05*float64(epoch))
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for j := range grad {
+				grad[j] = 0
+			}
+			var gradB, batchW float64
+			for _, i := range order[start:end] {
+				p := sigmoid(dot(m.weights, x[i]) + m.bias)
+				err := p - float64(d.Y[i])
+				w := d.Weight(i)
+				batchW += w
+				for j, v := range x[i] {
+					grad[j] += w * err * v
+				}
+				gradB += w * err
+			}
+			if batchW == 0 {
+				continue
+			}
+			for j := range m.weights {
+				m.weights[j] -= lr * (grad[j]/batchW + cfg.L2*m.weights[j])
+			}
+			m.bias -= lr * gradB / batchW
+		}
+	}
+	return m, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Name implements mlcore.Classifier.
+func (m *Model) Name() string { return "Logic Regression" }
+
+// Prob returns the calibrated positive-class probability.
+func (m *Model) Prob(x []float64) float64 {
+	return sigmoid(dot(m.weights, m.scaler.Transform(x)) + m.bias)
+}
+
+// Predict implements mlcore.Classifier.
+func (m *Model) Predict(x []float64) int {
+	if m.Prob(x) > 0.5 {
+		return mlcore.Positive
+	}
+	return mlcore.Negative
+}
+
+// Score implements mlcore.Classifier.
+func (m *Model) Score(x []float64) float64 { return m.Prob(x) }

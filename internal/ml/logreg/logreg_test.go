@@ -1,0 +1,88 @@
+package logreg
+
+import (
+	"testing"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+func linearly(n int, seed uint64, margin float64) *mlcore.Dataset {
+	rng := stats.NewRNG(seed)
+	d := &mlcore.Dataset{}
+	for i := 0; i < n; i++ {
+		x0 := rng.NormFloat64()
+		x1 := rng.NormFloat64()
+		y := mlcore.Negative
+		if x0+x1 > margin*rng.NormFloat64() {
+			y = mlcore.Positive
+		}
+		d.X = append(d.X, []float64{x0, x1})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func TestLogRegLinearProblem(t *testing.T) {
+	train := linearly(3000, 1, 0)
+	test := linearly(800, 2, 0)
+	m, err := Train(train, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mlcore.Evaluate(m, test)
+	if res.Confusion.Accuracy() < 0.95 {
+		t.Fatalf("accuracy = %v", res.Confusion.Accuracy())
+	}
+	if res.AUC < 0.97 {
+		t.Fatalf("AUC = %v", res.AUC)
+	}
+	if m.Name() != "Logic Regression" {
+		t.Fatal("name")
+	}
+}
+
+func TestLogRegProbCalibrationDirection(t *testing.T) {
+	m, err := Train(linearly(2000, 4, 0), Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepNeg := m.Prob([]float64{-3, -3})
+	deepPos := m.Prob([]float64{3, 3})
+	if !(deepNeg < 0.1 && deepPos > 0.9) {
+		t.Fatalf("probabilities not calibrated: %v / %v", deepNeg, deepPos)
+	}
+}
+
+func TestLogRegWeighted(t *testing.T) {
+	// Same X, contradictory labels; weights decide.
+	d := &mlcore.Dataset{
+		X: [][]float64{{1}, {1}},
+		Y: []int{0, 1},
+		W: []float64{20, 1},
+	}
+	m, err := Train(d, Config{Epochs: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{1}) != mlcore.Negative {
+		t.Fatal("weighted majority must win")
+	}
+}
+
+func TestLogRegDeterminism(t *testing.T) {
+	d := linearly(500, 7, 0.5)
+	a, _ := Train(d, Config{Seed: 9})
+	b, _ := Train(d, Config{Seed: 9})
+	for i := range a.weights {
+		if a.weights[i] != b.weights[i] {
+			t.Fatal("training not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestLogRegErrors(t *testing.T) {
+	if _, err := Train(&mlcore.Dataset{}, Config{}); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}

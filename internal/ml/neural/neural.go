@@ -1,0 +1,167 @@
+// Package neural implements the back-propagation neural network ("BP
+// NN") compared in the paper's Table 1: one sigmoid hidden layer and a
+// sigmoid output unit, trained by stochastic gradient descent with
+// momentum on weighted cross-entropy.
+package neural
+
+import (
+	"fmt"
+	"math"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+// Config parameterizes training. The zero value gets sensible defaults.
+type Config struct {
+	// Hidden units. <=0 means 16.
+	Hidden int
+	// Epochs over the training set. <=0 means 30.
+	Epochs int
+	// LearningRate. <=0 means 0.05.
+	LearningRate float64
+	// Momentum coefficient in [0,1). <0 means 0.9; 0 is allowed.
+	Momentum float64
+	// Seed drives weight initialization and shuffling.
+	Seed uint64
+}
+
+func (c *Config) normalize() {
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Momentum < 0 {
+		c.Momentum = 0.9
+	}
+}
+
+// Model is a trained 1-hidden-layer network.
+type Model struct {
+	scaler *mlcore.Scaler
+	// w1[h][j]: input j -> hidden h; b1[h]: hidden bias.
+	w1 [][]float64
+	b1 []float64
+	// w2[h]: hidden h -> output; b2: output bias.
+	w2 []float64
+	b2 float64
+}
+
+var _ mlcore.Classifier = (*Model)(nil)
+
+// Train fits the network.
+func Train(d *mlcore.Dataset, cfg Config) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("neural: empty dataset")
+	}
+	cfg.normalize()
+	rng := stats.NewRNG(cfg.Seed ^ 0x5ca1ab1e)
+	scaler := mlcore.FitScaler(d)
+	x := make([][]float64, d.Len())
+	for i, row := range d.X {
+		x[i] = scaler.Transform(row)
+	}
+	nf := d.NumFeatures()
+	h := cfg.Hidden
+	m := &Model{
+		scaler: scaler,
+		w1:     make([][]float64, h),
+		b1:     make([]float64, h),
+		w2:     make([]float64, h),
+	}
+	// Xavier-style initialization.
+	scale1 := math.Sqrt(2.0 / float64(nf+1))
+	for i := range m.w1 {
+		m.w1[i] = make([]float64, nf)
+		for j := range m.w1[i] {
+			m.w1[i][j] = rng.NormFloat64() * scale1
+		}
+		m.w2[i] = rng.NormFloat64() * math.Sqrt(2.0/float64(h+1))
+	}
+
+	// Momentum buffers.
+	v1 := make([][]float64, h)
+	for i := range v1 {
+		v1[i] = make([]float64, nf)
+	}
+	vb1 := make([]float64, h)
+	v2 := make([]float64, h)
+	var vb2 float64
+
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	hid := make([]float64, h)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearningRate / (1 + 0.02*float64(epoch))
+		for _, i := range order {
+			xi := x[i]
+			// Forward pass.
+			for u := 0; u < h; u++ {
+				hid[u] = sigmoid(dotBias(m.w1[u], xi, m.b1[u]))
+			}
+			out := sigmoid(dotBias(m.w2, hid, m.b2))
+			// Backward pass (cross-entropy + sigmoid: delta = out - y).
+			w := d.Weight(i)
+			deltaOut := w * (out - float64(d.Y[i]))
+			for u := 0; u < h; u++ {
+				deltaHid := deltaOut * m.w2[u] * hid[u] * (1 - hid[u])
+				v2[u] = cfg.Momentum*v2[u] - lr*deltaOut*hid[u]
+				m.w2[u] += v2[u]
+				for j, xv := range xi {
+					v1[u][j] = cfg.Momentum*v1[u][j] - lr*deltaHid*xv
+					m.w1[u][j] += v1[u][j]
+				}
+				vb1[u] = cfg.Momentum*vb1[u] - lr*deltaHid
+				m.b1[u] += vb1[u]
+			}
+			vb2 = cfg.Momentum*vb2 - lr*deltaOut
+			m.b2 += vb2
+		}
+	}
+	return m, nil
+}
+
+func dotBias(w, x []float64, b float64) float64 {
+	s := b
+	for i, v := range w {
+		s += v * x[i]
+	}
+	return s
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Name implements mlcore.Classifier.
+func (m *Model) Name() string { return "BP NN" }
+
+// Prob returns the network's positive-class output.
+func (m *Model) Prob(x []float64) float64 {
+	xi := m.scaler.Transform(x)
+	s := m.b2
+	for u, wu := range m.w1 {
+		s += m.w2[u] * sigmoid(dotBias(wu, xi, m.b1[u]))
+	}
+	return sigmoid(s)
+}
+
+// Predict implements mlcore.Classifier.
+func (m *Model) Predict(x []float64) int {
+	if m.Prob(x) > 0.5 {
+		return mlcore.Positive
+	}
+	return mlcore.Negative
+}
+
+// Score implements mlcore.Classifier.
+func (m *Model) Score(x []float64) float64 { return m.Prob(x) }

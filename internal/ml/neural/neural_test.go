@@ -1,0 +1,93 @@
+package neural
+
+import (
+	"testing"
+
+	"otacache/internal/mlcore"
+	"otacache/internal/stats"
+)
+
+func xor(n int, seed uint64) *mlcore.Dataset {
+	rng := stats.NewRNG(seed)
+	d := &mlcore.Dataset{}
+	for i := 0; i < n; i++ {
+		a := rng.Float64()
+		b := rng.Float64()
+		y := mlcore.Negative
+		if (a > 0.5) != (b > 0.5) {
+			y = mlcore.Positive
+		}
+		d.X = append(d.X, []float64{a, b})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func TestNeuralXOR(t *testing.T) {
+	// XOR is not linearly separable; the hidden layer must solve it.
+	train := xor(3000, 1)
+	test := xor(600, 2)
+	m, err := Train(train, Config{Hidden: 8, Epochs: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mlcore.Evaluate(m, test)
+	if res.Confusion.Accuracy() < 0.9 {
+		t.Fatalf("XOR accuracy = %v", res.Confusion.Accuracy())
+	}
+	if m.Name() != "BP NN" {
+		t.Fatal("name")
+	}
+}
+
+func TestNeuralLinearProblem(t *testing.T) {
+	rng := stats.NewRNG(4)
+	d := &mlcore.Dataset{}
+	for i := 0; i < 1500; i++ {
+		x := rng.NormFloat64()
+		y := mlcore.Negative
+		if x > 0 {
+			y = mlcore.Positive
+		}
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, y)
+	}
+	m, err := Train(d, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mlcore.Evaluate(m, d)
+	if res.Confusion.Accuracy() < 0.97 {
+		t.Fatalf("accuracy = %v", res.Confusion.Accuracy())
+	}
+}
+
+func TestNeuralScoreRange(t *testing.T) {
+	m, err := Train(xor(300, 6), Config{Epochs: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(8)
+	for i := 0; i < 100; i++ {
+		s := m.Score([]float64{rng.Float64(), rng.Float64()})
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+	}
+}
+
+func TestNeuralDeterminism(t *testing.T) {
+	d := xor(300, 9)
+	a, _ := Train(d, Config{Epochs: 5, Seed: 11})
+	b, _ := Train(d, Config{Epochs: 5, Seed: 11})
+	probe := []float64{0.3, 0.7}
+	if a.Prob(probe) != b.Prob(probe) {
+		t.Fatal("training not deterministic for equal seeds")
+	}
+}
+
+func TestNeuralErrors(t *testing.T) {
+	if _, err := Train(&mlcore.Dataset{}, Config{}); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}

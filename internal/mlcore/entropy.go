@@ -1,0 +1,144 @@
+package mlcore
+
+import (
+	"math"
+	"sort"
+)
+
+// Entropy returns the Shannon entropy (bits) of a discrete distribution
+// given as non-negative weights. Zero-weight categories contribute
+// nothing; an empty or all-zero distribution has zero entropy.
+func Entropy(weights []float64) float64 {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, w := range weights {
+		if w > 0 {
+			p := w / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// LabelEntropy returns the entropy of the dataset's (weighted) label
+// distribution.
+func LabelEntropy(d *Dataset) float64 {
+	var pos, neg float64
+	for i, y := range d.Y {
+		w := d.Weight(i)
+		if y == Positive {
+			pos += w
+		} else {
+			neg += w
+		}
+	}
+	return Entropy([]float64{neg, pos})
+}
+
+// InfoGain returns the information gain of splitting the dataset on
+// feature column col, treating each distinct value as a category. For
+// continuous features, discretize first (see Discretizer); the feature
+// extractor already discretizes ages, recencies, hours and types per the
+// paper's §3.2.3, so columns arriving here have modest cardinality.
+func InfoGain(d *Dataset, col int) float64 {
+	if d.Len() == 0 || col < 0 || col >= d.NumFeatures() {
+		return 0
+	}
+	type bucket struct{ neg, pos float64 }
+	buckets := make(map[float64]*bucket)
+	var total float64
+	for i, row := range d.X {
+		w := d.Weight(i)
+		b := buckets[row[col]]
+		if b == nil {
+			b = &bucket{}
+			buckets[row[col]] = b
+		}
+		if d.Y[i] == Positive {
+			b.pos += w
+		} else {
+			b.neg += w
+		}
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	cond := 0.0
+	for _, b := range buckets {
+		cond += (b.neg + b.pos) / total * Entropy([]float64{b.neg, b.pos})
+	}
+	return LabelEntropy(d) - cond
+}
+
+// InfoGainAll returns the information gain of every feature column.
+func InfoGainAll(d *Dataset) []float64 {
+	gains := make([]float64, d.NumFeatures())
+	for c := range gains {
+		gains[c] = InfoGain(d, c)
+	}
+	return gains
+}
+
+// Discretizer maps a continuous value to a bin index using fixed cut
+// points: value v lands in bin i where cuts[i-1] <= v < cuts[i].
+type Discretizer struct {
+	cuts []float64
+}
+
+// NewEqualWidth builds a discretizer with bins of equal width over
+// [lo, hi]. bins must be >= 1.
+func NewEqualWidth(lo, hi float64, bins int) *Discretizer {
+	if bins < 1 {
+		bins = 1
+	}
+	cuts := make([]float64, bins-1)
+	w := (hi - lo) / float64(bins)
+	for i := range cuts {
+		cuts[i] = lo + w*float64(i+1)
+	}
+	return &Discretizer{cuts: cuts}
+}
+
+// NewQuantile builds a discretizer whose bins hold roughly equal numbers
+// of the provided sample values.
+func NewQuantile(values []float64, bins int) *Discretizer {
+	if bins < 1 {
+		bins = 1
+	}
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	cuts := make([]float64, 0, bins-1)
+	for i := 1; i < bins; i++ {
+		pos := i * len(s) / bins
+		if pos >= len(s) {
+			pos = len(s) - 1
+		}
+		if len(s) == 0 {
+			break
+		}
+		c := s[pos]
+		// A cut at or below the minimum would leave an empty first bin.
+		if c > s[0] && (len(cuts) == 0 || c > cuts[len(cuts)-1]) {
+			cuts = append(cuts, c)
+		}
+	}
+	return &Discretizer{cuts: cuts}
+}
+
+// Bin returns the bin index of v in [0, Bins()).
+func (z *Discretizer) Bin(v float64) int {
+	return sort.SearchFloat64s(z.cuts, math.Nextafter(v, math.Inf(1)))
+}
+
+// Bins returns the number of bins.
+func (z *Discretizer) Bins() int { return len(z.cuts) + 1 }

@@ -1,0 +1,157 @@
+package mlcore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Confusion is the binary confusion matrix in the paper's orientation
+// (Table 2): Positive = one-time access.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (actual, predicted) pair.
+func (c *Confusion) Add(actual, predicted int) {
+	switch {
+	case actual == Positive && predicted == Positive:
+		c.TP++
+	case actual == Positive && predicted == Negative:
+		c.FN++
+	case actual == Negative && predicted == Positive:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded pairs.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision is TP / (TP + FP) (Table 3); 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP / (TP + FN) (Table 3); 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Accuracy is the correctly classified proportion (Table 3).
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Metrics bundles the Table 1 columns for one classifier.
+type Metrics struct {
+	Confusion Confusion
+	AUC       float64
+}
+
+// String renders the metrics in Table 1's column order.
+func (m Metrics) String() string {
+	return fmt.Sprintf("precision=%.4f recall=%.4f accuracy=%.4f auc=%.4f",
+		m.Confusion.Precision(), m.Confusion.Recall(), m.Confusion.Accuracy(), m.AUC)
+}
+
+// AUC computes the area under the ROC curve from per-sample scores
+// (higher = more positive) and true labels, using the rank-statistic
+// formulation with midrank tie handling: AUC equals the probability a
+// random positive outranks a random negative.
+func AUC(scores []float64, labels []int) float64 {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Assign midranks for tied scores.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j
+	}
+	var sumPos float64
+	var nPos, nNeg int
+	for i, y := range labels {
+		if y == Positive {
+			sumPos += ranks[i]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0
+	}
+	// Mann-Whitney U statistic.
+	u := sumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// Evaluate runs a classifier over a test set and returns its metrics.
+func Evaluate(c Classifier, test *Dataset) Metrics {
+	var m Metrics
+	scores := make([]float64, test.Len())
+	for i, x := range test.X {
+		m.Confusion.Add(test.Y[i], c.Predict(x))
+		scores[i] = c.Score(x)
+	}
+	m.AUC = AUC(scores, test.Y)
+	return m
+}
+
+// CrossValidate trains with the given constructor on each of k
+// stratified folds and returns the pooled metrics (confusions summed,
+// AUC averaged over folds).
+func CrossValidate(train func(*Dataset) (Classifier, error), folds []Fold) (Metrics, error) {
+	var pooled Metrics
+	var aucSum float64
+	for i, f := range folds {
+		c, err := train(f.Train)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("mlcore: fold %d: %w", i, err)
+		}
+		m := Evaluate(c, f.Test)
+		pooled.Confusion.TP += m.Confusion.TP
+		pooled.Confusion.FP += m.Confusion.FP
+		pooled.Confusion.TN += m.Confusion.TN
+		pooled.Confusion.FN += m.Confusion.FN
+		aucSum += m.AUC
+	}
+	if len(folds) > 0 {
+		pooled.AUC = aucSum / float64(len(folds))
+	}
+	return pooled, nil
+}

@@ -1,0 +1,78 @@
+package mlcore
+
+import "sort"
+
+// ROCPoint is one operating point of a ROC curve (Table 3: TPR over
+// FPR as the decision threshold sweeps).
+type ROCPoint struct {
+	// FPR is the false-positive rate FP/(FP+TN).
+	FPR float64
+	// TPR is the true-positive rate TP/(TP+FN) (recall).
+	TPR float64
+	// Threshold is the score cut producing this point: samples with
+	// score >= Threshold are predicted Positive.
+	Threshold float64
+}
+
+// ROC computes the ROC curve from per-sample scores and labels. Points
+// are ordered from (0,0) to (1,1); tied scores collapse into a single
+// point. Returns nil if either class is absent.
+func ROC(scores []float64, labels []int) []ROCPoint {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var nPos, nNeg int
+	for _, y := range labels {
+		if y == Positive {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil
+	}
+
+	points := []ROCPoint{{FPR: 0, TPR: 0, Threshold: scores[idx[0]] + 1}}
+	tp, fp := 0, 0
+	for i := 0; i < n; {
+		j := i
+		// Consume the whole tie group before emitting a point.
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] == Positive {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		points = append(points, ROCPoint{
+			FPR:       float64(fp) / float64(nNeg),
+			TPR:       float64(tp) / float64(nPos),
+			Threshold: scores[idx[i]],
+		})
+		i = j
+	}
+	return points
+}
+
+// AUCFromROC integrates a ROC curve with the trapezoid rule; it equals
+// AUC() on the same data (a property the tests verify).
+func AUCFromROC(points []ROCPoint) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	area := 0.0
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}

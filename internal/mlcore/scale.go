@@ -1,0 +1,72 @@
+package mlcore
+
+import "math"
+
+// Scaler standardizes features to zero mean and unit variance, fit on a
+// training set and applied to any vector. Distance- and gradient-based
+// learners (k-NN, logistic regression, the BP network) need it; tree
+// learners do not.
+type Scaler struct {
+	mean []float64
+	std  []float64
+}
+
+// FitScaler computes per-column means and standard deviations.
+func FitScaler(d *Dataset) *Scaler {
+	nf := d.NumFeatures()
+	s := &Scaler{mean: make([]float64, nf), std: make([]float64, nf)}
+	n := float64(d.Len())
+	if n == 0 {
+		for i := range s.std {
+			s.std[i] = 1
+		}
+		return s
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			dlt := v - s.mean[j]
+			s.std[j] += dlt * dlt
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] < 1e-12 {
+			s.std[j] = 1 // constant column: leave values centred at 0
+		}
+	}
+	return s
+}
+
+// Transform returns the standardized copy of x.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// TransformInPlace standardizes x without allocating.
+func (s *Scaler) TransformInPlace(x []float64) {
+	for j, v := range x {
+		x[j] = (v - s.mean[j]) / s.std[j]
+	}
+}
+
+// TransformDataset returns a new dataset with standardized feature rows
+// (labels and weights shared).
+func (s *Scaler) TransformDataset(d *Dataset) *Dataset {
+	out := &Dataset{X: make([][]float64, d.Len()), Y: d.Y, W: d.W, Names: d.Names}
+	for i, row := range d.X {
+		out.X[i] = s.Transform(row)
+	}
+	return out
+}

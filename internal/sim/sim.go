@@ -1,0 +1,475 @@
+// Package sim drives traces through (policy, admission mode, capacity)
+// configurations and reports the metrics of the paper's evaluation
+// (§5): file/byte hit rate, file/byte write rate, modelled response
+// time, and the classification system's prediction quality.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"otacache/internal/cache"
+	"otacache/internal/core"
+	"otacache/internal/features"
+	"otacache/internal/labeling"
+	"otacache/internal/ml/cart"
+	"otacache/internal/mlcore"
+	"otacache/internal/trace"
+)
+
+// Mode selects the admission behaviour, matching the curve families in
+// Figures 6–10.
+type Mode int
+
+// Admission modes.
+const (
+	// ModeOriginal admits every miss (the paper's "Original" curves;
+	// with the belady policy it is also the "Belady" curve).
+	ModeOriginal Mode = iota
+	// ModeProposal uses the trained classifier + history table.
+	ModeProposal
+	// ModeIdeal uses the oracle classifier (100% accuracy).
+	ModeIdeal
+	// ModeDoorkeeper uses the non-ML frequency baseline (bloom
+	// doorkeeper + decayed count-min sketch, "admit on re-access") —
+	// not a paper mode, provided for baseline comparisons.
+	ModeDoorkeeper
+)
+
+// String returns the paper's name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeProposal:
+		return "proposal"
+	case ModeIdeal:
+		return "ideal"
+	case ModeDoorkeeper:
+		return "doorkeeper"
+	default:
+		return "original"
+	}
+}
+
+// Config is one simulation run.
+type Config struct {
+	// Policy is a cache.Names() entry.
+	Policy string
+	// CacheBytes is the SSD capacity.
+	CacheBytes int64
+	// Mode selects the admission behaviour.
+	Mode Mode
+	// Seed drives classifier training randomness.
+	Seed uint64
+	// Latency parameterizes the response-time model; zero fields take
+	// the paper's defaults.
+	Latency LatencyModel
+
+	// HitRateEstimate is the h used to solve the one-time criteria; 0
+	// means "measure with a quick LRU pass" (the paper's approach).
+	HitRateEstimate float64
+	// MIterations is the criteria fixed-point iteration count (0 = 3).
+	MIterations int
+
+	// FeatureCols restricts the classifier to these feature columns;
+	// nil means the paper's selected five (features.PaperSelected).
+	FeatureCols []int
+	// CostV overrides the cost matrix's v; 0 means the Table 4 rule.
+	CostV float64
+	// SamplesPerMinute is the training sampling rate (0 = the paper's
+	// 100 records per minute).
+	SamplesPerMinute int
+	// RetrainHour is the daily retraining hour (default 5, per §4.4.3;
+	// set to -1 to disable retraining).
+	RetrainHour int
+	// DisableHistoryTable runs the classifier without rectification
+	// (ablation of §4.4.2).
+	DisableHistoryTable bool
+	// TreeMaxSplits overrides the CART split budget (0 = 30).
+	TreeMaxSplits int
+	// OnlineLearning replaces the daily-retrained tree with an
+	// incrementally updated logistic model — the §4.4.3 alternative the
+	// paper rejects; exposed for the ablation study. Only meaningful in
+	// ModeProposal.
+	OnlineLearning bool
+	// ScoreThreshold, when > 0, predicts one-time only when the
+	// classifier's score reaches it — a continuously tunable operating
+	// point on the classifier's ROC curve (an alternative to the cost
+	// matrix). Only meaningful in ModeProposal.
+	ScoreThreshold float64
+	// BinnedTraining uses the histogram CART trainer (cart.TrainBinned,
+	// ~4x faster) for the bootstrap and daily retraining, trading exact
+	// thresholds for bucket boundaries. Only meaningful in ModeProposal.
+	BinnedTraining bool
+}
+
+func (c *Config) normalize() error {
+	if c.CacheBytes <= 0 {
+		return fmt.Errorf("sim: CacheBytes must be positive, got %d", c.CacheBytes)
+	}
+	found := false
+	for _, n := range cache.Names() {
+		if n == c.Policy {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("sim: unknown policy %q", c.Policy)
+	}
+	c.Latency.normalize()
+	if c.MIterations <= 0 {
+		c.MIterations = 3
+	}
+	if c.FeatureCols == nil {
+		c.FeatureCols = features.PaperSelected()
+	}
+	if c.CostV <= 0 {
+		c.CostV = core.CostV(c.CacheBytes)
+	}
+	if c.SamplesPerMinute <= 0 {
+		c.SamplesPerMinute = 100
+	}
+	if c.RetrainHour == 0 {
+		c.RetrainHour = 5
+	}
+	if c.TreeMaxSplits <= 0 {
+		c.TreeMaxSplits = 30
+	}
+	return nil
+}
+
+// Quality scores the classification system against the one-time ground
+// truth (Figure 5). Daily[i] covers trace day i.
+type Quality struct {
+	Overall mlcore.Confusion
+	Daily   []mlcore.Confusion
+}
+
+// Result is one simulation's output.
+type Result struct {
+	Config   Config
+	Requests int
+
+	FileHits   int64
+	ByteHits   int64
+	FileWrites int64
+	ByteWrites int64
+	TotalBytes int64
+
+	// Bypassed counts misses the admission filter rejected.
+	Bypassed int64
+	// Rectified counts history-table corrections.
+	Rectified int64
+	// Retrainings counts daily model refreshes performed.
+	Retrainings int
+	// WastedWrites counts SSD writes of objects that were truly
+	// one-time under the criteria (classifier false negatives reaching
+	// flash) — the paper's "invalid writes" that survive filtering.
+	// Zero in ModeOriginal, which solves no criteria.
+	WastedWrites int64
+
+	// MeanLatencyUs is the Eq. 3 average access latency.
+	MeanLatencyUs float64
+
+	// Criteria is the solved one-time-access criteria for this run
+	// (zero value in ModeOriginal).
+	Criteria labeling.Criteria
+	// Quality is the classification quality (Proposal/Ideal only).
+	Quality Quality
+}
+
+// FileHitRate returns hits / requests.
+func (r *Result) FileHitRate() float64 { return ratio(r.FileHits, int64(r.Requests)) }
+
+// ByteHitRate returns hit bytes / requested bytes.
+func (r *Result) ByteHitRate() float64 { return ratio(r.ByteHits, r.TotalBytes) }
+
+// FileWriteRate returns SSD file writes / requests (§5.3.3).
+func (r *Result) FileWriteRate() float64 { return ratio(r.FileWrites, int64(r.Requests)) }
+
+// ByteWriteRate returns SSD bytes written / requested bytes (§5.3.4).
+func (r *Result) ByteWriteRate() float64 { return ratio(r.ByteWrites, r.TotalBytes) }
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Runner executes simulations over one trace, sharing the expensive
+// next-access index and hit-rate estimates between runs. It is safe for
+// concurrent use.
+type Runner struct {
+	tr   *trace.Trace
+	next []int
+
+	mu    sync.Mutex
+	hCach map[int64]float64 // capacity -> estimated LRU hit rate
+}
+
+// NewRunner prepares a runner for the trace (building the next-access
+// index once).
+func NewRunner(tr *trace.Trace) *Runner {
+	return &Runner{tr: tr, next: trace.BuildNextAccess(tr), hCach: make(map[int64]float64)}
+}
+
+// Trace returns the runner's trace.
+func (r *Runner) Trace() *trace.Trace { return r.tr }
+
+// NextAccess returns the shared next-access index.
+func (r *Runner) NextAccess() []int { return r.next }
+
+// hitRateFor returns a cached quick-LRU hit-rate estimate.
+func (r *Runner) hitRateFor(capacity int64) float64 {
+	r.mu.Lock()
+	h, ok := r.hCach[capacity]
+	r.mu.Unlock()
+	if ok {
+		return h
+	}
+	h = labeling.EstimateHitRate(r.tr, capacity, 0)
+	r.mu.Lock()
+	r.hCach[capacity] = h
+	r.mu.Unlock()
+	return h
+}
+
+// Criteria solves the one-time-access criteria for a configuration,
+// including the LIRS adjustment of §5.2.
+func (r *Runner) Criteria(cfg Config) labeling.Criteria {
+	h := cfg.HitRateEstimate
+	if h <= 0 {
+		h = r.hitRateFor(cfg.CacheBytes)
+	}
+	crit := labeling.Solve(r.tr, r.next, cfg.CacheBytes, h, cfg.MIterations)
+	return crit.ForPolicy(cfg.Policy, cache.DefaultLIRRatio)
+}
+
+// Run executes one simulation.
+func (r *Runner) Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	policy, err := cache.New(cfg.Policy, cfg.CacheBytes, r.next)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Config: cfg, Requests: len(r.tr.Requests)}
+	days := int(r.tr.Horizon/86400) + 1
+	res.Quality.Daily = make([]mlcore.Confusion, days)
+
+	var filter core.Filter = core.AdmitAll{}
+	var labels []int
+	var extractor *features.Extractor
+	var samples *core.SampleBuffer
+	var admission *core.ClassifierAdmission
+	var onlineClf *core.OnlineLogit
+
+	switch cfg.Mode {
+	case ModeOriginal:
+		// nothing to prepare
+	case ModeIdeal:
+		res.Criteria = r.Criteria(cfg)
+		labels = labeling.Labels(r.next, res.Criteria)
+		filter = core.NewOracle(r.next, res.Criteria)
+	case ModeDoorkeeper:
+		res.Criteria = r.Criteria(cfg)
+		labels = labeling.Labels(r.next, res.Criteria)
+		width := int(cfg.CacheBytes / r.tr.MeanPhotoSize())
+		if width < 1024 {
+			width = 1024
+		}
+		f, err := core.NewFrequencyAdmission(width, 1)
+		if err != nil {
+			return nil, err
+		}
+		filter = f
+	case ModeProposal:
+		res.Criteria = r.Criteria(cfg)
+		labels = labeling.Labels(r.next, res.Criteria)
+		var table *core.HistoryTable
+		if !cfg.DisableHistoryTable {
+			table = core.NewHistoryTable(core.TableCapacity(res.Criteria))
+		}
+		var clf mlcore.Classifier
+		if cfg.OnlineLearning {
+			online, err := core.NewOnlineLogit(len(cfg.FeatureCols), 0, -1)
+			if err != nil {
+				return nil, err
+			}
+			onlineClf = online
+			clf = online
+		} else {
+			var err error
+			clf, err = r.bootstrapClassifier(cfg, labels)
+			if err != nil {
+				return nil, err
+			}
+		}
+		admission, err = core.NewClassifierAdmission(clf, table, res.Criteria)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ScoreThreshold > 0 {
+			admission.SetScoreThreshold(cfg.ScoreThreshold)
+		}
+		filter = admission
+		extractor = features.NewExtractor(r.tr)
+		samples = core.NewSampleBuffer(cfg.SamplesPerMinute, 24*3600)
+	default:
+		return nil, fmt.Errorf("sim: unknown mode %d", cfg.Mode)
+	}
+
+	classified := cfg.Mode != ModeOriginal
+	var latencySum float64
+	hitCost := cfg.Latency.HitCost()
+	missCost := cfg.Latency.MissCost(classified)
+	sizeAware := cfg.Latency.SizeAware()
+
+	var feat [features.NumFeatures]float64
+	nextRetrain := int64(86400 + cfg.RetrainHour*3600) // first 05:00 after day 0
+	if cfg.RetrainHour < 0 {
+		nextRetrain = int64(1) << 62
+	}
+
+	for i := range r.tr.Requests {
+		req := &r.tr.Requests[i]
+		size := r.tr.Photos[req.Photo].Size
+		key := uint64(req.Photo)
+		res.TotalBytes += size
+
+		var proj []float64
+		if extractor != nil {
+			extractor.NextInto(i, feat[:])
+			proj = project(feat[:], cfg.FeatureCols)
+			if onlineClf == nil {
+				samples.Offer(req.Time, proj, labels[i])
+				if req.Time >= nextRetrain {
+					r.retrain(cfg, admission, samples, req.Time, res)
+					nextRetrain += 86400
+				}
+			}
+		}
+
+		if policy.Get(key, i) {
+			res.FileHits++
+			res.ByteHits += size
+			if sizeAware {
+				latencySum += cfg.Latency.HitCostFor(size)
+			} else {
+				latencySum += hitCost
+			}
+			if onlineClf != nil {
+				onlineClf.Update(proj, labels[i])
+			}
+			continue
+		}
+		if sizeAware {
+			latencySum += cfg.Latency.MissCostFor(classified, size)
+		} else {
+			latencySum += missCost
+		}
+
+		decision := filter.Decide(key, i, proj)
+		if onlineClf != nil {
+			// Prequential update: learn from this access only after
+			// the admission decision used the current model.
+			onlineClf.Update(proj, labels[i])
+		}
+		if classified {
+			day := int(req.Time / 86400)
+			predicted := mlcore.Negative
+			if decision.PredictedOneTime {
+				predicted = mlcore.Positive
+			}
+			res.Quality.Overall.Add(labels[i], predicted)
+			if day >= 0 && day < len(res.Quality.Daily) {
+				res.Quality.Daily[day].Add(labels[i], predicted)
+			}
+			if decision.Rectified {
+				res.Rectified++
+			}
+		}
+		if !decision.Admit {
+			res.Bypassed++
+			continue
+		}
+		policy.Admit(key, size, i)
+		if policy.Contains(key) {
+			res.FileWrites++
+			res.ByteWrites += size
+			if labels != nil && labels[i] == mlcore.Positive {
+				res.WastedWrites++
+			}
+		}
+	}
+	if res.Requests > 0 {
+		res.MeanLatencyUs = latencySum / float64(res.Requests)
+	}
+	return res, nil
+}
+
+// bootstrapClassifier trains the initial model on the first day's
+// sampled records, mirroring the paper's offline bootstrap (§4.4.3:
+// train on the previous 24 hours; for day 0 we warm-start on day 0's
+// own sample, documented in DESIGN.md).
+func (r *Runner) bootstrapClassifier(cfg Config, labels []int) (mlcore.Classifier, error) {
+	buf := core.NewSampleBuffer(cfg.SamplesPerMinute, 24*3600)
+	ex := features.NewExtractor(r.tr)
+	var feat [features.NumFeatures]float64
+	limit := int64(86400)
+	if r.tr.Horizon < limit {
+		limit = r.tr.Horizon
+	}
+	for i := range r.tr.Requests {
+		if r.tr.Requests[i].Time >= limit {
+			break
+		}
+		ex.NextInto(i, feat[:])
+		buf.Offer(r.tr.Requests[i].Time, project(feat[:], cfg.FeatureCols), labels[i])
+	}
+	d := buf.Dataset(limit, nil)
+	if d.Len() < 10 {
+		return nil, fmt.Errorf("sim: only %d bootstrap samples in the first day", d.Len())
+	}
+	return r.trainTree(cfg, d)
+}
+
+func (r *Runner) trainTree(cfg Config, d *mlcore.Dataset) (mlcore.Classifier, error) {
+	neg, pos := d.CountLabels()
+	if neg == 0 || pos == 0 {
+		return nil, fmt.Errorf("sim: degenerate training set (%d neg / %d pos)", neg, pos)
+	}
+	if cfg.BinnedTraining {
+		treeCfg := cart.Default(cfg.CostV)
+		treeCfg.MaxSplits = cfg.TreeMaxSplits
+		return cart.TrainBinned(d, treeCfg, 64)
+	}
+	return core.TrainTree(d, cfg.CostV)
+}
+
+// retrain refreshes the admission classifier from the sample buffer; a
+// degenerate window (e.g. single-class) keeps the previous model.
+func (r *Runner) retrain(cfg Config, admission *core.ClassifierAdmission, samples *core.SampleBuffer, now int64, res *Result) {
+	d := samples.Dataset(now, nil)
+	if d.Len() < 100 {
+		return
+	}
+	clf, err := r.trainTree(cfg, d)
+	if err != nil {
+		return
+	}
+	admission.SetClassifier(clf)
+	res.Retrainings++
+}
+
+// project selects the configured feature columns from a full vector.
+func project(full []float64, cols []int) []float64 {
+	out := make([]float64, len(cols))
+	for j, c := range cols {
+		out[j] = full[c]
+	}
+	return out
+}

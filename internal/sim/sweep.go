@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Sweep runs many configurations concurrently over the runner's trace
+// and returns results in input order. workers <= 0 uses GOMAXPROCS.
+// The first error aborts the sweep.
+func (r *Runner) Sweep(cfgs []Config, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*Result, len(cfgs))
+	jobs := make(chan int)
+	errs := make(chan error, len(cfgs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := r.Run(cfgs[i])
+				if err != nil {
+					errs <- fmt.Errorf("sim: config %d (%s/%s/%dMB): %w",
+						i, cfgs[i].Policy, cfgs[i].Mode, cfgs[i].CacheBytes>>20, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	if err, ok := <-errs; ok {
+		return nil, err
+	}
+	return results, nil
+}
+
+// GB is a byte-size helper for capacity sweeps.
+const GB = int64(1) << 30
+
+// CapacitySweep builds one Config per capacity with the rest of the
+// template shared.
+func CapacitySweep(template Config, capacities []int64) []Config {
+	out := make([]Config, len(capacities))
+	for i, c := range capacities {
+		cfg := template
+		cfg.CacheBytes = c
+		out[i] = cfg
+	}
+	return out
+}
+
+// Grid builds the full (policy x mode x capacity) cross product used by
+// Figures 6-10.
+func Grid(policies []string, modes []Mode, capacities []int64, template Config) []Config {
+	var out []Config
+	for _, p := range policies {
+		for _, m := range modes {
+			for _, c := range capacities {
+				cfg := template
+				cfg.Policy = p
+				cfg.Mode = m
+				cfg.CacheBytes = c
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}

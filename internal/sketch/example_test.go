@@ -1,0 +1,34 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"otacache/internal/sketch"
+)
+
+// Example shows the doorkeeper + sketch pattern behind frequency-based
+// admission: the first appearance only marks the doorkeeper; repeat
+// appearances accumulate counts.
+func Example() {
+	door, _ := sketch.NewDoorkeeper(1 << 14)
+	freq, _ := sketch.NewCountMin(1024)
+
+	appearance := func(key uint64) int {
+		if !door.Seen(key) {
+			door.Mark(key)
+			return 0
+		}
+		freq.Add(key)
+		return freq.Estimate(key)
+	}
+
+	fmt.Println("1st:", appearance(42))
+	fmt.Println("2nd:", appearance(42))
+	fmt.Println("3rd:", appearance(42))
+	fmt.Println("other key:", appearance(7))
+	// Output:
+	// 1st: 0
+	// 2nd: 1
+	// 3rd: 2
+	// other key: 0
+}

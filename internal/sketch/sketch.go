@@ -1,0 +1,162 @@
+// Package sketch provides the probabilistic frequency structures behind
+// the non-ML admission baseline: a count-min sketch with periodic aging
+// and a bloom-filter doorkeeper. Together they implement
+// frequency-based cache admission ("admit on re-access"), the classic
+// alternative to the paper's learned classifier that the comparison
+// experiments measure it against.
+package sketch
+
+import "fmt"
+
+// CountMin is a conservative-update count-min sketch over 64-bit keys
+// with 4-bit counters and halving decay (the TinyLFU aging scheme):
+// after every Width x 10 increments all counters halve, so estimates
+// track recent popularity rather than all-time counts.
+type CountMin struct {
+	rows    [4][]uint8 // 4-bit counters stored one per byte for simplicity
+	mask    uint64
+	ops     int
+	resetAt int
+}
+
+// NewCountMin creates a sketch with the given width per row (rounded up
+// to a power of two, minimum 16).
+func NewCountMin(width int) (*CountMin, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("sketch: width must be positive, got %d", width)
+	}
+	w := 16
+	for w < width {
+		w <<= 1
+	}
+	c := &CountMin{mask: uint64(w - 1)}
+	for i := range c.rows {
+		c.rows[i] = make([]uint8, w)
+	}
+	c.resetAt = w * 10
+	return c, nil
+}
+
+// hashes derives the four row positions of a key.
+func (c *CountMin) hashes(key uint64) [4]uint64 {
+	var out [4]uint64
+	h := key
+	for i := range out {
+		h = (h ^ (h >> 33)) * 0xff51afd7ed558ccd
+		h ^= h >> 29
+		out[i] = h & c.mask
+		h += 0x9e3779b97f4a7c15
+	}
+	return out
+}
+
+// Add increments the key's counters (conservative update: only the
+// minimal counters grow), aging the sketch when due.
+func (c *CountMin) Add(key uint64) {
+	hs := c.hashes(key)
+	min := uint8(255)
+	for i, h := range hs {
+		if c.rows[i][h] < min {
+			min = c.rows[i][h]
+		}
+	}
+	if min >= 15 {
+		return // saturated at the 4-bit ceiling
+	}
+	for i, h := range hs {
+		if c.rows[i][h] == min {
+			c.rows[i][h]++
+		}
+	}
+	c.ops++
+	if c.ops >= c.resetAt {
+		c.age()
+	}
+}
+
+// Estimate returns the key's (over-)estimated recent count.
+func (c *CountMin) Estimate(key uint64) int {
+	hs := c.hashes(key)
+	min := uint8(255)
+	for i, h := range hs {
+		if c.rows[i][h] < min {
+			min = c.rows[i][h]
+		}
+	}
+	return int(min)
+}
+
+// age halves every counter.
+func (c *CountMin) age() {
+	for i := range c.rows {
+		for j := range c.rows[i] {
+			c.rows[i][j] >>= 1
+		}
+	}
+	c.ops = 0
+}
+
+// Doorkeeper is a small bloom filter answering "was this key seen since
+// the last reset?". It front-ends the sketch so one-hit wonders never
+// enter the counters.
+type Doorkeeper struct {
+	bits []uint64
+	mask uint64
+	set  int
+}
+
+// NewDoorkeeper creates a filter with roughly the given bit capacity
+// (rounded up to a power of two, minimum 1024 bits).
+func NewDoorkeeper(bits int) (*Doorkeeper, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("sketch: bits must be positive, got %d", bits)
+	}
+	b := 1024
+	for b < bits {
+		b <<= 1
+	}
+	return &Doorkeeper{bits: make([]uint64, b/64), mask: uint64(b - 1)}, nil
+}
+
+func (d *Doorkeeper) positions(key uint64) (uint64, uint64) {
+	h := (key ^ (key >> 31)) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	p1 := h & d.mask
+	h = (h + 0xbf58476d1ce4e5b9) * 0x94d049bb133111eb
+	p2 := h & d.mask
+	return p1, p2
+}
+
+// Seen reports whether the key may have been marked since the last
+// reset (with a bloom-filter false-positive rate).
+func (d *Doorkeeper) Seen(key uint64) bool {
+	p1, p2 := d.positions(key)
+	return d.bits[p1/64]&(1<<(p1%64)) != 0 && d.bits[p2/64]&(1<<(p2%64)) != 0
+}
+
+// Mark records the key. When the filter grows too dense (half its bit
+// budget set) it resets, forgetting history — the doorkeeper's aging.
+func (d *Doorkeeper) Mark(key uint64) {
+	p1, p2 := d.positions(key)
+	w1, b1 := p1/64, uint64(1)<<(p1%64)
+	w2, b2 := p2/64, uint64(1)<<(p2%64)
+	if d.bits[w1]&b1 == 0 {
+		d.bits[w1] |= b1
+		d.set++
+	}
+	if d.bits[w2]&b2 == 0 {
+		d.bits[w2] |= b2
+		d.set++
+	}
+	if d.set*2 >= len(d.bits)*64 {
+		d.Reset()
+	}
+}
+
+// Reset clears the filter.
+func (d *Doorkeeper) Reset() {
+	for i := range d.bits {
+		d.bits[i] = 0
+	}
+	d.set = 0
+}

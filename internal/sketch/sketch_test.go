@@ -1,0 +1,128 @@
+package sketch
+
+import (
+	"testing"
+
+	"otacache/internal/stats"
+)
+
+func TestCountMinBasics(t *testing.T) {
+	c, err := NewCountMin(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Estimate(42) != 0 {
+		t.Fatal("fresh sketch must estimate 0")
+	}
+	for i := 0; i < 5; i++ {
+		c.Add(42)
+	}
+	if e := c.Estimate(42); e < 5 {
+		t.Fatalf("estimate %d after 5 adds (count-min never underestimates)", e)
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	c, _ := NewCountMin(4096)
+	rng := stats.NewRNG(1)
+	truth := map[uint64]int{}
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(500))
+		c.Add(k)
+		truth[k]++
+	}
+	// Before any aging cycle, estimates are upper bounds (capped at 15).
+	for k, n := range truth {
+		want := n
+		if want > 15 {
+			want = 15
+		}
+		if e := c.Estimate(k); e < want {
+			t.Fatalf("key %d: estimate %d < true %d", k, e, want)
+		}
+	}
+}
+
+func TestCountMinSaturatesAt15(t *testing.T) {
+	c, _ := NewCountMin(64)
+	for i := 0; i < 100; i++ {
+		c.Add(7)
+	}
+	if e := c.Estimate(7); e != 15 {
+		t.Fatalf("estimate %d, want saturation at 15", e)
+	}
+}
+
+func TestCountMinAges(t *testing.T) {
+	c, _ := NewCountMin(16) // resetAt = 160 ops
+	for i := 0; i < 10; i++ {
+		c.Add(1)
+	}
+	before := c.Estimate(1)
+	// Push unrelated traffic past the aging boundary.
+	rng := stats.NewRNG(2)
+	for i := 0; i < 400; i++ {
+		c.Add(uint64(1000 + rng.Intn(1000)))
+	}
+	if after := c.Estimate(1); after >= before {
+		t.Fatalf("aging never decayed key 1: %d -> %d", before, after)
+	}
+}
+
+func TestCountMinErrors(t *testing.T) {
+	if _, err := NewCountMin(0); err == nil {
+		t.Fatal("zero width must error")
+	}
+}
+
+func TestDoorkeeperSeenAfterMark(t *testing.T) {
+	d, err := NewDoorkeeper(1 << 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seen(9) {
+		t.Fatal("fresh filter must not report seen")
+	}
+	d.Mark(9)
+	if !d.Seen(9) {
+		t.Fatal("marked key must be seen")
+	}
+}
+
+func TestDoorkeeperFalsePositiveRate(t *testing.T) {
+	d, _ := NewDoorkeeper(1 << 16)
+	for k := uint64(0); k < 2000; k++ {
+		d.Mark(k)
+	}
+	fp := 0
+	const probes = 20000
+	for k := uint64(1 << 40); k < 1<<40+probes; k++ {
+		if d.Seen(k) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false-positive rate %.4f too high", rate)
+	}
+}
+
+func TestDoorkeeperResetsWhenDense(t *testing.T) {
+	d, _ := NewDoorkeeper(1024)
+	for k := uint64(0); k < 5000; k++ {
+		d.Mark(k)
+	}
+	// After forced resets the filter must not be saturated.
+	if d.set*2 >= len(d.bits)*64 {
+		t.Fatal("filter never reset")
+	}
+	d.Reset()
+	if d.Seen(1) || d.set != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestDoorkeeperErrors(t *testing.T) {
+	if _, err := NewDoorkeeper(0); err == nil {
+		t.Fatal("zero bits must error")
+	}
+}

@@ -1,0 +1,91 @@
+package ssd
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultTLC(1 << 40).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Endurance{
+		{CapacityBytes: 0, PECycles: 3000, WAF: 2},
+		{CapacityBytes: 1, PECycles: 0, WAF: 2},
+		{CapacityBytes: 1, PECycles: 3000, WAF: 0.5},
+	}
+	for i, e := range bad {
+		if e.Validate() == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestLifetimeArithmetic(t *testing.T) {
+	// 1 TB, 3000 P/E, WAF 1: budget = 3000 TB of host writes.
+	e := Endurance{CapacityBytes: 1 << 40, PECycles: 3000, WAF: 1}
+	if got := e.TotalHostWriteBudget(); math.Abs(got-3000*float64(1<<40)) > 1 {
+		t.Fatalf("budget = %g", got)
+	}
+	// At 1 TB/day the device lasts 3000 days.
+	life := e.Lifetime(float64(1 << 40))
+	if math.Abs(life.Hours()/24-3000) > 1e-6 {
+		t.Fatalf("lifetime = %v", life)
+	}
+	// WAF 3 cuts it to 1000 days.
+	e.WAF = 3
+	life = e.Lifetime(float64(1 << 40))
+	if math.Abs(life.Hours()/24-1000) > 1e-6 {
+		t.Fatalf("lifetime with WAF 3 = %v", life)
+	}
+	// Zero write rate: effectively infinite.
+	if e.Lifetime(0) < time.Duration(1<<62) {
+		t.Fatal("zero rate must give effectively infinite lifetime")
+	}
+}
+
+func TestDWPD(t *testing.T) {
+	e := Endurance{CapacityBytes: 100, PECycles: 1000, WAF: 1}
+	if got := e.DWPD(250); got != 2.5 {
+		t.Fatalf("DWPD = %v", got)
+	}
+}
+
+func TestExtensionFactor(t *testing.T) {
+	// The paper's headline: 79% fewer writes -> ~4.76x lifetime.
+	f := ExtensionFactor(1.0, 0.21)
+	if math.Abs(f-1/0.21) > 1e-9 {
+		t.Fatalf("extension = %v", f)
+	}
+	if ExtensionFactor(0, 5) != 1 || ExtensionFactor(5, 0) != 1 || ExtensionFactor(0, 0) != 1 {
+		t.Fatal("degenerate rates must return 1")
+	}
+}
+
+func TestWriteDensityRatio(t *testing.T) {
+	// The paper's §1 example: 1 TB SSD fronting 10x2 TB HDDs -> 20:1.
+	r := WriteDensityRatio(1<<40, 20*(1<<40))
+	if math.Abs(r-20) > 1e-9 {
+		t.Fatalf("density ratio = %v, want 20", r)
+	}
+	if WriteDensityRatio(0, 1) != 0 || WriteDensityRatio(1, 0) != 0 {
+		t.Fatal("degenerate sizes must return 0")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		Device:            DefaultTLC(1 << 40),
+		BeforeBytesPerDay: 5 * float64(1<<40),
+		AfterBytesPerDay:  1 * float64(1<<40),
+	}
+	s := r.String()
+	if !strings.Contains(s, "5.0x extension") {
+		t.Fatalf("report missing extension factor: %s", s)
+	}
+	if !strings.Contains(s, "1024.00 GB") {
+		t.Fatalf("report missing capacity: %s", s)
+	}
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width binned histogram over [Lo, Hi). Values
+// outside the range are clamped into the first or last bin so that
+// Total() always equals the number of Add calls.
+type Histogram struct {
+	Lo, Hi float64
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with the given number of bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram called with bins <= 0")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram called with hi <= lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]uint64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := h.binOf(x)
+	h.counts[i]++
+	h.total++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	if math.IsNaN(x) || x < h.Lo {
+		return 0
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) assuming a
+// uniform distribution within each bin.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	cum := 0.0
+	width := (h.Hi - h.Lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target {
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return h.Lo + (float64(i)+frac)*width
+		}
+		cum = next
+	}
+	return h.Hi
+}
+
+// Merge adds another histogram's counts into this one. The histograms
+// must have identical ranges and bin counts.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h.Lo != other.Lo || h.Hi != other.Hi || len(h.counts) != len(other.counts) {
+		return fmt.Errorf("stats: cannot merge histograms with different shapes ([%g,%g)x%d vs [%g,%g)x%d)",
+			h.Lo, h.Hi, len(h.counts), other.Lo, other.Hi, len(other.counts))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+		h.total += c
+	}
+	return nil
+}
+
+// String renders a compact ASCII sketch of the histogram, useful in the
+// CLI tools for eyeballing trace shapes.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := uint64(1)
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		bar := int(float64(c) / float64(maxC) * 40)
+		fmt.Fprintf(&b, "[%10.2f, %10.2f) %10d %s\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Reservoir maintains a uniform random sample of up to k items from a
+// stream of unknown length (Vitter's Algorithm R). It is used by the
+// trainer to subsample trace records (the paper samples 100 records per
+// minute from the production log).
+type Reservoir[T any] struct {
+	k     int
+	seen  int
+	items []T
+	rng   *RNG
+}
+
+// NewReservoir creates a reservoir of capacity k.
+func NewReservoir[T any](rng *RNG, k int) *Reservoir[T] {
+	if k <= 0 {
+		panic("stats: NewReservoir called with k <= 0")
+	}
+	return &Reservoir[T]{k: k, rng: rng}
+}
+
+// Add offers one item to the sample.
+func (r *Reservoir[T]) Add(item T) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, item)
+		return
+	}
+	j := r.rng.Intn(r.seen)
+	if j < r.k {
+		r.items[j] = item
+	}
+}
+
+// Items returns the current sample (aliased, not copied).
+func (r *Reservoir[T]) Items() []T { return r.items }
+
+// Seen returns how many items were offered.
+func (r *Reservoir[T]) Seen() int { return r.seen }

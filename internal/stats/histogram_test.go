@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Count(i) != 1 {
+			t.Fatalf("bin %d count = %d, want 1", i, h.Count(i))
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(1e9)
+	h.Add(math.NaN())
+	if h.Count(0) != 2 { // -100 and NaN clamp to the first bin
+		t.Fatalf("first bin = %d, want 2", h.Count(0))
+	}
+	if h.Count(4) != 1 {
+		t.Fatalf("last bin = %d, want 1", h.Count(4))
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total = %d, want 3", h.Total())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 2 {
+		t.Fatalf("median = %v, want ~50", q)
+	}
+	if q := h.Quantile(0.99); math.Abs(q-99) > 2 {
+		t.Fatalf("p99 = %v, want ~99", q)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("quantile of empty histogram must be NaN")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	b := NewHistogram(0, 10, 10)
+	a.Add(1)
+	b.Add(1)
+	b.Add(9)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 3 || a.Count(1) != 2 || a.Count(9) != 1 {
+		t.Fatalf("merge result wrong: total=%d", a.Total())
+	}
+	c := NewHistogram(0, 5, 10)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging mismatched histograms must error")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Fatalf("expected at least one bar in %q", s)
+	}
+	if got := strings.Count(s, "\n"); got != 2 {
+		t.Fatalf("expected 2 lines, got %d", got)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(2, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReservoirUnderfill(t *testing.T) {
+	r := NewReservoir[int](NewRNG(1), 10)
+	for i := 0; i < 5; i++ {
+		r.Add(i)
+	}
+	if len(r.Items()) != 5 || r.Seen() != 5 {
+		t.Fatalf("items=%d seen=%d", len(r.Items()), r.Seen())
+	}
+	for i, v := range r.Items() {
+		if v != i {
+			t.Fatal("underfilled reservoir must keep all items in order")
+		}
+	}
+}
+
+func TestReservoirCapacityAndUniformity(t *testing.T) {
+	const k, n, trials = 10, 100, 20000
+	counts := make([]int, n)
+	rng := NewRNG(2)
+	for tr := 0; tr < trials; tr++ {
+		r := NewReservoir[int](rng, k)
+		for i := 0; i < n; i++ {
+			r.Add(i)
+		}
+		if len(r.Items()) != k {
+			t.Fatalf("reservoir size = %d, want %d", len(r.Items()), k)
+		}
+		for _, v := range r.Items() {
+			counts[v]++
+		}
+	}
+	// Each item should appear with probability k/n = 0.1.
+	want := float64(trials) * float64(k) / float64(n)
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Fatalf("item %d sampled %d times, want ~%.0f", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d for identical seeds", i, av, bv)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var s Running
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Float64())
+	}
+	if m := s.Mean(); math.Abs(m-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", m)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := NewRNG(5)
+	const n = 10
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if math.Abs(float64(c-want)) > float64(want)/10 {
+			t.Fatalf("bucket %d: count %d deviates >10%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	var s Running
+	for i := 0; i < 200000; i++ {
+		s.Add(r.NormFloat64())
+	}
+	if math.Abs(s.Mean()) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", s.Mean())
+	}
+	if math.Abs(s.Std()-1) > 0.02 {
+		t.Fatalf("normal std = %v, want ~1", s.Std())
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(17)
+	var s Running
+	for i := 0; i < 200000; i++ {
+		s.Add(r.ExpFloat64())
+	}
+	if math.Abs(s.Mean()-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", s.Mean())
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(19)
+	for n := 1; n <= 50; n++ {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(23)
+	for _, mean := range []float64{0.5, 3, 20, 100} {
+		var s Running
+		for i := 0; i < 50000; i++ {
+			s.Add(float64(r.Poisson(mean)))
+		}
+		if math.Abs(s.Mean()-mean) > mean*0.05+0.05 {
+			t.Fatalf("Poisson(%g) mean = %v", mean, s.Mean())
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	r := NewRNG(29)
+	if r.Poisson(0) != 0 {
+		t.Fatal("Poisson(0) != 0")
+	}
+	if r.Poisson(-5) != 0 {
+		t.Fatal("Poisson(-5) != 0")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := NewRNG(99)
+	child := a.Split()
+	// Parent draws must not depend on whether the child is used.
+	b := NewRNG(99)
+	_ = b.Split()
+	for i := 0; i < 100; i++ {
+		child.Uint64() // interleave child use
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("parent stream perturbed by child usage")
+		}
+	}
+}
+
+// Property: Uint64n(n) < n for all n > 0.
+func TestUint64nBoundProperty(t *testing.T) {
+	r := NewRNG(31)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mul64 matches big-integer multiplication on the low 64 bits.
+func TestMul64LowWord(t *testing.T) {
+	f := func(x, y uint64) bool {
+		_, lo := mul64(x, y)
+		return lo == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul64KnownValues(t *testing.T) {
+	hi, lo := mul64(math.MaxUint64, math.MaxUint64)
+	if hi != math.MaxUint64-1 || lo != 1 {
+		t.Fatalf("mul64(max,max) = (%d,%d), want (max-1,1)", hi, lo)
+	}
+	hi, lo = mul64(1<<32, 1<<32)
+	if hi != 1 || lo != 0 {
+		t.Fatalf("mul64(2^32,2^32) = (%d,%d), want (1,0)", hi, lo)
+	}
+}

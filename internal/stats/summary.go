@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Running accumulates streaming summary statistics using Welford's
+// numerically stable online algorithm. The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a new observation into the summary.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 if empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance (0 if fewer than 2 samples).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest observation (0 if empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 if empty).
+func (r *Running) Max() float64 { return r.max }
+
+// Merge combines another summary into this one, as if all of other's
+// observations had been Added here. Uses the parallel variance formula.
+func (r *Running) Merge(other *Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *other
+		return
+	}
+	n := r.n + other.n
+	delta := other.mean - r.mean
+	r.m2 += other.m2 + delta*delta*float64(r.n)*float64(other.n)/float64(n)
+	r.mean += delta * float64(other.n) / float64(n)
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+	r.n = n
+}
+
+// Percentile returns the q-th percentile (q in [0,100]) of xs using
+// linear interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 100 {
+		return s[len(s)-1]
+	}
+	pos := q / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(r.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var = %v, want %v", r.Var(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.N() != 0 {
+		t.Fatal("zero-value Running must report zeros")
+	}
+}
+
+func TestRunningSingle(t *testing.T) {
+	var r Running
+	r.Add(3.5)
+	if r.Var() != 0 {
+		t.Fatalf("variance of single sample = %v", r.Var())
+	}
+	if r.Min() != 3.5 || r.Max() != 3.5 {
+		t.Fatal("min/max of single sample wrong")
+	}
+}
+
+// Property: merging two summaries equals summarizing the concatenation.
+func TestRunningMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var ra, rb, rall Running
+		// Bound magnitudes so variance accumulation cannot overflow;
+		// the merge identity is what is under test, not float limits.
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 1e6)
+		}
+		for _, x := range a {
+			x = clamp(x)
+			ra.Add(x)
+			rall.Add(x)
+		}
+		for _, x := range b {
+			x = clamp(x)
+			rb.Add(x)
+			rall.Add(x)
+		}
+		ra.Merge(&rb)
+		if ra.N() != rall.N() {
+			return false
+		}
+		if rall.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(rall.Mean()))
+		if math.Abs(ra.Mean()-rall.Mean()) > 1e-9*scale {
+			return false
+		}
+		vscale := math.Max(1, rall.Var())
+		return math.Abs(ra.Var()-rall.Var()) <= 1e-6*vscale &&
+			ra.Min() == rall.Min() && ra.Max() == rall.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 50); math.Abs(p-5.5) > 1e-12 {
+		t.Fatalf("p50 = %v, want 5.5", p)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("percentile of empty slice must be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("mean of empty slice must be NaN")
+	}
+}

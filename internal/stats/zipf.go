@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s. The paper (citing Breslau et al. [4]) models photo
+// popularity in cloud caching workloads as Zipf-like, which is what the
+// trace generator uses for the multi-access object population.
+//
+// Implementation: a precomputed CDF with binary-search inversion. The
+// object populations used in this repository (up to a few million) keep
+// the table comfortably in memory, and inversion gives exact sampling for
+// any exponent s >= 0 (including s <= 1, which rejection methods such as
+// the one in math/rand do not support).
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s using the
+// provided RNG. It panics if n <= 0 or s < 0.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf called with n <= 0")
+	}
+	if s < 0 {
+		panic("stats: NewZipf called with s < 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against accumulated rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, n).
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability mass of the given rank.
+func (z *Zipf) Prob(rank int) float64 {
+	if rank < 0 || rank >= len(z.cdf) {
+		return 0
+	}
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}
+
+// ParetoCount draws a heavy-tailed access count >= minCount following a
+// discretized bounded Pareto distribution with shape alpha and upper
+// bound maxCount. The paper's workload analysis (§6.2) describes object
+// access counts in cloud photo workloads as Zipf/Pareto distributed; the
+// trace generator uses this to assign per-object total request counts for
+// the multi-access population.
+func ParetoCount(rng *RNG, alpha float64, minCount, maxCount int) int {
+	if minCount < 1 {
+		minCount = 1
+	}
+	if maxCount < minCount {
+		maxCount = minCount
+	}
+	lo := float64(minCount)
+	hi := float64(maxCount) + 1
+	u := rng.Float64()
+	// Inverse CDF of a bounded Pareto on [lo, hi).
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	c := int(x)
+	if c < minCount {
+		c = minCount
+	}
+	if c > maxCount {
+		c = maxCount
+	}
+	return c
+}

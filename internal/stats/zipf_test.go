@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfCDFMonotone(t *testing.T) {
+	z := NewZipf(NewRNG(1), 0.9, 1000)
+	prev := 0.0
+	for i := 0; i < z.N(); i++ {
+		p := z.Prob(i)
+		if p < 0 {
+			t.Fatalf("negative probability at rank %d", i)
+		}
+		cum := prev + p
+		if cum < prev {
+			t.Fatalf("CDF not monotone at rank %d", i)
+		}
+		prev = cum
+	}
+	if math.Abs(prev-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v, want 1", prev)
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	z := NewZipf(NewRNG(1), 1.1, 100)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Fatalf("Prob(%d)=%v > Prob(%d)=%v", i, z.Prob(i), i-1, z.Prob(i-1))
+		}
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	z := NewZipf(NewRNG(2), 0.8, 50)
+	for i := 0; i < 100000; i++ {
+		r := z.Sample()
+		if r < 0 || r >= 50 {
+			t.Fatalf("sample %d out of range", r)
+		}
+	}
+}
+
+func TestZipfEmpiricalMatchesTheory(t *testing.T) {
+	rng := NewRNG(3)
+	z := NewZipf(rng, 1.0, 20)
+	const draws = 500000
+	counts := make([]int, 20)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample()]++
+	}
+	for rank := 0; rank < 5; rank++ {
+		want := z.Prob(rank)
+		got := float64(counts[rank]) / draws
+		if math.Abs(got-want) > want*0.05 {
+			t.Fatalf("rank %d: empirical %v vs theoretical %v", rank, got, want)
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(NewRNG(4), 0, 10)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Fatalf("s=0 rank %d prob %v, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfProbOutOfRange(t *testing.T) {
+	z := NewZipf(NewRNG(5), 1, 10)
+	if z.Prob(-1) != 0 || z.Prob(10) != 0 {
+		t.Fatal("out-of-range ranks must have zero probability")
+	}
+}
+
+func TestNewZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		s float64
+		n int
+	}{{1, 0}, {1, -5}, {-0.5, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(s=%v,n=%d) did not panic", tc.s, tc.n)
+				}
+			}()
+			NewZipf(NewRNG(1), tc.s, tc.n)
+		}()
+	}
+}
+
+func TestParetoCountBounds(t *testing.T) {
+	rng := NewRNG(6)
+	for i := 0; i < 100000; i++ {
+		c := ParetoCount(rng, 1.2, 2, 1000)
+		if c < 2 || c > 1000 {
+			t.Fatalf("ParetoCount out of [2,1000]: %d", c)
+		}
+	}
+}
+
+func TestParetoCountHeavyTail(t *testing.T) {
+	rng := NewRNG(7)
+	const draws = 200000
+	atMin, big := 0, 0
+	for i := 0; i < draws; i++ {
+		c := ParetoCount(rng, 1.5, 2, 10000)
+		if c == 2 {
+			atMin++
+		}
+		if c > 100 {
+			big++
+		}
+	}
+	if atMin < draws/3 {
+		t.Fatalf("expected mass concentrated at minimum, got %d/%d", atMin, draws)
+	}
+	if big == 0 {
+		t.Fatal("expected some draws in the heavy tail (>100)")
+	}
+}
+
+func TestParetoCountDegenerate(t *testing.T) {
+	rng := NewRNG(8)
+	if c := ParetoCount(rng, 1.0, 5, 5); c != 5 {
+		t.Fatalf("ParetoCount with min==max = %d, want 5", c)
+	}
+	if c := ParetoCount(rng, 1.0, -1, 0); c < 1 {
+		t.Fatalf("ParetoCount clamps min to 1, got %d", c)
+	}
+}

@@ -1,0 +1,324 @@
+// Package tier models the paper's deployment architecture (§2.1,
+// Figure 1): a distributed photo download path with two SSD cache
+// layers between the user and the backend store —
+//
+//	user -> Outside Cache (OC, close to users, latency-oriented)
+//	     -> Datacenter Cache (DC, traffic-oriented)
+//	     -> backend HDD storage
+//
+// Each layer can run its own admission filter (admit-all, the trained
+// classifier, or the oracle), with the one-time-access criteria solved
+// per layer from that layer's capacity. The classifier variant trains
+// one cost-sensitive tree per layer on the first day's sampled records
+// (a single offline bootstrap; the single-layer simulator in
+// internal/sim is the one that exercises daily retraining).
+package tier
+
+import (
+	"fmt"
+
+	"otacache/internal/cache"
+	"otacache/internal/core"
+	"otacache/internal/features"
+	"otacache/internal/labeling"
+	"otacache/internal/mlcore"
+	"otacache/internal/trace"
+)
+
+// FilterKind selects a layer's admission behaviour.
+type FilterKind int
+
+// Admission kinds.
+const (
+	// AdmitAll is the traditional no-filter layer.
+	AdmitAll FilterKind = iota
+	// Classifier uses the paper's tree + history table.
+	Classifier
+	// Oracle uses perfect future knowledge.
+	Oracle
+)
+
+// String names the kind.
+func (k FilterKind) String() string {
+	switch k {
+	case Classifier:
+		return "classifier"
+	case Oracle:
+		return "oracle"
+	default:
+		return "admit-all"
+	}
+}
+
+// LayerConfig configures one cache layer.
+type LayerConfig struct {
+	// Policy is a cache.Names() replacement policy.
+	Policy string
+	// CacheBytes is the layer capacity.
+	CacheBytes int64
+	// Filter is the layer's admission behaviour.
+	Filter FilterKind
+}
+
+// Latency models the three-hop read path in microseconds.
+type Latency struct {
+	// QueryUs is one cache index lookup.
+	QueryUs float64
+	// ClassifyUs is one classification-system consultation.
+	ClassifyUs float64
+	// SSDReadUs is one SSD photo read (either layer).
+	SSDReadUs float64
+	// OCToDCUs is the network hop from an OC server to the DC.
+	OCToDCUs float64
+	// HDDReadUs is the backend read.
+	HDDReadUs float64
+}
+
+// DefaultLatency extends the paper's Eq. 3-6 constants with a 1 ms
+// OC-to-DC wide-area hop.
+func DefaultLatency() Latency {
+	return Latency{QueryUs: 1, ClassifyUs: 0.4, SSDReadUs: 100, OCToDCUs: 1000, HDDReadUs: 3000}
+}
+
+// Config is a full two-layer simulation.
+type Config struct {
+	OC LayerConfig
+	DC LayerConfig
+	// Latency defaults to DefaultLatency when zero.
+	Latency Latency
+	// CostV is the classifier cost-matrix penalty (0 = Table 4 rule on
+	// each layer's capacity).
+	CostV float64
+	// SamplesPerMinute is the bootstrap sampling rate (0 = 100).
+	SamplesPerMinute int
+	// HitRateEstimate seeds the criteria solver (0 = measure via LRU).
+	HitRateEstimate float64
+	// Seed drives training randomness.
+	Seed uint64
+}
+
+// Result is the two-layer outcome.
+type Result struct {
+	Requests int
+
+	OCHits       int64
+	DCHits       int64
+	BackendReads int64
+	OCByteHits   int64
+	DCByteHits   int64
+
+	OCWrites      int64
+	OCWriteBytes  int64
+	DCWrites      int64
+	DCWriteBytes  int64
+	OCBypassed    int64
+	DCBypassed    int64
+	TotalBytes    int64
+	MeanLatencyUs float64
+
+	OCCriteria labeling.Criteria
+	DCCriteria labeling.Criteria
+}
+
+// OCHitRate is the user-facing first-hop hit rate.
+func (r *Result) OCHitRate() float64 { return frac(r.OCHits, int64(r.Requests)) }
+
+// DCHitRate is the DC hit rate over the OC miss stream.
+func (r *Result) DCHitRate() float64 { return frac(r.DCHits, int64(r.Requests)-r.OCHits) }
+
+// CombinedHitRate is the fraction of requests served from either cache
+// layer (the paper's "reduce the traffic burden of the backend").
+func (r *Result) CombinedHitRate() float64 {
+	return frac(r.OCHits+r.DCHits, int64(r.Requests))
+}
+
+// CombinedByteHitRate is the byte-weighted combined hit rate: the
+// fraction of requested bytes that never reached the backend.
+func (r *Result) CombinedByteHitRate() float64 {
+	return frac(r.OCByteHits+r.DCByteHits, r.TotalBytes)
+}
+
+func frac(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// layer is one running cache layer.
+type layer struct {
+	policy   cache.Policy
+	filter   core.Filter
+	criteria labeling.Criteria
+	kind     FilterKind
+}
+
+// Simulate runs the trace through the two-layer hierarchy.
+func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
+	if (cfg.Latency == Latency{}) {
+		cfg.Latency = DefaultLatency()
+	}
+	if cfg.SamplesPerMinute <= 0 {
+		cfg.SamplesPerMinute = 100
+	}
+	next := trace.BuildNextAccess(tr)
+
+	oc, err := buildLayer(tr, next, cfg, cfg.OC)
+	if err != nil {
+		return nil, fmt.Errorf("tier: OC: %w", err)
+	}
+	dc, err := buildLayer(tr, next, cfg, cfg.DC)
+	if err != nil {
+		return nil, fmt.Errorf("tier: DC: %w", err)
+	}
+
+	res := &Result{
+		Requests:   len(tr.Requests),
+		OCCriteria: oc.criteria,
+		DCCriteria: dc.criteria,
+	}
+	needFeatures := oc.kind == Classifier || dc.kind == Classifier
+	var ex *features.Extractor
+	if needFeatures {
+		ex = features.NewExtractor(tr)
+	}
+	var feat [features.NumFeatures]float64
+	lat := cfg.Latency
+	var latencySum float64
+
+	for i := range tr.Requests {
+		req := &tr.Requests[i]
+		key := uint64(req.Photo)
+		size := tr.Photos[req.Photo].Size
+		res.TotalBytes += size
+		if ex != nil {
+			ex.NextInto(i, feat[:])
+		}
+
+		// Hop 1: the outside cache.
+		if oc.policy.Get(key, i) {
+			res.OCHits++
+			res.OCByteHits += size
+			latencySum += lat.QueryUs + lat.SSDReadUs
+			continue
+		}
+
+		// Hop 2: the datacenter cache.
+		dcCost := lat.QueryUs + lat.OCToDCUs + lat.QueryUs
+		if dc.policy.Get(key, i) {
+			res.DCHits++
+			res.DCByteHits += size
+			latencySum += dcCost + lat.SSDReadUs
+			// The photo flows back through the OC, which may cache it.
+			admitInto(oc, key, i, feat[:], size, &res.OCWrites, &res.OCWriteBytes, &res.OCBypassed, &latencySum, lat)
+			continue
+		}
+
+		// Hop 3: the backend.
+		res.BackendReads++
+		latencySum += dcCost + lat.HDDReadUs
+		admitInto(dc, key, i, feat[:], size, &res.DCWrites, &res.DCWriteBytes, &res.DCBypassed, &latencySum, lat)
+		admitInto(oc, key, i, feat[:], size, &res.OCWrites, &res.OCWriteBytes, &res.OCBypassed, &latencySum, lat)
+	}
+	if res.Requests > 0 {
+		res.MeanLatencyUs = latencySum / float64(res.Requests)
+	}
+	return res, nil
+}
+
+// admitInto consults a layer's filter on a miss and inserts on admit.
+func admitInto(l *layer, key uint64, tick int, feat []float64, size int64,
+	writes, writeBytes, bypassed *int64, latencySum *float64, lat Latency) {
+	var d core.Decision
+	switch l.kind {
+	case AdmitAll:
+		d = core.Decision{Admit: true}
+	case Classifier:
+		*latencySum += lat.ClassifyUs
+		d = l.filter.Decide(key, tick, project(feat))
+	case Oracle:
+		*latencySum += lat.ClassifyUs
+		d = l.filter.Decide(key, tick, nil)
+	}
+	if !d.Admit {
+		*bypassed++
+		return
+	}
+	l.policy.Admit(key, size, tick)
+	if l.policy.Contains(key) {
+		*writes++
+		*writeBytes += size
+	}
+}
+
+// paperCols caches the selected feature projection.
+var paperCols = features.PaperSelected()
+
+func project(full []float64) []float64 {
+	out := make([]float64, len(paperCols))
+	for j, c := range paperCols {
+		out[j] = full[c]
+	}
+	return out
+}
+
+// buildLayer assembles one layer: policy, criteria, and filter.
+func buildLayer(tr *trace.Trace, next []int, cfg Config, lc LayerConfig) (*layer, error) {
+	p, err := cache.New(lc.Policy, lc.CacheBytes, next)
+	if err != nil {
+		return nil, err
+	}
+	l := &layer{policy: p, kind: lc.Filter}
+	if lc.Filter == AdmitAll {
+		return l, nil
+	}
+	h := cfg.HitRateEstimate
+	if h <= 0 {
+		h = labeling.EstimateHitRate(tr, lc.CacheBytes, 200000)
+	}
+	crit := labeling.Solve(tr, next, lc.CacheBytes, h, 3)
+	crit = crit.ForPolicy(lc.Policy, cache.DefaultLIRRatio)
+	l.criteria = crit
+
+	switch lc.Filter {
+	case Oracle:
+		l.filter = core.NewOracle(next, crit)
+	case Classifier:
+		clf, err := bootstrapTree(tr, next, cfg, crit)
+		if err != nil {
+			return nil, err
+		}
+		table := core.NewHistoryTable(core.TableCapacity(crit))
+		adm, err := core.NewClassifierAdmission(clf, table, crit)
+		if err != nil {
+			return nil, err
+		}
+		l.filter = adm
+	}
+	return l, nil
+}
+
+// bootstrapTree trains the layer's tree on the first day's sample.
+func bootstrapTree(tr *trace.Trace, next []int, cfg Config, crit labeling.Criteria) (mlcore.Classifier, error) {
+	labels := labeling.Labels(next, crit)
+	buf := core.NewSampleBuffer(cfg.SamplesPerMinute, 24*3600)
+	ex := features.NewExtractor(tr)
+	var feat [features.NumFeatures]float64
+	limit := int64(86400)
+	if tr.Horizon < limit {
+		limit = tr.Horizon
+	}
+	for i := range tr.Requests {
+		if tr.Requests[i].Time >= limit {
+			break
+		}
+		ex.NextInto(i, feat[:])
+		buf.Offer(tr.Requests[i].Time, project(feat[:]), labels[i])
+	}
+	d := buf.Dataset(limit, nil)
+	v := cfg.CostV
+	if v <= 0 {
+		v = core.CostV(crit.CacheBytes)
+	}
+	return core.TrainTree(d, v)
+}

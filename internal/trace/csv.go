@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV interchange format: one row per request with the photo and owner
+// metadata denormalized onto it, so external traces (or spreadsheet
+// tooling) can round-trip with the simulator without the binary format.
+//
+// Columns: time_sec, photo_id, owner_id, photo_type (paper name, e.g.
+// "l5"), size_bytes, upload_sec, terminal ("pc"/"mobile"),
+// active_friends, avg_views, owner_photos.
+var csvHeader = []string{
+	"time_sec", "photo_id", "owner_id", "photo_type", "size_bytes",
+	"upload_sec", "terminal", "active_friends", "avg_views", "owner_photos",
+}
+
+// ExportCSV writes the trace in the CSV interchange format.
+func (t *Trace) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		p := &t.Photos[r.Photo]
+		o := &t.Owners[p.Owner]
+		row[0] = strconv.FormatInt(r.Time, 10)
+		row[1] = strconv.FormatUint(uint64(r.Photo), 10)
+		row[2] = strconv.FormatUint(uint64(p.Owner), 10)
+		row[3] = p.Type.String()
+		row[4] = strconv.FormatInt(p.Size, 10)
+		row[5] = strconv.FormatInt(p.Upload, 10)
+		row[6] = r.Terminal.String()
+		row[7] = strconv.FormatInt(int64(o.ActiveFriends), 10)
+		row[8] = strconv.FormatFloat(o.AvgViews, 'g', -1, 64)
+		row[9] = strconv.FormatInt(int64(o.NumPhotos), 10)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportCSV reads a trace in the CSV interchange format. Photo and
+// owner tables are rebuilt from each id's first occurrence; photo and
+// owner ids must be dense enough to use as slice indices (the importer
+// grows the tables to the largest id seen). Requests must be sorted by
+// time_sec.
+func ImportCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("trace: CSV column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	typeByName := make(map[string]PhotoType, NumPhotoTypes)
+	for ty := 0; ty < NumPhotoTypes; ty++ {
+		typeByName[PhotoType(ty).String()] = PhotoType(ty)
+	}
+
+	t := &Trace{}
+	photoSeen := []bool{}
+	var prevTime int64
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		timeSec, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q", line, rec[0])
+		}
+		if timeSec < prevTime {
+			return nil, fmt.Errorf("trace: line %d: requests must be time-sorted (%d after %d)", line, timeSec, prevTime)
+		}
+		prevTime = timeSec
+		photoID, err := strconv.ParseUint(rec[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad photo id %q", line, rec[1])
+		}
+		ownerID, err := strconv.ParseUint(rec[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad owner id %q", line, rec[2])
+		}
+		ty, ok := typeByName[rec[3]]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown photo type %q", line, rec[3])
+		}
+		size, err := strconv.ParseInt(rec[4], 10, 64)
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("trace: line %d: bad size %q", line, rec[4])
+		}
+		upload, err := strconv.ParseInt(rec[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad upload %q", line, rec[5])
+		}
+		var term Terminal
+		switch rec[6] {
+		case "pc":
+			term = TerminalPC
+		case "mobile":
+			term = TerminalMobile
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown terminal %q", line, rec[6])
+		}
+		friends, err := strconv.ParseInt(rec[7], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad active_friends %q", line, rec[7])
+		}
+		avgViews, err := strconv.ParseFloat(rec[8], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad avg_views %q", line, rec[8])
+		}
+		ownerPhotos, err := strconv.ParseInt(rec[9], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad owner_photos %q", line, rec[9])
+		}
+
+		for uint64(len(t.Photos)) <= photoID {
+			t.Photos = append(t.Photos, Photo{})
+			photoSeen = append(photoSeen, false)
+		}
+		for uint64(len(t.Owners)) <= ownerID {
+			t.Owners = append(t.Owners, Owner{})
+		}
+		if !photoSeen[photoID] {
+			t.Photos[photoID] = Photo{
+				Owner:  uint32(ownerID),
+				Type:   ty,
+				Size:   size,
+				Upload: upload,
+			}
+			photoSeen[photoID] = true
+		}
+		t.Owners[ownerID] = Owner{
+			ActiveFriends: int32(friends),
+			AvgViews:      avgViews,
+			NumPhotos:     int32(ownerPhotos),
+		}
+		t.Requests = append(t.Requests, Request{
+			Time:     timeSec,
+			Photo:    uint32(photoID),
+			Terminal: term,
+		})
+	}
+	if len(t.Requests) > 0 {
+		t.Horizon = t.Requests[len(t.Requests)-1].Time + 1
+		// Round the horizon up to whole days so diurnal bookkeeping
+		// (retraining schedules, per-day quality) stays aligned.
+		if rem := t.Horizon % 86400; rem != 0 {
+			t.Horizon += 86400 - rem
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := MustGenerate(DefaultConfig(13, 1500))
+	var buf bytes.Buffer
+	if err := tr.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("requests: %d vs %d", len(got.Requests), len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, got.Requests[i], tr.Requests[i])
+		}
+	}
+	for i := range tr.Photos {
+		if got.Photos[i] != tr.Photos[i] {
+			t.Fatalf("photo %d differs: %+v vs %+v", i, got.Photos[i], tr.Photos[i])
+		}
+	}
+	// Owners: only owners with photos appear in CSV rows; check those.
+	for i := range tr.Owners {
+		if tr.Owners[i].NumPhotos == 0 {
+			continue
+		}
+		if got.Owners[i] != tr.Owners[i] {
+			t.Fatalf("owner %d differs: %+v vs %+v", i, got.Owners[i], tr.Owners[i])
+		}
+	}
+	// Horizon must cover the last request and align to whole days.
+	if got.Horizon <= got.Requests[len(got.Requests)-1].Time {
+		t.Fatal("horizon too small")
+	}
+	if got.Horizon%86400 != 0 {
+		t.Fatalf("horizon %d not day-aligned", got.Horizon)
+	}
+	// Workload statistics survive the round trip.
+	a, b := Summarize(tr), Summarize(got)
+	if a.OneTimeObjects != b.OneTimeObjects || a.NumRequests != b.NumRequests {
+		t.Fatal("summary changed across round trip")
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	head := strings.Join(csvHeader, ",") + "\n"
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad header", "nope,b\n"},
+		{"bad time", head + "x,0,0,l5,10,0,pc,1,1,1\n"},
+		{"bad photo", head + "1,x,0,l5,10,0,pc,1,1,1\n"},
+		{"bad owner", head + "1,0,x,l5,10,0,pc,1,1,1\n"},
+		{"bad type", head + "1,0,0,zz,10,0,pc,1,1,1\n"},
+		{"bad size", head + "1,0,0,l5,0,0,pc,1,1,1\n"},
+		{"bad upload", head + "1,0,0,l5,10,x,pc,1,1,1\n"},
+		{"bad terminal", head + "1,0,0,l5,10,0,tablet,1,1,1\n"},
+		{"bad friends", head + "1,0,0,l5,10,0,pc,x,1,1\n"},
+		{"bad views", head + "1,0,0,l5,10,0,pc,1,x,1\n"},
+		{"bad photos", head + "1,0,0,l5,10,0,pc,1,1,x\n"},
+		{"unsorted", head + "5,0,0,l5,10,0,pc,1,1,1\n2,0,0,l5,10,0,pc,1,1,1\n"},
+		{"short row", head + "1,2\n"},
+	}
+	for _, c := range cases {
+		if _, err := ImportCSV(strings.NewReader(c.body)); err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestImportCSVSparseIDs(t *testing.T) {
+	head := strings.Join(csvHeader, ",") + "\n"
+	body := head +
+		"1,5,2,l5,10,0,pc,3,2.5,4\n" +
+		"2,0,0,a0,20,-5,mobile,1,1,1\n" +
+		"9,5,2,l5,10,0,pc,3,2.5,4\n"
+	tr, err := ImportCSV(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Photos) != 6 || len(tr.Owners) != 3 {
+		t.Fatalf("tables: %d photos, %d owners", len(tr.Photos), len(tr.Owners))
+	}
+	if tr.Photos[5].Type != TypeL5 || tr.Photos[0].Type != TypeA0 {
+		t.Fatal("photo metadata wrong")
+	}
+	if tr.Owners[2].ActiveFriends != 3 || tr.Owners[2].AvgViews != 2.5 {
+		t.Fatal("owner metadata wrong")
+	}
+	if len(tr.Requests) != 3 || tr.Requests[2].Photo != 5 {
+		t.Fatal("requests wrong")
+	}
+}
+
+func TestImportCSVEmpty(t *testing.T) {
+	head := strings.Join(csvHeader, ",") + "\n"
+	tr, err := ImportCSV(strings.NewReader(head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 0 || tr.Horizon != 0 {
+		t.Fatal("empty CSV must produce an empty trace")
+	}
+}

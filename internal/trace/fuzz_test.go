@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrom hardens the binary trace parser against corrupt input:
+// it must return an error or a structurally valid trace, never panic
+// or allocate absurdly.
+func FuzzReadFrom(f *testing.F) {
+	// Seed with a valid trace and some mutations.
+	tr := MustGenerate(DefaultConfig(1, 50))
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xe0, 0xac, 0xac, 0x0f, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed trace must be structurally sound.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("ReadFrom accepted an invalid trace: %v", err)
+		}
+	})
+}
+
+// FuzzImportCSV hardens the CSV importer the same way.
+func FuzzImportCSV(f *testing.F) {
+	tr := MustGenerate(DefaultConfig(2, 20))
+	var buf bytes.Buffer
+	if err := tr.ExportCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(strings.Join(csvHeader, ",") + "\n")
+	f.Add("garbage")
+	f.Add(strings.Join(csvHeader, ",") + "\n1,0,0,l5,10,0,pc,1,1,1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ImportCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := range got.Requests {
+			if int(got.Requests[i].Photo) >= len(got.Photos) {
+				t.Fatalf("request %d references photo out of range", i)
+			}
+			if i > 0 && got.Requests[i].Time < got.Requests[i-1].Time {
+				t.Fatal("importer accepted unsorted requests")
+			}
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary trace format: a fixed magic/version header followed by the
+// owner, photo, and request arrays in little-endian fixed-width
+// records. The format is self-describing enough for the CLI tools to
+// hand traces between each other; it is not a long-term archival
+// format.
+const (
+	traceMagic   = uint32(0x0facace0)
+	traceVersion = uint32(1)
+)
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	hdr := []uint32{traceMagic, traceVersion}
+	for _, h := range hdr {
+		if err := write(h); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint64(t.Horizon)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(t.Owners))); err != nil {
+		return n, err
+	}
+	for i := range t.Owners {
+		o := &t.Owners[i]
+		if err := write(o.ActiveFriends); err != nil {
+			return n, err
+		}
+		if err := write(o.AvgViews); err != nil {
+			return n, err
+		}
+		if err := write(o.NumPhotos); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint64(len(t.Photos))); err != nil {
+		return n, err
+	}
+	for i := range t.Photos {
+		p := &t.Photos[i]
+		if err := write(p.Owner); err != nil {
+			return n, err
+		}
+		if err := write(uint8(p.Type)); err != nil {
+			return n, err
+		}
+		if err := write(p.Size); err != nil {
+			return n, err
+		}
+		if err := write(p.Upload); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint64(len(t.Requests))); err != nil {
+		return n, err
+	}
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		if err := write(r.Time); err != nil {
+			return n, err
+		}
+		if err := write(r.Photo); err != nil {
+			return n, err
+		}
+		if err := write(uint8(r.Terminal)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	read := func(v interface{}) error {
+		return binary.Read(br, binary.LittleEndian, v)
+	}
+	var magic, version uint32
+	if err := read(&magic); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", magic)
+	}
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	t := &Trace{}
+	var horizon, nOwners uint64
+	if err := read(&horizon); err != nil {
+		return nil, err
+	}
+	t.Horizon = int64(horizon)
+	if err := read(&nOwners); err != nil {
+		return nil, err
+	}
+	if nOwners > 1<<31 {
+		return nil, fmt.Errorf("trace: implausible owner count %d", nOwners)
+	}
+	// Grow the tables incrementally so a corrupt header claiming a huge
+	// count fails fast at EOF instead of allocating gigabytes up front.
+	for i := uint64(0); i < nOwners; i++ {
+		var o Owner
+		if err := read(&o.ActiveFriends); err != nil {
+			return nil, err
+		}
+		if err := read(&o.AvgViews); err != nil {
+			return nil, err
+		}
+		if err := read(&o.NumPhotos); err != nil {
+			return nil, err
+		}
+		t.Owners = append(t.Owners, o)
+	}
+	var nPhotos uint64
+	if err := read(&nPhotos); err != nil {
+		return nil, err
+	}
+	if nPhotos > 1<<31 {
+		return nil, fmt.Errorf("trace: implausible photo count %d", nPhotos)
+	}
+	for i := uint64(0); i < nPhotos; i++ {
+		var p Photo
+		var ty uint8
+		if err := read(&p.Owner); err != nil {
+			return nil, err
+		}
+		if err := read(&ty); err != nil {
+			return nil, err
+		}
+		p.Type = PhotoType(ty)
+		if err := read(&p.Size); err != nil {
+			return nil, err
+		}
+		if err := read(&p.Upload); err != nil {
+			return nil, err
+		}
+		t.Photos = append(t.Photos, p)
+	}
+	var nReqs uint64
+	if err := read(&nReqs); err != nil {
+		return nil, err
+	}
+	if nReqs > 1<<32 {
+		return nil, fmt.Errorf("trace: implausible request count %d", nReqs)
+	}
+	for i := uint64(0); i < nReqs; i++ {
+		var rq Request
+		var term uint8
+		if err := read(&rq.Time); err != nil {
+			return nil, err
+		}
+		if err := read(&rq.Photo); err != nil {
+			return nil, err
+		}
+		if err := read(&term); err != nil {
+			return nil, err
+		}
+		rq.Terminal = Terminal(term)
+		t.Requests = append(t.Requests, rq)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Save writes the trace to a file.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

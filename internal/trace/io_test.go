@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := MustGenerate(DefaultConfig(9, 2000))
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Horizon != tr.Horizon {
+		t.Fatalf("horizon %d != %d", got.Horizon, tr.Horizon)
+	}
+	if len(got.Owners) != len(tr.Owners) || len(got.Photos) != len(tr.Photos) || len(got.Requests) != len(tr.Requests) {
+		t.Fatal("lengths differ")
+	}
+	for i := range tr.Owners {
+		if got.Owners[i] != tr.Owners[i] {
+			t.Fatalf("owner %d differs", i)
+		}
+	}
+	for i := range tr.Photos {
+		if got.Photos[i] != tr.Photos[i] {
+			t.Fatalf("photo %d differs", i)
+		}
+	}
+	for i := range tr.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestTraceSaveLoad(t *testing.T) {
+	tr := MustGenerate(DefaultConfig(10, 500))
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(tr.Requests) {
+		t.Fatal("request count differs after save/load")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("loading a missing file must error")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("short input must error")
+	}
+	bad := bytes.NewReader([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0})
+	if _, err := ReadFrom(bad); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xe0, 0xac, 0xac, 0x0f}) // little-endian magic
+	buf.Write([]byte{0xff, 0, 0, 0})
+	if _, err := ReadFrom(&buf); err == nil {
+		t.Fatal("bad version must error")
+	}
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary aggregates the workload statistics the paper reports in §2.2
+// and Figure 3, used to verify generator calibration.
+type Summary struct {
+	NumPhotos   int
+	NumRequests int
+	TotalBytes  int64
+	MeanSize    int64
+
+	// OneTimeObjects is the number of photos accessed exactly once.
+	OneTimeObjects int
+	// OneTimeObjectFraction is OneTimeObjects / NumPhotos (paper: 0.615).
+	OneTimeObjectFraction float64
+	// UniqueAccessShare is NumPhotos / NumRequests, the compulsory-miss
+	// share (paper: ~0.255).
+	UniqueAccessShare float64
+	// HitRateCap is 1 - UniqueAccessShare, the infinite-cache hit rate
+	// (paper: ~0.745).
+	HitRateCap float64
+	// OneTimeAccessShare is OneTimeObjects / NumRequests: the share of
+	// accesses that are the single access of a one-time photo.
+	OneTimeAccessShare float64
+
+	// TypeRequestShare is the fraction of requests per photo type
+	// (paper, Figure 3: l5 ~= 45%).
+	TypeRequestShare [NumPhotoTypes]float64
+	// TypeObjectShare is the fraction of photos per type.
+	TypeObjectShare [NumPhotoTypes]float64
+
+	// HourlyRequests counts requests per hour of day (0-23).
+	HourlyRequests [24]int
+	// HourlyOneTimeShare is, per hour, the fraction of requests that
+	// target one-time photos (paper: highest ~05:00, lowest ~20:00).
+	HourlyOneTimeShare [24]float64
+
+	// MobileShare is the fraction of requests from mobile terminals.
+	MobileShare float64
+}
+
+// Summarize computes a Summary in one pass over the trace.
+func Summarize(t *Trace) Summary {
+	var s Summary
+	s.NumPhotos = len(t.Photos)
+	s.NumRequests = len(t.Requests)
+	s.TotalBytes = t.TotalBytes()
+	s.MeanSize = t.MeanPhotoSize()
+
+	counts := make([]int32, len(t.Photos))
+	var hourlyOne [24]int
+	mobile := 0
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		counts[r.Photo]++
+		s.TypeRequestShare[t.Photos[r.Photo].Type]++
+		s.HourlyRequests[HourOfDay(r.Time)]++
+		if r.Terminal == TerminalMobile {
+			mobile++
+		}
+	}
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		if counts[r.Photo] == 1 {
+			hourlyOne[HourOfDay(r.Time)]++
+		}
+	}
+	for _, c := range counts {
+		if c == 1 {
+			s.OneTimeObjects++
+		}
+	}
+	for i := range t.Photos {
+		s.TypeObjectShare[t.Photos[i].Type]++
+	}
+
+	if s.NumPhotos > 0 {
+		s.OneTimeObjectFraction = float64(s.OneTimeObjects) / float64(s.NumPhotos)
+		for i := range s.TypeObjectShare {
+			s.TypeObjectShare[i] /= float64(s.NumPhotos)
+		}
+	}
+	if s.NumRequests > 0 {
+		s.UniqueAccessShare = float64(s.NumPhotos) / float64(s.NumRequests)
+		s.HitRateCap = 1 - s.UniqueAccessShare
+		s.OneTimeAccessShare = float64(s.OneTimeObjects) / float64(s.NumRequests)
+		s.MobileShare = float64(mobile) / float64(s.NumRequests)
+		for i := range s.TypeRequestShare {
+			s.TypeRequestShare[i] /= float64(s.NumRequests)
+		}
+	}
+	for h := 0; h < 24; h++ {
+		if s.HourlyRequests[h] > 0 {
+			s.HourlyOneTimeShare[h] = float64(hourlyOne[h]) / float64(s.HourlyRequests[h])
+		}
+	}
+	return s
+}
+
+// String renders the summary as a report comparable against the paper's
+// §2.2 and Figure 3 numbers.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "objects:             %d\n", s.NumPhotos)
+	fmt.Fprintf(&b, "requests:            %d\n", s.NumRequests)
+	fmt.Fprintf(&b, "footprint:           %.2f GB (mean object %.1f KB)\n",
+		float64(s.TotalBytes)/(1<<30), float64(s.MeanSize)/1024)
+	fmt.Fprintf(&b, "one-time objects:    %d (%.1f%%; paper: 61.5%%)\n",
+		s.OneTimeObjects, 100*s.OneTimeObjectFraction)
+	fmt.Fprintf(&b, "unique-access share: %.1f%% (paper: ~25.5%%)\n", 100*s.UniqueAccessShare)
+	fmt.Fprintf(&b, "hit-rate cap:        %.1f%% (paper: ~74.5%%)\n", 100*s.HitRateCap)
+	fmt.Fprintf(&b, "mobile share:        %.1f%%\n", 100*s.MobileShare)
+	fmt.Fprintf(&b, "type request shares (paper: l5 ~= 45%%):\n")
+	for ty := 0; ty < NumPhotoTypes; ty++ {
+		fmt.Fprintf(&b, "  %-3s %6.2f%%\n", PhotoType(ty), 100*s.TypeRequestShare[ty])
+	}
+	fmt.Fprintf(&b, "hourly request counts / one-time share:\n")
+	for h := 0; h < 24; h++ {
+		fmt.Fprintf(&b, "  %02d:00 %9d  %5.1f%%\n", h, s.HourlyRequests[h], 100*s.HourlyOneTimeShare[h])
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package otacache
+
+// Integration tests exercising the library exclusively through its
+// public facade, the way a downstream user would.
+
+import (
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// Generate a workload.
+	tr, err := GenerateTrace(DefaultTraceConfig(5, 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SummarizeTrace(tr)
+	if s.NumPhotos != 8000 {
+		t.Fatalf("photos = %d", s.NumPhotos)
+	}
+
+	// Solve the criteria and label the stream.
+	next := BuildNextAccess(tr)
+	capacity := int64(float64(tr.TotalBytes()) * 0.1)
+	h := EstimateHitRate(tr, capacity)
+	crit := SolveCriteria(tr, next, capacity, h, 3)
+	if crit.M < 1 {
+		t.Fatalf("criteria M = %d", crit.M)
+	}
+	labels := OneTimeLabels(next, crit)
+	if len(labels) != len(tr.Requests) {
+		t.Fatal("label count")
+	}
+
+	// Train the paper's tree on a systematic sample.
+	ds, err := BuildDataset(tr, labels, func(i int) bool { return i%3 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := ds.SelectFeatures(PaperFeatureColumns())
+	clf, err := TrainTree(sub, CostV(capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Assemble the classification system by hand.
+	table := NewHistoryTable(HistoryTableCapacity(crit))
+	adm, err := NewClassifierAdmission(clf, table, crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := adm.Decide(1, 0, sub.X[0])
+	if d.Admit && d.PredictedOneTime {
+		t.Fatal("inconsistent decision")
+	}
+
+	// Drive a manual cache with the oracle filter.
+	oracle := NewOracle(next, crit)
+	p, err := NewPolicy("lru", capacity, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, writes := 0, 0
+	for i := range tr.Requests {
+		key := uint64(tr.Requests[i].Photo)
+		if p.Get(key, i) {
+			hits++
+			continue
+		}
+		if oracle.Decide(key, i, nil).Admit {
+			p.Admit(key, tr.Photos[tr.Requests[i].Photo].Size, i)
+			writes++
+		}
+	}
+	if hits == 0 || writes == 0 {
+		t.Fatal("manual simulation did nothing")
+	}
+	if writes >= len(tr.Requests)-hits {
+		t.Fatal("oracle admitted every miss")
+	}
+
+	// And the packaged simulator agrees on the big picture.
+	runner := NewRunner(tr)
+	res, err := runner.Run(SimConfig{Policy: "lru", CacheBytes: capacity, Mode: ModeIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FileHitRate() <= 0 {
+		t.Fatal("simulator produced no hits")
+	}
+}
+
+func TestFacadeNames(t *testing.T) {
+	if len(PolicyNames()) != 6 {
+		t.Fatalf("policies: %v", PolicyNames())
+	}
+	if len(FeatureNames()) != 9 {
+		t.Fatalf("features: %v", FeatureNames())
+	}
+	if len(PaperFeatureColumns()) != 5 {
+		t.Fatal("paper feature set")
+	}
+	lat := DefaultLatency()
+	if lat.THDDReadUs != 3000 || lat.TClassifyUs != 0.4 {
+		t.Fatalf("latency defaults: %+v", lat)
+	}
+	if CostV(1*GB) != 2 || CostV(15*GB) != 3 {
+		t.Fatal("cost rule")
+	}
+}
