@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet test race fmt
+
+# The full gate: formatting, build, vet, and the test suite under the
+# race detector. CI and pre-commit both run this.
+check: fmt build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# gofmt -l prints offending files; turn any output into a failure.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi

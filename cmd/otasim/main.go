@@ -19,16 +19,17 @@ import (
 
 func main() {
 	var (
-		policy    = flag.String("policy", "lru", "replacement policy (lru|fifo|s3lru|arc|lirs|belady)")
-		mode      = flag.String("mode", "original", "admission mode (original|proposal|ideal|doorkeeper)")
-		photos    = flag.Int("photos", 60000, "synthesize a trace with this many photos (ignored with -trace)")
-		tracePath = flag.String("trace", "", "load a trace written by tracegen instead of synthesizing")
-		seed      = flag.Uint64("seed", 42, "seed")
-		bytesCap  = flag.Int64("bytes", 0, "cache capacity in bytes")
-		frac      = flag.Float64("frac", 0.15, "cache capacity as a fraction of the trace footprint (used when -bytes is 0)")
-		costV     = flag.Float64("v", 0, "cost-matrix v (0 = Table 4 rule)")
-		noTable   = flag.Bool("no-history-table", false, "disable the rectification table")
-		noRetrain = flag.Bool("no-retrain", false, "disable daily retraining")
+		policy      = flag.String("policy", "lru", "replacement policy (lru|fifo|s3lru|arc|lirs|belady)")
+		mode        = flag.String("mode", "original", "admission mode (original|proposal|ideal|doorkeeper)")
+		photos      = flag.Int("photos", 60000, "synthesize a trace with this many photos (ignored with -trace)")
+		tracePath   = flag.String("trace", "", "load a trace written by tracegen instead of synthesizing")
+		seed        = flag.Uint64("seed", 42, "seed")
+		bytesCap    = flag.Int64("bytes", 0, "cache capacity in bytes")
+		frac        = flag.Float64("frac", 0.15, "cache capacity as a fraction of the trace footprint (used when -bytes is 0)")
+		costV       = flag.Float64("v", 0, "cost-matrix v (0 = Table 4 rule)")
+		noTable     = flag.Bool("no-history-table", false, "disable the rectification table")
+		noRetrain   = flag.Bool("no-retrain", false, "disable daily retraining")
+		retrainHour = flag.Int("retrain-hour", sim.RetrainHourDefault, "daily retraining hour, 0-23 (0 = midnight)")
 	)
 	flag.Parse()
 
@@ -69,8 +70,13 @@ func main() {
 		CostV:               *costV,
 		DisableHistoryTable: *noTable,
 	}
-	if *noRetrain {
-		cfg.RetrainHour = -1
+	switch {
+	case *noRetrain:
+		cfg.RetrainHour = sim.RetrainDisabled
+	case *retrainHour == 0:
+		cfg.RetrainHour = sim.RetrainMidnight
+	default:
+		cfg.RetrainHour = *retrainHour
 	}
 	runner := sim.NewRunner(tr)
 	res, err := runner.Run(cfg)

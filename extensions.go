@@ -9,11 +9,47 @@ import (
 	"otacache/internal/cache"
 	"otacache/internal/cluster"
 	"otacache/internal/core"
+	"otacache/internal/engine"
 	"otacache/internal/ml/cart"
 	"otacache/internal/ssd"
 	"otacache/internal/tier"
 	"otacache/internal/trace"
 )
+
+// Serving engine (the Figure 4 pipeline behind one entry point).
+type (
+	// Engine is the thread-safe cache engine: a replacement policy and
+	// an admission filter composed behind Lookup/Snapshot with atomic
+	// metrics. The simulator, the two-tier hierarchy, and a concurrent
+	// cache server all drive this same pipeline.
+	Engine = engine.Engine
+	// EngineOutcome describes one Engine lookup (hit, admission
+	// decision, SSD write).
+	EngineOutcome = engine.Outcome
+	// EngineMetrics is a point-in-time snapshot of an Engine's
+	// counters, with the paper's hit/write-rate accessors.
+	EngineMetrics = engine.Metrics
+	// ServingLayer is one assembled cache layer: an Engine plus the
+	// criteria it was solved for — the unit a tiered deployment runs
+	// per OC/DC node.
+	ServingLayer = tier.Layer
+)
+
+// NewEngine composes a policy and an admission filter into the serving
+// pipeline. filter == nil admits every miss (the traditional cache).
+// The Engine is safe for concurrent use when its parts are: wrap the
+// policy with NewShardedPolicy and use any filter but the online
+// classifier.
+func NewEngine(policy Policy, filter Filter) (*Engine, error) {
+	return engine.New(policy, filter)
+}
+
+// BuildServingLayer assembles one serving-ready cache layer from a
+// trace: policy, per-layer criteria, admission filter, and the Engine
+// composing them (next is the trace's next-access index).
+func BuildServingLayer(t *Trace, next []int, cfg TierConfig, lc TierLayer) (*ServingLayer, error) {
+	return tier.BuildLayer(t, next, cfg, lc)
+}
 
 // Two-tier hierarchy (OC -> DC -> backend).
 type (

@@ -84,6 +84,32 @@ func TestExtensionsFacade(t *testing.T) {
 	if s := online.Score([]float64{1, 2, 3}); s < 0 || s > 1 {
 		t.Fatalf("online score %v", s)
 	}
+
+	// Serving engine over the sharded policy.
+	eng, err := NewEngine(sharded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := eng.Lookup(1, 100, eng.NextTick(), nil); !out.Hit {
+		t.Fatal("engine missed the resident key")
+	}
+	if out := eng.Lookup(99, 100, eng.NextTick(), nil); out.Hit || !out.Written {
+		t.Fatal("engine admit-all miss must write")
+	}
+	if m := eng.Snapshot(); m.Requests != 2 || m.Hits != 1 || m.Writes != 1 {
+		t.Fatalf("engine metrics: %+v", m)
+	}
+
+	// A standalone serving layer built from the tier configuration.
+	layer, err := BuildServingLayer(tr, BuildNextAccess(tr),
+		TierConfig{Seed: 3},
+		TierLayer{Policy: "lru", CacheBytes: int64(0.05 * fp), Filter: TierClassifier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layer.Engine == nil || layer.Criteria.M <= 0 {
+		t.Fatalf("serving layer incomplete: %+v", layer)
+	}
 }
 
 func TestModelAndTracePersistenceFacade(t *testing.T) {

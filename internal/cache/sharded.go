@@ -73,9 +73,15 @@ func (s *Sharded) shardFor(key uint64) *shardSlot {
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-// Name implements Policy.
+// Name implements Policy. The shard lock is held for the delegated
+// Name call: Policy implementations are free to read mutable state
+// there, so an unlocked read would race with concurrent Get/Admit.
 func (s *Sharded) Name() string {
-	return fmt.Sprintf("sharded-%d-%s", len(s.shards), s.shards[0].p.Name())
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	name := sh.p.Name()
+	sh.mu.Unlock()
+	return fmt.Sprintf("sharded-%d-%s", len(s.shards), name)
 }
 
 // Get implements Policy.

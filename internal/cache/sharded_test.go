@@ -114,6 +114,47 @@ func TestShardedConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestShardedConcurrentMixedOps hammers every Policy method — notably
+// Name, whose delegated call used to read shard state without the
+// shard lock — from many goroutines. Run under -race this is the
+// regression test for that unlocked access.
+func TestShardedConcurrentMixedOps(t *testing.T) {
+	s := newShardedLRU(t, 1<<20, 8)
+	const goroutines = 8
+	const opsPer = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := uint64((g*opsPer + i) % 4000)
+				switch i % 7 {
+				case 0, 1, 2:
+					if !s.Get(k, i) {
+						s.Admit(k, int64(1+k%128), i)
+					}
+				case 3:
+					_ = s.Contains(k)
+				case 4:
+					_ = s.Len()
+				case 5:
+					_ = s.Used()
+				default:
+					if name := s.Name(); name != "sharded-8-lru" {
+						t.Errorf("name = %q", name)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Used() > s.Cap() {
+		t.Fatalf("capacity violated: %d > %d", s.Used(), s.Cap())
+	}
+}
+
 func TestShardedCapacityInvariant(t *testing.T) {
 	s := newShardedLRU(t, 4096, 4)
 	for k := uint64(0); k < 10000; k++ {

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"otacache/internal/labeling"
 	"otacache/internal/mlcore"
@@ -51,6 +52,7 @@ type Decision struct {
 }
 
 // AdmitAll is the traditional no-filter behaviour ("Original" curves).
+// It is stateless and safe for concurrent use.
 type AdmitAll struct{}
 
 // Name implements Filter.
@@ -61,7 +63,8 @@ func (AdmitAll) Decide(uint64, int, []float64) Decision { return Decision{Admit:
 
 // OracleAdmission admits exactly the accesses that are not one-time
 // under the criteria — the paper's "Ideal" classifier with 100%
-// accuracy (§5.3).
+// accuracy (§5.3). It only reads the immutable next-access index, so
+// it is safe for concurrent use.
 type OracleAdmission struct {
 	next []int
 	m    int
@@ -90,7 +93,12 @@ func (o *OracleAdmission) Decide(_ uint64, tick int, _ []float64) Decision {
 // and each slot carries the insertion sequence number so that a key
 // removed and later re-inserted cannot be evicted through its stale
 // older slot.
+//
+// All methods are safe for concurrent use. The consult-and-update step
+// of the admission workflow needs more than per-method atomicity, so
+// filters must use Rectify rather than composing Lookup/Remove/Insert.
 type HistoryTable struct {
+	mu       sync.Mutex
 	capacity int
 	ticks    map[uint64]htEntry
 	fifo     []htSlot
@@ -127,13 +135,19 @@ func TableCapacity(crit labeling.Criteria) int {
 }
 
 // Len returns the number of live entries.
-func (t *HistoryTable) Len() int { return len(t.ticks) }
+func (t *HistoryTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ticks)
+}
 
 // Capacity returns the configured bound.
 func (t *HistoryTable) Capacity() int { return t.capacity }
 
 // Lookup returns the tick recorded for key, if present.
 func (t *HistoryTable) Lookup(key uint64) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	e, ok := t.ticks[key]
 	return e.tick, ok
 }
@@ -143,6 +157,12 @@ func (t *HistoryTable) Lookup(key uint64) (int, bool) {
 // position, so a frequently re-bypassed photo cannot monopolize the
 // table.
 func (t *HistoryTable) Insert(key uint64, tick int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.insertLocked(key, tick)
+}
+
+func (t *HistoryTable) insertLocked(key uint64, tick int) {
 	if e, ok := t.ticks[key]; ok {
 		e.tick = tick
 		t.ticks[key] = e
@@ -159,7 +179,27 @@ func (t *HistoryTable) Insert(key uint64, tick int) {
 
 // Remove deletes key if present. Its FIFO slot is lazily reclaimed.
 func (t *HistoryTable) Remove(key uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	delete(t.ticks, key)
+}
+
+// Rectify performs the §4.4.2 consult-and-update step as one critical
+// section: if key was recorded within distance m of tick, the earlier
+// bypass is rectified — the entry is removed and true is returned;
+// otherwise the table records (or refreshes) key at tick and returns
+// false. Concurrent Decide calls relying on "a rectified key is
+// consumed exactly once" need this atomicity; composing Lookup, Remove
+// and Insert would leave a window between the consult and the update.
+func (t *HistoryTable) Rectify(key uint64, tick, m int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.ticks[key]; ok && tick-e.tick < m {
+		delete(t.ticks, key)
+		return true
+	}
+	t.insertLocked(key, tick)
+	return false
 }
 
 func (t *HistoryTable) evictOldest() {
@@ -185,7 +225,18 @@ func (t *HistoryTable) compact() {
 
 // ClassifierAdmission is the paper's classification system ("Proposal"
 // curves): classifier + history table.
+//
+// Decide is safe to call concurrently with SetClassifier (the daily
+// retraining path) and with other Decide calls, provided the installed
+// classifier's Predict/Score are themselves safe for concurrent use.
+// Every batch-trained model in this repo is immutable after training
+// and qualifies; OnlineLogit mutates on Update and is restricted to
+// single-goroutine callers.
 type ClassifierAdmission struct {
+	// mu guards clf and threshold: Decide snapshots both under the read
+	// lock, so a concurrent SetClassifier swap is seen atomically. The
+	// history table serializes itself.
+	mu    sync.RWMutex
 	clf   mlcore.Classifier
 	table *HistoryTable
 	m     int
@@ -199,7 +250,11 @@ type ClassifierAdmission struct {
 
 // SetScoreThreshold enables threshold-based prediction (0 disables,
 // restoring the classifier's own decision rule).
-func (a *ClassifierAdmission) SetScoreThreshold(t float64) { a.threshold = t }
+func (a *ClassifierAdmission) SetScoreThreshold(t float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.threshold = t
+}
 
 // NewClassifierAdmission assembles the system. table may be nil to run
 // without rectification (the history-table ablation).
@@ -217,15 +272,24 @@ func NewClassifierAdmission(clf mlcore.Classifier, table *HistoryTable, crit lab
 func (a *ClassifierAdmission) Name() string { return "classifier" }
 
 // SetClassifier swaps in a newly trained model (daily retraining,
-// §4.4.3). The history table and criteria are preserved.
+// §4.4.3). The history table and criteria are preserved. Safe to call
+// while other goroutines are in Decide: in-flight decisions finish on
+// the model they snapshotted, later ones see the new model.
 func (a *ClassifierAdmission) SetClassifier(clf mlcore.Classifier) {
-	if clf != nil {
-		a.clf = clf
+	if clf == nil {
+		return
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.clf = clf
 }
 
 // Classifier returns the current model.
-func (a *ClassifierAdmission) Classifier() mlcore.Classifier { return a.clf }
+func (a *ClassifierAdmission) Classifier() mlcore.Classifier {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.clf
+}
 
 // M returns the reaccess-distance threshold in force.
 func (a *ClassifierAdmission) M() int { return a.m }
@@ -234,11 +298,14 @@ func (a *ClassifierAdmission) M() int { return a.m }
 // (4)–(6): classify; if predicted one-time, consult the history table
 // and rectify when the photo returned within M.
 func (a *ClassifierAdmission) Decide(key uint64, tick int, feat []float64) Decision {
+	a.mu.RLock()
+	clf, threshold := a.clf, a.threshold
+	a.mu.RUnlock()
 	var oneTime bool
-	if a.threshold > 0 {
-		oneTime = a.clf.Score(feat) >= a.threshold
+	if threshold > 0 {
+		oneTime = clf.Score(feat) >= threshold
 	} else {
-		oneTime = a.clf.Predict(feat) == mlcore.Positive
+		oneTime = clf.Predict(feat) == mlcore.Positive
 	}
 	if !oneTime {
 		if a.table != nil {
@@ -247,11 +314,9 @@ func (a *ClassifierAdmission) Decide(key uint64, tick int, feat []float64) Decis
 		return Decision{Admit: true}
 	}
 	if a.table != nil {
-		if t0, ok := a.table.Lookup(key); ok && tick-t0 < a.m {
-			a.table.Remove(key)
+		if a.table.Rectify(key, tick, a.m) {
 			return Decision{Admit: true, PredictedOneTime: true, Rectified: true}
 		}
-		a.table.Insert(key, tick)
 	}
 	return Decision{Admit: false, PredictedOneTime: true}
 }

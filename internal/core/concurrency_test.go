@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"otacache/internal/labeling"
+	"otacache/internal/mlcore"
+)
+
+// thresholdClf predicts Positive when the first feature reaches the
+// threshold — an immutable stand-in for a trained tree.
+type thresholdClf struct{ threshold float64 }
+
+func (c thresholdClf) Name() string { return "threshold-stub" }
+func (c thresholdClf) Predict(x []float64) int {
+	if len(x) > 0 && x[0] >= c.threshold {
+		return mlcore.Positive
+	}
+	return mlcore.Negative
+}
+func (c thresholdClf) Score(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return x[0]
+}
+
+// TestClassifierAdmissionConcurrentDecideAndRetrain is the daily-retrain
+// race: many goroutines in Decide while another swaps the classifier
+// and moves the score threshold, exactly what a serving Engine does at
+// 05:00. Run under -race it proves the locking; the assertions prove
+// every decision came from one of the installed models.
+func TestClassifierAdmissionConcurrentDecideAndRetrain(t *testing.T) {
+	table := NewHistoryTable(128)
+	adm, err := NewClassifierAdmission(thresholdClf{threshold: 0.5}, table, labeling.Criteria{M: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const opsPer = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			feat := []float64{0}
+			for i := 0; i < opsPer; i++ {
+				// Alternate clearly-negative and clearly-positive
+				// vectors: both installed models agree on them, so the
+				// decision must be deterministic even mid-swap.
+				feat[0] = float64(i%2) * 0.9
+				d := adm.Decide(uint64(g*opsPer+i), i, feat)
+				if i%2 == 0 && (!d.Admit || d.PredictedOneTime) {
+					t.Errorf("negative vector bypassed: %+v", d)
+					return
+				}
+				if i%2 == 1 && d.Admit && !d.Rectified {
+					t.Errorf("positive vector admitted without rectification: %+v", d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			// Both models classify 0 as negative and 0.9 as positive.
+			adm.SetClassifier(thresholdClf{threshold: 0.3 + float64(i%3)*0.2})
+			_ = adm.Classifier()
+			adm.SetScoreThreshold(0)
+		}
+	}()
+	wg.Wait()
+}
+
+func TestHistoryTableConcurrentMixedOps(t *testing.T) {
+	h := NewHistoryTable(64)
+	const goroutines = 8
+	const opsPer = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := uint64((g + i) % 200)
+				switch i % 5 {
+				case 0:
+					h.Insert(key, i)
+				case 1:
+					h.Lookup(key)
+				case 2:
+					h.Remove(key)
+				case 3:
+					h.Rectify(key, i, 100)
+				default:
+					if h.Len() > h.Capacity() {
+						t.Error("capacity bound violated")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Len() > h.Capacity() {
+		t.Fatalf("len %d > capacity %d", h.Len(), h.Capacity())
+	}
+}
+
+// TestHistoryTableRectifySemantics pins the single critical section to
+// the exact §4.4.2 workflow the seed implementation composed from
+// Lookup/Remove/Insert.
+func TestHistoryTableRectifySemantics(t *testing.T) {
+	h := NewHistoryTable(8)
+	// Unknown key: recorded, not rectified.
+	if h.Rectify(1, 10, 5) {
+		t.Fatal("unknown key must not rectify")
+	}
+	if tick, ok := h.Lookup(1); !ok || tick != 10 {
+		t.Fatalf("key not recorded: tick=%d ok=%v", tick, ok)
+	}
+	// Within distance M: rectified and consumed.
+	if !h.Rectify(1, 14, 5) {
+		t.Fatal("return within M must rectify")
+	}
+	if _, ok := h.Lookup(1); ok {
+		t.Fatal("rectified key must be consumed")
+	}
+	// Beyond distance M: refreshed instead.
+	h.Insert(2, 0)
+	if h.Rectify(2, 100, 5) {
+		t.Fatal("return beyond M must not rectify")
+	}
+	if tick, _ := h.Lookup(2); tick != 100 {
+		t.Fatalf("entry not refreshed: tick=%d", tick)
+	}
+}
+
+func TestFrequencyAdmissionConcurrentDecide(t *testing.T) {
+	f, err := NewFrequencyAdmission(4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const opsPer = 20000
+	var wg sync.WaitGroup
+	admitted := make([]int64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				if f.Decide(uint64(i%500), i, nil).Admit {
+					admitted[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, a := range admitted {
+		total += a
+	}
+	if total == 0 {
+		t.Fatal("repeated keys never admitted")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"otacache/internal/sketch"
 )
@@ -17,7 +18,12 @@ import (
 // training, but it can only recognize one-time-access objects *after*
 // paying one bypassed miss per object, and it has no notion of the
 // criteria distance M.
+//
+// Decide is safe for concurrent use: the doorkeeper and sketch are
+// mutated under one mutex, so the mark-then-count sequence for a key
+// is a single critical section.
 type FrequencyAdmission struct {
+	mu      sync.Mutex
 	door    *sketch.Doorkeeper
 	freq    *sketch.CountMin
 	minFreq int
@@ -49,6 +55,8 @@ func (f *FrequencyAdmission) Name() string { return "doorkeeper" }
 // Decide implements Filter: record the appearance, admit once the
 // key's recent frequency clears the bar.
 func (f *FrequencyAdmission) Decide(key uint64, _ int, _ []float64) Decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	var count int
 	if f.door.Seen(key) {
 		f.freq.Add(key)

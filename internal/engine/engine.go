@@ -1,0 +1,186 @@
+// Package engine provides the serving-ready form of the paper's
+// classification system (Figure 4): a thread-safe cache Engine that
+// composes a replacement policy with an admission filter behind one
+// entry point, counting the metrics the evaluation reports with atomic
+// counters.
+//
+// The same Engine is driven by three callers with very different
+// concurrency profiles:
+//
+//   - the single-threaded trace simulator (internal/sim), which wraps
+//     it in per-request feature extraction, retraining, and the latency
+//     model;
+//   - the two-tier OC/DC hierarchy (internal/tier), one Engine per
+//     layer;
+//   - a concurrent cache server, which calls Lookup from many
+//     goroutines against a cache.Sharded policy and a lock-protected
+//     filter.
+//
+// Thread safety is compositional: the Engine's own counters are atomic,
+// so Lookup and Snapshot are safe from any number of goroutines
+// provided the composed Policy and Filter are themselves safe for
+// concurrent use (cache.Sharded; core.AdmitAll, core.OracleAdmission,
+// core.ClassifierAdmission, core.FrequencyAdmission). The bare
+// single-threaded policies (cache.NewLRU etc.) remain valid for
+// single-goroutine callers such as the simulator.
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"otacache/internal/cache"
+	"otacache/internal/core"
+)
+
+// Engine is the admission pipeline: Get consults the policy, Offer runs
+// the admission filter on a miss and inserts on admit, Lookup chains
+// the two. It is safe for concurrent use when its policy and filter
+// are (see the package comment).
+type Engine struct {
+	policy cache.Policy
+	filter core.Filter
+	tick   atomic.Int64
+
+	requests   atomic.Int64
+	hits       atomic.Int64
+	hitBytes   atomic.Int64
+	misses     atomic.Int64
+	writes     atomic.Int64
+	writeBytes atomic.Int64
+	bypassed   atomic.Int64
+	rectified  atomic.Int64
+	totalBytes atomic.Int64
+}
+
+// Outcome describes one Lookup (or Offer) with enough detail for a
+// caller to account latency and classification quality.
+type Outcome struct {
+	// Hit reports that the object was resident; the remaining fields
+	// are zero on a hit.
+	Hit bool
+	// Decision is the filter's verdict for the miss.
+	Decision core.Decision
+	// Written reports that the policy accepted the admitted object
+	// (an over-capacity object can be rejected by the policy itself).
+	Written bool
+}
+
+// Metrics is a point-in-time snapshot of the Engine's counters. Under
+// concurrent traffic each counter is individually exact but the set is
+// not a single atomic cut.
+type Metrics struct {
+	Requests   int64
+	Hits       int64
+	HitBytes   int64
+	Misses     int64
+	Writes     int64
+	WriteBytes int64
+	Bypassed   int64
+	Rectified  int64
+	TotalBytes int64
+}
+
+// HitRate returns Hits / Requests.
+func (m Metrics) HitRate() float64 { return ratio(m.Hits, m.Requests) }
+
+// ByteHitRate returns HitBytes / TotalBytes.
+func (m Metrics) ByteHitRate() float64 { return ratio(m.HitBytes, m.TotalBytes) }
+
+// WriteRate returns SSD object writes / requests (§5.3.3).
+func (m Metrics) WriteRate() float64 { return ratio(m.Writes, m.Requests) }
+
+// ByteWriteRate returns SSD bytes written / requested bytes (§5.3.4).
+func (m Metrics) ByteWriteRate() float64 { return ratio(m.WriteBytes, m.TotalBytes) }
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// New assembles an Engine. filter == nil means admit every miss
+// (core.AdmitAll, the paper's "Original" behaviour).
+func New(policy cache.Policy, filter core.Filter) (*Engine, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("engine: nil policy")
+	}
+	if filter == nil {
+		filter = core.AdmitAll{}
+	}
+	return &Engine{policy: policy, filter: filter}, nil
+}
+
+// Policy returns the composed replacement policy.
+func (e *Engine) Policy() cache.Policy { return e.policy }
+
+// Filter returns the composed admission filter.
+func (e *Engine) Filter() core.Filter { return e.filter }
+
+// NextTick returns a fresh monotonically increasing tick. Trace-driven
+// callers pass their own request index instead; a live server that has
+// no global request ordering uses this counter for the history table's
+// reaccess distances.
+func (e *Engine) NextTick() int { return int(e.tick.Add(1) - 1) }
+
+// Get consults the policy for key, updating hit/miss counters. It is
+// the first half of Lookup, exposed separately for callers (such as the
+// tiered hierarchy) whose admission happens later on the return path.
+func (e *Engine) Get(key uint64, size int64, tick int) bool {
+	e.requests.Add(1)
+	e.totalBytes.Add(size)
+	if e.policy.Get(key, tick) {
+		e.hits.Add(1)
+		e.hitBytes.Add(size)
+		return true
+	}
+	e.misses.Add(1)
+	return false
+}
+
+// Offer runs the admission filter for a missed object and inserts it
+// into the policy on admit. feat is the request's feature vector (nil
+// for filters that do not use features).
+func (e *Engine) Offer(key uint64, size int64, tick int, feat []float64) Outcome {
+	d := e.filter.Decide(key, tick, feat)
+	if d.Rectified {
+		e.rectified.Add(1)
+	}
+	if !d.Admit {
+		e.bypassed.Add(1)
+		return Outcome{Decision: d}
+	}
+	e.policy.Admit(key, size, tick)
+	out := Outcome{Decision: d}
+	if e.policy.Contains(key) {
+		out.Written = true
+		e.writes.Add(1)
+		e.writeBytes.Add(size)
+	}
+	return out
+}
+
+// Lookup runs the full pipeline for one request: policy lookup, and on
+// a miss the admission decision and insertion.
+func (e *Engine) Lookup(key uint64, size int64, tick int, feat []float64) Outcome {
+	if e.Get(key, size, tick) {
+		return Outcome{Hit: true}
+	}
+	return e.Offer(key, size, tick, feat)
+}
+
+// Snapshot returns the current counters.
+func (e *Engine) Snapshot() Metrics {
+	return Metrics{
+		Requests:   e.requests.Load(),
+		Hits:       e.hits.Load(),
+		HitBytes:   e.hitBytes.Load(),
+		Misses:     e.misses.Load(),
+		Writes:     e.writes.Load(),
+		WriteBytes: e.writeBytes.Load(),
+		Bypassed:   e.bypassed.Load(),
+		Rectified:  e.rectified.Load(),
+		TotalBytes: e.totalBytes.Load(),
+	}
+}

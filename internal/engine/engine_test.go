@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"otacache/internal/cache"
+	"otacache/internal/core"
+	"otacache/internal/labeling"
+	"otacache/internal/mlcore"
+)
+
+// oddBypass bypasses odd keys — a deterministic stand-in filter.
+type oddBypass struct{}
+
+func (oddBypass) Name() string { return "odd-bypass" }
+func (oddBypass) Decide(key uint64, _ int, _ []float64) core.Decision {
+	oneTime := key%2 == 1
+	return core.Decision{Admit: !oneTime, PredictedOneTime: oneTime}
+}
+
+// alwaysOneTime predicts Positive for every vector, so every admission
+// goes through the history-table rectification path.
+type alwaysOneTime struct{}
+
+func (alwaysOneTime) Name() string            { return "always-one-time" }
+func (alwaysOneTime) Predict(_ []float64) int { return mlcore.Positive }
+func (alwaysOneTime) Score(_ []float64) float64 {
+	return 1
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil policy must error")
+	}
+	e, err := New(cache.NewLRU(1024), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Filter().Name() != "admit-all" {
+		t.Fatalf("nil filter must default to admit-all, got %s", e.Filter().Name())
+	}
+	if e.Policy().Name() != "lru" {
+		t.Fatalf("policy = %s", e.Policy().Name())
+	}
+}
+
+func TestLookupMatchesBarePolicy(t *testing.T) {
+	// With an admit-all filter the Engine must behave exactly like
+	// driving the policy by hand.
+	eng, err := New(cache.NewLRU(1<<10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := cache.NewLRU(1 << 10)
+	keys := []uint64{1, 2, 3, 1, 2, 4, 5, 1, 6, 3, 3, 7}
+	for i, k := range keys {
+		out := eng.Lookup(k, 64, i, nil)
+		hit := bare.Get(k, i)
+		if !hit {
+			bare.Admit(k, 64, i)
+		}
+		if out.Hit != hit {
+			t.Fatalf("tick %d key %d: engine hit=%v, bare hit=%v", i, k, out.Hit, hit)
+		}
+		if !out.Hit && (!out.Decision.Admit || !out.Written) {
+			t.Fatalf("tick %d: admit-all miss must admit and write: %+v", i, out)
+		}
+	}
+	m := eng.Snapshot()
+	if m.Requests != int64(len(keys)) || m.Hits+m.Misses != m.Requests {
+		t.Fatalf("inconsistent counters: %+v", m)
+	}
+	if m.Writes != m.Misses || m.Bypassed != 0 {
+		t.Fatalf("admit-all: writes %d != misses %d (bypassed %d)", m.Writes, m.Misses, m.Bypassed)
+	}
+	if eng.Policy().Len() != bare.Len() || eng.Policy().Used() != bare.Used() {
+		t.Fatal("engine-driven policy state diverged from bare policy")
+	}
+}
+
+func TestOfferBypassAccounting(t *testing.T) {
+	eng, err := New(cache.NewLRU(1<<10), oddBypass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		eng.Lookup(uint64(i), 10, i, nil)
+	}
+	m := eng.Snapshot()
+	if m.Misses != 10 {
+		t.Fatalf("misses = %d", m.Misses)
+	}
+	if m.Bypassed != 5 || m.Writes != 5 {
+		t.Fatalf("bypassed=%d writes=%d, want 5/5", m.Bypassed, m.Writes)
+	}
+	if m.Writes+m.Bypassed != m.Misses {
+		t.Fatalf("writes+bypassed != misses: %+v", m)
+	}
+	if m.WriteBytes != 50 || m.TotalBytes != 100 {
+		t.Fatalf("byte counters: %+v", m)
+	}
+	if eng.Policy().Contains(3) {
+		t.Fatal("bypassed key must not be resident")
+	}
+	if !eng.Policy().Contains(4) {
+		t.Fatal("admitted key missing")
+	}
+}
+
+func TestRectifiedCounter(t *testing.T) {
+	table := core.NewHistoryTable(16)
+	adm, err := core.NewClassifierAdmission(alwaysOneTime{}, table, labeling.Criteria{M: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(cache.NewLRU(1<<10), adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First miss: predicted one-time, bypassed and recorded.
+	if out := eng.Lookup(7, 10, 0, nil); out.Decision.Admit {
+		t.Fatalf("first miss must bypass: %+v", out)
+	}
+	// Second miss within M: rectified and admitted.
+	out := eng.Lookup(7, 10, 1, nil)
+	if !out.Decision.Rectified || !out.Decision.Admit || !out.Written {
+		t.Fatalf("second miss must rectify: %+v", out)
+	}
+	m := eng.Snapshot()
+	if m.Rectified != 1 || m.Bypassed != 1 || m.Writes != 1 {
+		t.Fatalf("counters: %+v", m)
+	}
+}
+
+func TestMetricsRates(t *testing.T) {
+	m := Metrics{Requests: 10, Hits: 4, HitBytes: 400, Writes: 3, WriteBytes: 300, TotalBytes: 1000}
+	if m.HitRate() != 0.4 || m.ByteHitRate() != 0.4 || m.WriteRate() != 0.3 || m.ByteWriteRate() != 0.3 {
+		t.Fatalf("rates: %+v", m)
+	}
+	var zero Metrics
+	if zero.HitRate() != 0 || zero.ByteWriteRate() != 0 {
+		t.Fatal("zero metrics must have zero rates")
+	}
+}
+
+func TestNextTickMonotonic(t *testing.T) {
+	eng, err := New(cache.NewLRU(1024), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 8, 1000
+	seen := make([][]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen[g] = append(seen[g], eng.NextTick())
+			}
+		}(g)
+	}
+	wg.Wait()
+	all := make(map[int]bool, goroutines*per)
+	for g := range seen {
+		for i := 1; i < len(seen[g]); i++ {
+			if seen[g][i] <= seen[g][i-1] {
+				t.Fatal("ticks not increasing within a goroutine")
+			}
+		}
+		for _, v := range seen[g] {
+			if all[v] {
+				t.Fatalf("duplicate tick %d", v)
+			}
+			all[v] = true
+		}
+	}
+	if len(all) != goroutines*per {
+		t.Fatalf("got %d distinct ticks", len(all))
+	}
+}
+
+// TestConcurrentEngineStress hammers a fully concurrent composition —
+// Sharded policy + classifier admission with history table — from many
+// goroutines with mixed Lookup/Get/Offer/Snapshot traffic. Run under
+// -race this is the Engine's thread-safety proof; the invariant checks
+// catch lost updates.
+func TestConcurrentEngineStress(t *testing.T) {
+	sharded, err := cache.NewSharded(1<<16, 8, func(c int64) cache.Policy { return cache.NewLRU(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := core.NewHistoryTable(4096)
+	adm, err := core.NewClassifierAdmission(alwaysOneTime{}, table, labeling.Criteria{M: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sharded, adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const opsPer = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := uint64((g*opsPer + i) % 512)
+				eng.Lookup(key, int64(1+key%64), eng.NextTick(), nil)
+				if i%512 == 0 {
+					_ = eng.Snapshot()
+					adm.SetClassifier(alwaysOneTime{})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	m := eng.Snapshot()
+	total := int64(goroutines * opsPer)
+	if m.Requests != total {
+		t.Fatalf("requests = %d, want %d", m.Requests, total)
+	}
+	if m.Hits+m.Misses != m.Requests {
+		t.Fatalf("hits %d + misses %d != requests %d", m.Hits, m.Misses, m.Requests)
+	}
+	// Concurrent misses on one key can race Admit/Contains, so writes
+	// plus bypasses is bounded by, not equal to, the miss count.
+	if m.Writes+m.Bypassed > m.Misses {
+		t.Fatalf("writes %d + bypassed %d > misses %d", m.Writes, m.Bypassed, m.Misses)
+	}
+	if m.Rectified == 0 || m.Bypassed == 0 || m.Writes == 0 {
+		t.Fatalf("stress exercised no admission paths: %+v", m)
+	}
+	if used := eng.Policy().Used(); used > eng.Policy().Cap() {
+		t.Fatalf("capacity violated: %d > %d", used, eng.Policy().Cap())
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"otacache/internal/cache"
 	"otacache/internal/core"
+	"otacache/internal/engine"
 	"otacache/internal/features"
 	"otacache/internal/labeling"
 	"otacache/internal/ml/cart"
@@ -78,8 +79,11 @@ type Config struct {
 	// SamplesPerMinute is the training sampling rate (0 = the paper's
 	// 100 records per minute).
 	SamplesPerMinute int
-	// RetrainHour is the daily retraining hour (default 5, per §4.4.3;
-	// set to -1 to disable retraining).
+	// RetrainHour is the daily retraining hour in [0, 23]. The zero
+	// value selects RetrainHourDefault (05:00, per §4.4.3); a 00:00
+	// retrain — which the zero value cannot express — is requested with
+	// the RetrainMidnight sentinel; RetrainDisabled (-1) disables
+	// retraining. Any other out-of-range value is an error.
 	RetrainHour int
 	// DisableHistoryTable runs the classifier without rectification
 	// (ablation of §4.4.2).
@@ -101,6 +105,20 @@ type Config struct {
 	// thresholds for bucket boundaries. Only meaningful in ModeProposal.
 	BinnedTraining bool
 }
+
+// Config.RetrainHour sentinels. An int field's zero value cannot
+// distinguish "unset" from "hour 0", so the default is applied only to
+// the zero value and midnight gets an explicit sentinel instead of
+// being silently rewritten to the default.
+const (
+	// RetrainHourDefault is the paper's 05:00 schedule (§4.4.3),
+	// applied when RetrainHour is left at its zero value.
+	RetrainHourDefault = 5
+	// RetrainMidnight requests a 00:00 daily retrain.
+	RetrainMidnight = 24
+	// RetrainDisabled turns daily retraining off.
+	RetrainDisabled = -1
+)
 
 func (c *Config) normalize() error {
 	if c.CacheBytes <= 0 {
@@ -129,8 +147,13 @@ func (c *Config) normalize() error {
 	if c.SamplesPerMinute <= 0 {
 		c.SamplesPerMinute = 100
 	}
-	if c.RetrainHour == 0 {
-		c.RetrainHour = 5
+	switch {
+	case c.RetrainHour == 0:
+		c.RetrainHour = RetrainHourDefault
+	case c.RetrainHour == RetrainMidnight:
+		c.RetrainHour = 0
+	case c.RetrainHour < RetrainDisabled || c.RetrainHour > 23:
+		return fmt.Errorf("sim: RetrainHour %d outside [0, 23] (RetrainMidnight for 00:00, RetrainDisabled to disable)", c.RetrainHour)
 	}
 	if c.TreeMaxSplits <= 0 {
 		c.TreeMaxSplits = 30
@@ -246,8 +269,53 @@ func (r *Runner) Criteria(cfg Config) labeling.Criteria {
 	return crit.ForPolicy(cfg.Policy, cache.DefaultLIRRatio)
 }
 
-// Run executes one simulation.
+// Run executes one simulation as three composable stages: setup (mode
+// preparation and Engine assembly), the per-request pipeline, and final
+// metric assembly. The admission pipeline itself — policy lookup,
+// filter decision, insertion, and the hit/write/bypass accounting —
+// lives in engine.Engine and is shared with the tiered hierarchy and
+// any concurrent server; the Runner contributes the trace-only stages
+// around it: feature extraction, training-sample collection, the
+// retraining scheduler, the latency model, and classification-quality
+// scoring.
 func (r *Runner) Run(cfg Config) (*Result, error) {
+	st, err := r.setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range r.tr.Requests {
+		r.step(st, i)
+	}
+	return r.finish(st), nil
+}
+
+// runState is one simulation's pipeline state, threaded through the
+// stages of Run.
+type runState struct {
+	cfg Config
+	res *Result
+	eng *engine.Engine
+
+	// Classified-mode state (nil/zero in ModeOriginal).
+	labels    []int
+	extractor *features.Extractor
+	samples   *core.SampleBuffer
+	admission *core.ClassifierAdmission
+	onlineClf *core.OnlineLogit
+
+	classified bool
+	hitCost    float64
+	missCost   float64
+	sizeAware  bool
+
+	nextRetrain int64
+	latencySum  float64
+	feat        [features.NumFeatures]float64
+}
+
+// setup normalizes the configuration, prepares the mode's filter and
+// supporting state, and assembles the Engine the pipeline drives.
+func (r *Runner) setup(cfg Config) (*runState, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -256,27 +324,21 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Config: cfg, Requests: len(r.tr.Requests)}
+	st := &runState{cfg: cfg, res: &Result{Config: cfg, Requests: len(r.tr.Requests)}}
 	days := int(r.tr.Horizon/86400) + 1
-	res.Quality.Daily = make([]mlcore.Confusion, days)
+	st.res.Quality.Daily = make([]mlcore.Confusion, days)
 
 	var filter core.Filter = core.AdmitAll{}
-	var labels []int
-	var extractor *features.Extractor
-	var samples *core.SampleBuffer
-	var admission *core.ClassifierAdmission
-	var onlineClf *core.OnlineLogit
-
 	switch cfg.Mode {
 	case ModeOriginal:
 		// nothing to prepare
 	case ModeIdeal:
-		res.Criteria = r.Criteria(cfg)
-		labels = labeling.Labels(r.next, res.Criteria)
-		filter = core.NewOracle(r.next, res.Criteria)
+		st.res.Criteria = r.Criteria(cfg)
+		st.labels = labeling.Labels(r.next, st.res.Criteria)
+		filter = core.NewOracle(r.next, st.res.Criteria)
 	case ModeDoorkeeper:
-		res.Criteria = r.Criteria(cfg)
-		labels = labeling.Labels(r.next, res.Criteria)
+		st.res.Criteria = r.Criteria(cfg)
+		st.labels = labeling.Labels(r.next, st.res.Criteria)
 		width := int(cfg.CacheBytes / r.tr.MeanPhotoSize())
 		if width < 1024 {
 			width = 1024
@@ -287,11 +349,11 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 		}
 		filter = f
 	case ModeProposal:
-		res.Criteria = r.Criteria(cfg)
-		labels = labeling.Labels(r.next, res.Criteria)
+		st.res.Criteria = r.Criteria(cfg)
+		st.labels = labeling.Labels(r.next, st.res.Criteria)
 		var table *core.HistoryTable
 		if !cfg.DisableHistoryTable {
-			table = core.NewHistoryTable(core.TableCapacity(res.Criteria))
+			table = core.NewHistoryTable(core.TableCapacity(st.res.Criteria))
 		}
 		var clf mlcore.Classifier
 		if cfg.OnlineLearning {
@@ -299,116 +361,115 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			onlineClf = online
+			st.onlineClf = online
 			clf = online
 		} else {
 			var err error
-			clf, err = r.bootstrapClassifier(cfg, labels)
+			clf, err = r.bootstrapClassifier(cfg, st.labels)
 			if err != nil {
 				return nil, err
 			}
 		}
-		admission, err = core.NewClassifierAdmission(clf, table, res.Criteria)
+		st.admission, err = core.NewClassifierAdmission(clf, table, st.res.Criteria)
 		if err != nil {
 			return nil, err
 		}
 		if cfg.ScoreThreshold > 0 {
-			admission.SetScoreThreshold(cfg.ScoreThreshold)
+			st.admission.SetScoreThreshold(cfg.ScoreThreshold)
 		}
-		filter = admission
-		extractor = features.NewExtractor(r.tr)
-		samples = core.NewSampleBuffer(cfg.SamplesPerMinute, 24*3600)
+		filter = st.admission
+		st.extractor = features.NewExtractor(r.tr)
+		st.samples = core.NewSampleBuffer(cfg.SamplesPerMinute, 24*3600)
 	default:
 		return nil, fmt.Errorf("sim: unknown mode %d", cfg.Mode)
 	}
 
-	classified := cfg.Mode != ModeOriginal
-	var latencySum float64
-	hitCost := cfg.Latency.HitCost()
-	missCost := cfg.Latency.MissCost(classified)
-	sizeAware := cfg.Latency.SizeAware()
-
-	var feat [features.NumFeatures]float64
-	nextRetrain := int64(86400 + cfg.RetrainHour*3600) // first 05:00 after day 0
+	st.eng, err = engine.New(policy, filter)
+	if err != nil {
+		return nil, err
+	}
+	st.classified = cfg.Mode != ModeOriginal
+	st.hitCost = cfg.Latency.HitCost()
+	st.missCost = cfg.Latency.MissCost(st.classified)
+	st.sizeAware = cfg.Latency.SizeAware()
+	st.nextRetrain = int64(86400 + cfg.RetrainHour*3600) // first retrain after day 0
 	if cfg.RetrainHour < 0 {
-		nextRetrain = int64(1) << 62
+		st.nextRetrain = int64(1) << 62
+	}
+	return st, nil
+}
+
+// step runs request i through the pipeline: the training stage
+// (features, sampling, the retraining scheduler), the Engine's
+// admission pipeline, and the trace-side accounting (latency, quality,
+// wasted writes) the Engine is agnostic of.
+func (r *Runner) step(st *runState, i int) {
+	req := &r.tr.Requests[i]
+	size := r.tr.Photos[req.Photo].Size
+
+	var proj []float64
+	if st.extractor != nil {
+		st.extractor.NextInto(i, st.feat[:])
+		proj = project(st.feat[:], st.cfg.FeatureCols)
+		if st.onlineClf == nil {
+			st.samples.Offer(req.Time, proj, st.labels[i])
+			if req.Time >= st.nextRetrain {
+				r.retrain(st.cfg, st.admission, st.samples, req.Time, st.res)
+				st.nextRetrain += 86400
+			}
+		}
 	}
 
-	for i := range r.tr.Requests {
-		req := &r.tr.Requests[i]
-		size := r.tr.Photos[req.Photo].Size
-		key := uint64(req.Photo)
-		res.TotalBytes += size
-
-		var proj []float64
-		if extractor != nil {
-			extractor.NextInto(i, feat[:])
-			proj = project(feat[:], cfg.FeatureCols)
-			if onlineClf == nil {
-				samples.Offer(req.Time, proj, labels[i])
-				if req.Time >= nextRetrain {
-					r.retrain(cfg, admission, samples, req.Time, res)
-					nextRetrain += 86400
-				}
-			}
-		}
-
-		if policy.Get(key, i) {
-			res.FileHits++
-			res.ByteHits += size
-			if sizeAware {
-				latencySum += cfg.Latency.HitCostFor(size)
-			} else {
-				latencySum += hitCost
-			}
-			if onlineClf != nil {
-				onlineClf.Update(proj, labels[i])
-			}
-			continue
-		}
-		if sizeAware {
-			latencySum += cfg.Latency.MissCostFor(classified, size)
+	out := st.eng.Lookup(uint64(req.Photo), size, i, proj)
+	if st.onlineClf != nil {
+		// Prequential update: the admission decision inside Lookup used
+		// the pre-update model; learn from this access only afterwards.
+		st.onlineClf.Update(proj, st.labels[i])
+	}
+	if out.Hit {
+		if st.sizeAware {
+			st.latencySum += st.cfg.Latency.HitCostFor(size)
 		} else {
-			latencySum += missCost
+			st.latencySum += st.hitCost
 		}
+		return
+	}
+	if st.sizeAware {
+		st.latencySum += st.cfg.Latency.MissCostFor(st.classified, size)
+	} else {
+		st.latencySum += st.missCost
+	}
+	if st.classified {
+		day := int(req.Time / 86400)
+		predicted := mlcore.Negative
+		if out.Decision.PredictedOneTime {
+			predicted = mlcore.Positive
+		}
+		st.res.Quality.Overall.Add(st.labels[i], predicted)
+		if day >= 0 && day < len(st.res.Quality.Daily) {
+			st.res.Quality.Daily[day].Add(st.labels[i], predicted)
+		}
+	}
+	if out.Written && st.labels != nil && st.labels[i] == mlcore.Positive {
+		st.res.WastedWrites++
+	}
+}
 
-		decision := filter.Decide(key, i, proj)
-		if onlineClf != nil {
-			// Prequential update: learn from this access only after
-			// the admission decision used the current model.
-			onlineClf.Update(proj, labels[i])
-		}
-		if classified {
-			day := int(req.Time / 86400)
-			predicted := mlcore.Negative
-			if decision.PredictedOneTime {
-				predicted = mlcore.Positive
-			}
-			res.Quality.Overall.Add(labels[i], predicted)
-			if day >= 0 && day < len(res.Quality.Daily) {
-				res.Quality.Daily[day].Add(labels[i], predicted)
-			}
-			if decision.Rectified {
-				res.Rectified++
-			}
-		}
-		if !decision.Admit {
-			res.Bypassed++
-			continue
-		}
-		policy.Admit(key, size, i)
-		if policy.Contains(key) {
-			res.FileWrites++
-			res.ByteWrites += size
-			if labels != nil && labels[i] == mlcore.Positive {
-				res.WastedWrites++
-			}
-		}
-	}
+// finish folds the Engine's counters into the Result.
+func (r *Runner) finish(st *runState) *Result {
+	m := st.eng.Snapshot()
+	res := st.res
+	res.FileHits = m.Hits
+	res.ByteHits = m.HitBytes
+	res.FileWrites = m.Writes
+	res.ByteWrites = m.WriteBytes
+	res.TotalBytes = m.TotalBytes
+	res.Bypassed = m.Bypassed
+	res.Rectified = m.Rectified
 	if res.Requests > 0 {
-		res.MeanLatencyUs = latencySum / float64(res.Requests)
+		res.MeanLatencyUs = st.latencySum / float64(res.Requests)
 	}
-	return res, nil
+	return res
 }
 
 // bootstrapClassifier trains the initial model on the first day's

@@ -187,6 +187,64 @@ func TestRetrainingHappensDaily(t *testing.T) {
 	}
 }
 
+func TestRetrainHourSentinels(t *testing.T) {
+	r := runner(t)
+	capacity := capFor(t, 0.15)
+
+	// Zero value: the paper's 05:00 default.
+	res, err := r.Run(Config{Policy: "lru", CacheBytes: capacity, Mode: ModeProposal, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.RetrainHour != RetrainHourDefault {
+		t.Fatalf("default RetrainHour = %d, want %d", res.Config.RetrainHour, RetrainHourDefault)
+	}
+
+	// RetrainMidnight: a 00:00 retrain, which the old normalization
+	// silently rewrote to 05:00.
+	mid, err := r.Run(Config{Policy: "lru", CacheBytes: capacity, Mode: ModeProposal, Seed: 3, RetrainHour: RetrainMidnight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Config.RetrainHour != 0 {
+		t.Fatalf("RetrainMidnight normalized to %d, want 0", mid.Config.RetrainHour)
+	}
+	days := int(r.Trace().Horizon / 86400)
+	if mid.Retrainings < days-2 {
+		t.Fatalf("midnight retraining ran %d times over %d days", mid.Retrainings, days)
+	}
+	// A midnight schedule trains on different 24 h windows than 05:00,
+	// so the two runs must actually differ.
+	if mid.Retrainings == res.Retrainings && mid.FileHits == res.FileHits && mid.Bypassed == res.Bypassed {
+		t.Fatal("midnight run indistinguishable from the 05:00 default")
+	}
+
+	// Explicit in-range hours are preserved.
+	at13, err := r.Run(Config{Policy: "lru", CacheBytes: capacity, Mode: ModeProposal, Seed: 3, RetrainHour: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at13.Config.RetrainHour != 13 {
+		t.Fatalf("RetrainHour 13 normalized to %d", at13.Config.RetrainHour)
+	}
+
+	// Out-of-range hours are rejected instead of silently accepted.
+	for _, bad := range []int{-3, 25, 99} {
+		if _, err := r.Run(Config{Policy: "lru", CacheBytes: capacity, Mode: ModeProposal, Seed: 3, RetrainHour: bad}); err == nil {
+			t.Fatalf("RetrainHour %d must error", bad)
+		}
+	}
+
+	// RetrainDisabled still disables.
+	off, err := r.Run(Config{Policy: "lru", CacheBytes: capacity, Mode: ModeProposal, Seed: 3, RetrainHour: RetrainDisabled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Retrainings != 0 {
+		t.Fatalf("retrainings = %d with RetrainDisabled", off.Retrainings)
+	}
+}
+
 func TestHistoryTableRectifies(t *testing.T) {
 	r := runner(t)
 	res, err := r.Run(Config{Policy: "lru", CacheBytes: capFor(t, 0.15), Mode: ModeProposal, Seed: 4})

@@ -19,6 +19,7 @@ import (
 
 	"otacache/internal/cache"
 	"otacache/internal/core"
+	"otacache/internal/engine"
 	"otacache/internal/features"
 	"otacache/internal/labeling"
 	"otacache/internal/mlcore"
@@ -145,12 +146,36 @@ func frac(a, b int64) float64 {
 	return float64(a) / float64(b)
 }
 
-// layer is one running cache layer.
-type layer struct {
-	policy   cache.Policy
-	filter   core.Filter
-	criteria labeling.Criteria
-	kind     FilterKind
+// Layer is one assembled cache layer: the serving Engine (policy +
+// admission filter + counters) plus the criteria it was solved for.
+// It is the unit a cache server deploys — Simulate drives two of them.
+type Layer struct {
+	// Engine is the layer's admission pipeline.
+	Engine *engine.Engine
+	// Criteria is the layer's solved one-time-access criteria (zero
+	// value for AdmitAll layers, which solve none).
+	Criteria labeling.Criteria
+	// Kind is the layer's admission behaviour.
+	Kind FilterKind
+}
+
+// classifyCost returns the per-decision latency the layer's filter adds
+// to the read path (Eq. 6's t_classify; zero for admit-all).
+func (l *Layer) classifyCost(lat Latency) float64 {
+	if l.Kind == AdmitAll {
+		return 0
+	}
+	return lat.ClassifyUs
+}
+
+// offer consults the layer's admission pipeline for a missed object on
+// the return path, charging the classification latency.
+func (l *Layer) offer(key uint64, size int64, tick int, feat []float64, latencySum *float64, lat Latency) {
+	*latencySum += l.classifyCost(lat)
+	if l.Kind != Classifier {
+		feat = nil
+	}
+	l.Engine.Offer(key, size, tick, feat)
 }
 
 // Simulate runs the trace through the two-layer hierarchy.
@@ -163,21 +188,21 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 	}
 	next := trace.BuildNextAccess(tr)
 
-	oc, err := buildLayer(tr, next, cfg, cfg.OC)
+	oc, err := BuildLayer(tr, next, cfg, cfg.OC)
 	if err != nil {
 		return nil, fmt.Errorf("tier: OC: %w", err)
 	}
-	dc, err := buildLayer(tr, next, cfg, cfg.DC)
+	dc, err := BuildLayer(tr, next, cfg, cfg.DC)
 	if err != nil {
 		return nil, fmt.Errorf("tier: DC: %w", err)
 	}
 
 	res := &Result{
 		Requests:   len(tr.Requests),
-		OCCriteria: oc.criteria,
-		DCCriteria: dc.criteria,
+		OCCriteria: oc.Criteria,
+		DCCriteria: dc.Criteria,
 	}
-	needFeatures := oc.kind == Classifier || dc.kind == Classifier
+	needFeatures := oc.Kind == Classifier || dc.Kind == Classifier
 	var ex *features.Extractor
 	if needFeatures {
 		ex = features.NewExtractor(tr)
@@ -190,65 +215,44 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 		req := &tr.Requests[i]
 		key := uint64(req.Photo)
 		size := tr.Photos[req.Photo].Size
-		res.TotalBytes += size
+		var proj []float64
 		if ex != nil {
 			ex.NextInto(i, feat[:])
+			proj = project(feat[:])
 		}
 
 		// Hop 1: the outside cache.
-		if oc.policy.Get(key, i) {
-			res.OCHits++
-			res.OCByteHits += size
+		if oc.Engine.Get(key, size, i) {
 			latencySum += lat.QueryUs + lat.SSDReadUs
 			continue
 		}
 
 		// Hop 2: the datacenter cache.
 		dcCost := lat.QueryUs + lat.OCToDCUs + lat.QueryUs
-		if dc.policy.Get(key, i) {
-			res.DCHits++
-			res.DCByteHits += size
+		if dc.Engine.Get(key, size, i) {
 			latencySum += dcCost + lat.SSDReadUs
 			// The photo flows back through the OC, which may cache it.
-			admitInto(oc, key, i, feat[:], size, &res.OCWrites, &res.OCWriteBytes, &res.OCBypassed, &latencySum, lat)
+			oc.offer(key, size, i, proj, &latencySum, lat)
 			continue
 		}
 
 		// Hop 3: the backend.
-		res.BackendReads++
 		latencySum += dcCost + lat.HDDReadUs
-		admitInto(dc, key, i, feat[:], size, &res.DCWrites, &res.DCWriteBytes, &res.DCBypassed, &latencySum, lat)
-		admitInto(oc, key, i, feat[:], size, &res.OCWrites, &res.OCWriteBytes, &res.OCBypassed, &latencySum, lat)
+		dc.offer(key, size, i, proj, &latencySum, lat)
+		oc.offer(key, size, i, proj, &latencySum, lat)
 	}
+
+	ocM, dcM := oc.Engine.Snapshot(), dc.Engine.Snapshot()
+	res.TotalBytes = ocM.TotalBytes
+	res.OCHits, res.OCByteHits = ocM.Hits, ocM.HitBytes
+	res.DCHits, res.DCByteHits = dcM.Hits, dcM.HitBytes
+	res.BackendReads = dcM.Misses
+	res.OCWrites, res.OCWriteBytes, res.OCBypassed = ocM.Writes, ocM.WriteBytes, ocM.Bypassed
+	res.DCWrites, res.DCWriteBytes, res.DCBypassed = dcM.Writes, dcM.WriteBytes, dcM.Bypassed
 	if res.Requests > 0 {
 		res.MeanLatencyUs = latencySum / float64(res.Requests)
 	}
 	return res, nil
-}
-
-// admitInto consults a layer's filter on a miss and inserts on admit.
-func admitInto(l *layer, key uint64, tick int, feat []float64, size int64,
-	writes, writeBytes, bypassed *int64, latencySum *float64, lat Latency) {
-	var d core.Decision
-	switch l.kind {
-	case AdmitAll:
-		d = core.Decision{Admit: true}
-	case Classifier:
-		*latencySum += lat.ClassifyUs
-		d = l.filter.Decide(key, tick, project(feat))
-	case Oracle:
-		*latencySum += lat.ClassifyUs
-		d = l.filter.Decide(key, tick, nil)
-	}
-	if !d.Admit {
-		*bypassed++
-		return
-	}
-	l.policy.Admit(key, size, tick)
-	if l.policy.Contains(key) {
-		*writes++
-		*writeBytes += size
-	}
 }
 
 // paperCols caches the selected feature projection.
@@ -262,38 +266,45 @@ func project(full []float64) []float64 {
 	return out
 }
 
-// buildLayer assembles one layer: policy, criteria, and filter.
-func buildLayer(tr *trace.Trace, next []int, cfg Config, lc LayerConfig) (*layer, error) {
+// BuildLayer assembles one serving-ready layer from a trace: the
+// replacement policy, the layer's solved criteria, its admission
+// filter, and the Engine composing them. Exported so a cache server
+// can deploy a single layer without running the two-tier simulation.
+func BuildLayer(tr *trace.Trace, next []int, cfg Config, lc LayerConfig) (*Layer, error) {
 	p, err := cache.New(lc.Policy, lc.CacheBytes, next)
 	if err != nil {
 		return nil, err
 	}
-	l := &layer{policy: p, kind: lc.Filter}
-	if lc.Filter == AdmitAll {
-		return l, nil
-	}
-	h := cfg.HitRateEstimate
-	if h <= 0 {
-		h = labeling.EstimateHitRate(tr, lc.CacheBytes, 200000)
-	}
-	crit := labeling.Solve(tr, next, lc.CacheBytes, h, 3)
-	crit = crit.ForPolicy(lc.Policy, cache.DefaultLIRRatio)
-	l.criteria = crit
+	l := &Layer{Kind: lc.Filter}
+	var filter core.Filter
+	if lc.Filter != AdmitAll {
+		h := cfg.HitRateEstimate
+		if h <= 0 {
+			h = labeling.EstimateHitRate(tr, lc.CacheBytes, 200000)
+		}
+		crit := labeling.Solve(tr, next, lc.CacheBytes, h, 3)
+		crit = crit.ForPolicy(lc.Policy, cache.DefaultLIRRatio)
+		l.Criteria = crit
 
-	switch lc.Filter {
-	case Oracle:
-		l.filter = core.NewOracle(next, crit)
-	case Classifier:
-		clf, err := bootstrapTree(tr, next, cfg, crit)
-		if err != nil {
-			return nil, err
+		switch lc.Filter {
+		case Oracle:
+			filter = core.NewOracle(next, crit)
+		case Classifier:
+			clf, err := bootstrapTree(tr, next, cfg, crit)
+			if err != nil {
+				return nil, err
+			}
+			table := core.NewHistoryTable(core.TableCapacity(crit))
+			adm, err := core.NewClassifierAdmission(clf, table, crit)
+			if err != nil {
+				return nil, err
+			}
+			filter = adm
 		}
-		table := core.NewHistoryTable(core.TableCapacity(crit))
-		adm, err := core.NewClassifierAdmission(clf, table, crit)
-		if err != nil {
-			return nil, err
-		}
-		l.filter = adm
+	}
+	l.Engine, err = engine.New(p, filter)
+	if err != nil {
+		return nil, err
 	}
 	return l, nil
 }

@@ -169,6 +169,15 @@ const (
 	ModeDoorkeeper = sim.ModeDoorkeeper
 )
 
+// SimConfig.RetrainHour sentinels: the zero value selects the paper's
+// 05:00 schedule, RetrainMidnight requests a 00:00 retrain, and
+// RetrainDisabled turns daily retraining off.
+const (
+	RetrainHourDefault = sim.RetrainHourDefault
+	RetrainMidnight    = sim.RetrainMidnight
+	RetrainDisabled    = sim.RetrainDisabled
+)
+
 // GB is a byte-size constant for capacities.
 const GB = sim.GB
 
