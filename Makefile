@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fmt
+.PHONY: check build vet test race fmt bench
 
 # The full gate: formatting, build, vet, and the test suite under the
 # race detector. CI and pre-commit both run this.
@@ -17,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Serving-path benchmarks, captured as JSON for cross-commit diffing.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkLookup -benchmem ./internal/engine \
+		| $(GO) run ./cmd/benchjson > BENCH_serve.json
+	@cat BENCH_serve.json
 
 # gofmt -l prints offending files; turn any output into a failure.
 fmt:

@@ -1,0 +1,207 @@
+// Command otacached is the network cache daemon: it assembles one
+// serving layer — a sharded replacement policy plus an admission filter
+// — from a bootstrap trace and serves it over HTTP (see internal/server
+// for the wire protocol). Flags mirror otasim's cache/filter
+// configuration; the trace plays the role the first production day
+// plays in the paper (criteria solving and classifier bootstrap), after
+// which admission runs on live traffic, daily retraining happens at
+// -retrain-hour from observed requests, and the model can be hot-swapped
+// over the admin endpoint.
+//
+// Usage:
+//
+//	otacached -addr :8344 -policy lru -mode proposal -frac 0.15 -photos 60000
+//	otacached -mode proposal -trace t.bin -bytes 500000000 -retrain-hour 5
+//	otacached -mode original -photos 30000          # traditional cache
+//
+// SIGINT/SIGTERM drain in-flight requests (bounded by -drain-timeout)
+// and exit 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"otacache/internal/core"
+	"otacache/internal/features"
+	"otacache/internal/ml/cart"
+	"otacache/internal/server"
+	"otacache/internal/sim"
+	"otacache/internal/tier"
+	"otacache/internal/trace"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8344", "listen address")
+		policy    = flag.String("policy", "lru", "replacement policy (lru|fifo|s3lru|arc|lirs|belady)")
+		mode      = flag.String("mode", "original", "admission mode (original|proposal|ideal|doorkeeper)")
+		photos    = flag.Int("photos", 60000, "synthesize a bootstrap trace with this many photos (ignored with -trace)")
+		tracePath = flag.String("trace", "", "load the bootstrap trace from this file instead of synthesizing")
+		seed      = flag.Uint64("seed", 42, "seed")
+		bytesCap  = flag.Int64("bytes", 0, "cache capacity in bytes")
+		frac      = flag.Float64("frac", 0.15, "cache capacity as a fraction of the trace footprint (used when -bytes is 0)")
+		shards    = flag.Int("shards", 0, "policy shard count (0 = 2x GOMAXPROCS)")
+		costV     = flag.Float64("v", 0, "cost-matrix v (0 = Table 4 rule)")
+		samples   = flag.Int("samples", 100, "training samples per minute (bootstrap and live retraining)")
+		noTable   = flag.Bool("no-history-table", false, "disable the rectification table")
+		noRetrain = flag.Bool("no-retrain", false, "disable daily retraining from live traffic")
+		retrainAt = flag.Int("retrain-hour", sim.RetrainHourDefault, "daily retraining hour, 0-23 (0 = midnight)")
+		modelPath = flag.String("model", "", "replace the bootstrap classifier with a tree saved by trainer -save")
+		maxConns  = flag.Int("max-conns", 0, "concurrent connection cap (0 = unlimited)")
+		reqTO     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
+	)
+	flag.Parse()
+	log.SetPrefix("otacached: ")
+	log.SetFlags(log.LstdFlags)
+
+	var kind tier.FilterKind
+	switch *mode {
+	case "original":
+		kind = tier.AdmitAll
+	case "proposal":
+		kind = tier.Classifier
+	case "ideal":
+		kind = tier.Oracle
+	case "doorkeeper":
+		kind = tier.Doorkeeper
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+	retrainHour, err := resolveRetrainHour(*noRetrain, *retrainAt)
+	if err != nil {
+		fail(err)
+	}
+
+	var tr *trace.Trace
+	if *tracePath != "" {
+		tr, err = trace.Load(*tracePath)
+	} else {
+		tr, err = trace.Generate(trace.DefaultConfig(*seed, *photos))
+	}
+	if err != nil {
+		fail(err)
+	}
+	capacity := *bytesCap
+	if capacity <= 0 {
+		capacity = int64(*frac * float64(tr.TotalBytes()))
+	}
+	nshards := *shards
+	if nshards <= 0 {
+		nshards = 2 * runtime.GOMAXPROCS(0)
+	}
+
+	log.Printf("bootstrap: %d requests over %d photos; capacity %d MB (%.1f%% of footprint)",
+		len(tr.Requests), len(tr.Photos), capacity>>20, 100*float64(capacity)/float64(tr.TotalBytes()))
+	next := trace.BuildNextAccess(tr)
+	layer, err := tier.BuildLayer(tr, next, tier.Config{
+		CostV:               *costV,
+		SamplesPerMinute:    *samples,
+		Seed:                *seed,
+		DisableHistoryTable: *noTable,
+	}, tier.LayerConfig{
+		Policy:     *policy,
+		CacheBytes: capacity,
+		Filter:     kind,
+		Shards:     nshards,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if kind == tier.Classifier || kind == tier.Oracle {
+		log.Printf("criteria: %s", layer.Criteria)
+	}
+
+	srv := server.New(layer.Engine, server.Config{
+		MaxConns:       *maxConns,
+		RequestTimeout: *reqTO,
+		NumFeatures:    len(features.PaperSelected()),
+	})
+
+	if *modelPath != "" {
+		adm, ok := layer.Engine.Filter().(*core.ClassifierAdmission)
+		if !ok {
+			fail(fmt.Errorf("-model requires -mode proposal"))
+		}
+		tree, err := cart.Load(*modelPath)
+		if err != nil {
+			fail(err)
+		}
+		adm.SetClassifier(tree)
+		log.Printf("model: installed %s (%d splits)", *modelPath, tree.NumSplits())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if adm, ok := layer.Engine.Filter().(*core.ClassifierAdmission); ok && retrainHour >= 0 {
+		v := *costV
+		if v <= 0 {
+			v = core.CostV(capacity)
+		}
+		rt := server.NewRetrainer(adm, server.RetrainerConfig{
+			M:                layer.Criteria.M,
+			CostV:            v,
+			SamplesPerMinute: *samples,
+		})
+		srv.AttachRetrainer(rt)
+		go rt.RunDaily(ctx, retrainHour, log.Printf)
+		log.Printf("retraining: daily at %02d:00 from live traffic (%d samples/min)", retrainHour, *samples)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("serving policy=%s filter=%s on %s (shards=%d, max-conns=%d, timeout=%s)",
+		layer.Engine.Policy().Name(), layer.Engine.Filter().Name(), ln.Addr(), nshards, *maxConns, *reqTO)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			fail(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining (budget %s)", *drainTO)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		<-done
+		m := layer.Engine.Snapshot()
+		log.Printf("drained cleanly: served %d requests (%.2f%% hits, %.2f%% writes)",
+			m.Requests, 100*m.HitRate(), 100*m.WriteRate())
+	}
+}
+
+// resolveRetrainHour maps the otasim-compatible flag surface to a
+// concrete hour, or -1 for disabled.
+func resolveRetrainHour(noRetrain bool, hour int) (int, error) {
+	if noRetrain {
+		return -1, nil
+	}
+	if hour < 0 || hour > 23 {
+		return 0, fmt.Errorf("-retrain-hour %d outside [0, 23]", hour)
+	}
+	return hour, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "otacached:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command otaload replays a trace against a running otacached at a
+// target QPS from N worker goroutines and reports achieved throughput,
+// request-latency percentiles, and the server-side hit/write rates over
+// the run (scraped from /stats) — the over-the-wire form of one otasim
+// run, so the classifier-vs-original write-avoidance result can be
+// measured across a real socket.
+//
+// Usage:
+//
+//	otaload -addr http://127.0.0.1:8344 -photos 60000 -workers 8
+//	otaload -trace t.bin -qps 20000 -n 100000
+//
+// The trace (and -seed) must match what the daemon was bootstrapped
+// with for the classifier's features to mean what the model was trained
+// on — the same pairing otasim gets for free in-process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"otacache/internal/server"
+	"otacache/internal/trace"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8344", "daemon base URL")
+		photos    = flag.Int("photos", 60000, "synthesize the replay trace with this many photos (ignored with -trace)")
+		tracePath = flag.String("trace", "", "load the replay trace from this file")
+		seed      = flag.Uint64("seed", 42, "seed")
+		workers   = flag.Int("workers", 8, "concurrent request goroutines")
+		qps       = flag.Float64("qps", 0, "target aggregate request rate (0 = unpaced)")
+		maxN      = flag.Int("n", 0, "stop after this many requests (0 = whole trace)")
+		featFlag  = flag.String("features", "auto", "send feature vectors: auto|on|off (auto asks /stats for the filter)")
+		progress  = flag.Int("progress", 0, "log a line every N dispatched requests (0 = off)")
+	)
+	flag.Parse()
+	log.SetPrefix("otaload: ")
+	log.SetFlags(log.LstdFlags)
+
+	var tr *trace.Trace
+	var err error
+	if *tracePath != "" {
+		tr, err = trace.Load(*tracePath)
+	} else {
+		tr, err = trace.Generate(trace.DefaultConfig(*seed, *photos))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	c := server.NewClient(*addr, *workers)
+	st, err := c.Stats()
+	if err != nil {
+		fail(fmt.Errorf("cannot reach daemon at %s: %w", *addr, err))
+	}
+	var sendFeatures bool
+	switch *featFlag {
+	case "on":
+		sendFeatures = true
+	case "off":
+		sendFeatures = false
+	case "auto":
+		sendFeatures = st.Filter == "classifier"
+	default:
+		fail(fmt.Errorf("unknown -features %q (auto|on|off)", *featFlag))
+	}
+	log.Printf("daemon: policy=%s filter=%s uptime=%.0fs; replaying %d requests (workers=%d qps=%g features=%v)",
+		st.Policy, st.Filter, st.UptimeSec, len(tr.Requests), *workers, *qps, sendFeatures)
+
+	rep, err := c.Replay(tr, server.ReplayOptions{
+		Workers:     *workers,
+		TargetQPS:   *qps,
+		MaxRequests: *maxN,
+		Features:    sendFeatures,
+		Progress:    *progress,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(rep)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "otaload:", err)
+	os.Exit(1)
+}

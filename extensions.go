@@ -11,6 +11,7 @@ import (
 	"otacache/internal/core"
 	"otacache/internal/engine"
 	"otacache/internal/ml/cart"
+	"otacache/internal/server"
 	"otacache/internal/ssd"
 	"otacache/internal/tier"
 	"otacache/internal/trace"
@@ -70,6 +71,7 @@ const (
 	TierAdmitAll   = tier.AdmitAll
 	TierClassifier = tier.Classifier
 	TierOracle     = tier.Oracle
+	TierDoorkeeper = tier.Doorkeeper
 )
 
 // SimulateTiers runs a trace through the two-layer hierarchy of the
@@ -81,6 +83,44 @@ func SimulateTiers(t *Trace, cfg TierConfig) (*TierResult, error) {
 // DefaultTierLatency returns the Eq. 3-6 constants plus a 1 ms OC->DC
 // network hop.
 func DefaultTierLatency() TierLatency { return tier.DefaultLatency() }
+
+// Network cache daemon (the wire form of the serving engine; see
+// cmd/otacached and cmd/otaload for the packaged binaries).
+type (
+	// CacheServer exposes an Engine over HTTP: object lookup/offer,
+	// /stats with interval deltas, and admin endpoints for classifier
+	// hot-swap and on-demand retraining.
+	CacheServer = server.Server
+	// CacheServerConfig bounds the server (connection cap, per-request
+	// timeout, expected feature arity).
+	CacheServerConfig = server.Config
+	// CacheServerStats is one /stats scrape: cumulative and
+	// since-last-scrape interval metrics.
+	CacheServerStats = server.Stats
+	// CacheClient speaks the daemon's wire protocol, including trace
+	// replay at a target QPS.
+	CacheClient = server.Client
+	// ReplayOptions configures one CacheClient.Replay load run.
+	ReplayOptions = server.ReplayOptions
+	// ReplayReport is the outcome: throughput, latency percentiles, and
+	// the server-side counter movement.
+	ReplayReport = server.ReplayReport
+	// LiveRetrainer labels live traffic by observed reaccess and
+	// retrains the daemon's classifier on the paper's daily schedule.
+	LiveRetrainer = server.Retrainer
+)
+
+// NewCacheServer wraps an Engine in the HTTP daemon. The Engine's
+// policy must be thread-safe (NewShardedPolicy).
+func NewCacheServer(eng *Engine, cfg CacheServerConfig) *CacheServer {
+	return server.New(eng, cfg)
+}
+
+// NewCacheClient builds a client for a daemon at base (e.g.
+// "http://127.0.0.1:8344") sized for the given worker concurrency.
+func NewCacheClient(base string, workers int) *CacheClient {
+	return server.NewClient(base, workers)
+}
 
 // SSD endurance.
 type (

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"otacache/internal/cache"
+	"otacache/internal/core"
+	"otacache/internal/labeling"
+	"otacache/internal/mlcore"
+)
+
+// benchEngine builds the server-shaped engine: a 16-way sharded LRU
+// front over the given admission filter.
+func benchEngine(b *testing.B, filter core.Filter) *Engine {
+	b.Helper()
+	policy, err := cache.NewSharded(512<<20, 16, func(c int64) cache.Policy { return cache.NewLRU(c) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(policy, filter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// benchAdmission trains a small real CART on a synthetic two-class set
+// so the benchmarked Decide path walks actual splits, backed by a
+// history table sized to miss often enough to exercise insertion.
+func benchAdmission(b *testing.B) *core.ClassifierAdmission {
+	b.Helper()
+	d := &mlcore.Dataset{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x := []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64() * 5, r.Float64() * 3}
+		label := mlcore.Negative
+		if x[0]+0.2*x[1] > 0.6 {
+			label = mlcore.Positive
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, label)
+	}
+	tree, err := core.TrainTree(d, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adm, err := core.NewClassifierAdmission(tree, core.NewHistoryTable(4096), labeling.Criteria{M: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return adm
+}
+
+// benchLookup drives Lookup from b.RunParallel over a Zipf-ish key
+// space — the concurrency profile of the network daemon's hot path.
+func benchLookup(b *testing.B, eng *Engine, withFeat bool) {
+	b.Helper()
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(seed.Add(1)))
+		feat := make([]float64, 5)
+		for pb.Next() {
+			// Skewed popularity: a small hot set plus a long tail, so
+			// both the hit path and the admission path stay busy.
+			var key uint64
+			if r.Intn(4) > 0 {
+				key = uint64(r.Intn(4096))
+			} else {
+				key = uint64(4096 + r.Intn(1<<20))
+			}
+			var f []float64
+			if withFeat {
+				feat[0] = float64(key%97) / 97
+				feat[1] = float64(key%13) / 13
+				feat[2] = 0.5
+				feat[3] = float64(key % 5)
+				feat[4] = float64(key % 3)
+				f = feat
+			}
+			eng.Lookup(key, 100<<10, eng.NextTick(), f)
+		}
+	})
+}
+
+// BenchmarkLookupAdmitAll measures the sharded-LRU hot path with no
+// admission filtering — the traditional-cache baseline.
+func BenchmarkLookupAdmitAll(b *testing.B) {
+	benchLookup(b, benchEngine(b, nil), false)
+}
+
+// BenchmarkLookupClassifier measures the full proposal path: sharded
+// LRU plus cost-sensitive CART prediction and history-table
+// rectification on every miss.
+func BenchmarkLookupClassifier(b *testing.B) {
+	benchLookup(b, benchEngine(b, benchAdmission(b)), true)
+}

@@ -100,6 +100,24 @@ func ratio(a, b int64) float64 {
 	return float64(a) / float64(b)
 }
 
+// Sub returns the interval delta m - prev, field by field. Taking two
+// Snapshots around a window and subtracting them yields that window's
+// traffic, so a server's /stats endpoint and a load generator can
+// report rates over an interval instead of since-boot cumulatives.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		Requests:   m.Requests - prev.Requests,
+		Hits:       m.Hits - prev.Hits,
+		HitBytes:   m.HitBytes - prev.HitBytes,
+		Misses:     m.Misses - prev.Misses,
+		Writes:     m.Writes - prev.Writes,
+		WriteBytes: m.WriteBytes - prev.WriteBytes,
+		Bypassed:   m.Bypassed - prev.Bypassed,
+		Rectified:  m.Rectified - prev.Rectified,
+		TotalBytes: m.TotalBytes - prev.TotalBytes,
+	}
+}
+
 // New assembles an Engine. filter == nil means admit every miss
 // (core.AdmitAll, the paper's "Original" behaviour).
 func New(policy cache.Policy, filter core.Filter) (*Engine, error) {

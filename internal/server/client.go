@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"otacache/internal/ml/cart"
+)
+
+// Client is a typed client for the otacached wire protocol.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a daemon at base (e.g. "http://127.0.0.1:8344").
+// workers sizes the connection pool for concurrent use (<= 0 picks a
+// default).
+func NewClient(base string, workers int) *Client {
+	if workers <= 0 {
+		workers = 8
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        workers * 2,
+		MaxIdleConnsPerHost: workers * 2,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Transport: tr, Timeout: 30 * time.Second},
+	}
+}
+
+// LookupResult is one GET /object outcome.
+type LookupResult struct {
+	Hit              bool
+	Admitted         bool
+	Written          bool
+	Rectified        bool
+	PredictedOneTime bool
+}
+
+func encodeFeat(feat []float64) string {
+	if feat == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for i, f := range feat {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+func (c *Client) objectRequest(method string, key uint64, size int64, feat []float64) (*http.Response, error) {
+	req, err := http.NewRequest(method, fmt.Sprintf("%s/object/%d", c.base, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Ota-Size", strconv.FormatInt(size, 10))
+	if fh := encodeFeat(feat); fh != "" {
+		req.Header.Set("X-Ota-Feat", fh)
+	}
+	return c.hc.Do(req)
+}
+
+func decodeObject(resp *http.Response) (LookupResult, error) {
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return LookupResult{}, fmt.Errorf("server: %s", resp.Status)
+	}
+	h := resp.Header
+	return LookupResult{
+		Hit:              h.Get("X-Ota-Hit") == "true",
+		Admitted:         h.Get("X-Ota-Admitted") == "true",
+		Written:          h.Get("X-Ota-Written") == "true",
+		Rectified:        h.Get("X-Ota-Rectified") == "true",
+		PredictedOneTime: h.Get("X-Ota-Predicted-One-Time") == "true",
+	}, nil
+}
+
+// Lookup runs the full pipeline for one object: GET /object/{key}.
+func (c *Client) Lookup(key uint64, size int64, feat []float64) (LookupResult, error) {
+	resp, err := c.objectRequest(http.MethodGet, key, size, feat)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	return decodeObject(resp)
+}
+
+// Offer runs the admission-only path: PUT /object/{key}.
+func (c *Client) Offer(key uint64, size int64, feat []float64) (LookupResult, error) {
+	resp, err := c.objectRequest(http.MethodPut, key, size, feat)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	return decodeObject(resp)
+}
+
+// Stats scrapes /stats.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.hc.Get(c.base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s", resp.Status)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Health probes /healthz.
+func (c *Client) Health() error {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s", resp.Status)
+	}
+	return nil
+}
+
+// SwapClassifier hot-swaps the daemon's model: PUT /admin/classifier.
+func (c *Client) SwapClassifier(tree *cart.Tree) error {
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.base+"/admin/classifier", &buf)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// Retrain asks the daemon to train on its matured live samples now:
+// POST /admin/retrain.
+func (c *Client) Retrain() (*RetrainResult, error) {
+	resp, err := c.hc.Post(c.base+"/admin/retrain", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+		return nil, fmt.Errorf("server: %s", resp.Status)
+	}
+	var res RetrainResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// drain consumes and closes a response body so the connection returns
+// to the keep-alive pool.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"otacache/internal/features"
+	"otacache/internal/tier"
+	"otacache/internal/trace"
+)
+
+// buildE2ELayer assembles one classifier-filtered serving layer from the
+// trace, exactly as otacached does. Each call builds an independent
+// layer: the two sides of the equivalence test must not share a history
+// table or classifier.
+func buildE2ELayer(t *testing.T, tr *trace.Trace, next []int) *tier.Layer {
+	t.Helper()
+	layer, err := tier.BuildLayer(tr, next, tier.Config{
+		SamplesPerMinute: 100,
+		Seed:             7,
+	}, tier.LayerConfig{
+		Policy:     "lru",
+		CacheBytes: int64(float64(tr.TotalBytes()) * 0.10),
+		Filter:     tier.Classifier,
+		Shards:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layer
+}
+
+// TestE2EServerMatchesInProcess pins the acceptance criterion: replaying
+// a generated trace through the wire path (client -> HTTP -> server ->
+// engine) must reproduce the hit/write counters of the same trace run
+// in-process through an identically-built Engine. With a sequential
+// replay the server's NextTick sequence is the in-process tick sequence,
+// every stage downstream of HTTP is deterministic, and the counters are
+// not merely within 1% — they are equal.
+func TestE2EServerMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two classifier layers from an 8k-photo trace")
+	}
+	tr, err := trace.Generate(trace.DefaultConfig(7, 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := trace.BuildNextAccess(tr)
+	cols := features.PaperSelected()
+
+	// In-process reference: sequential Lookup over the whole trace.
+	ref := buildE2ELayer(t, tr, next)
+	ex := features.NewExtractor(tr)
+	var full [features.NumFeatures]float64
+	proj := make([]float64, len(cols))
+	for i := range tr.Requests {
+		req := &tr.Requests[i]
+		ex.NextInto(i, full[:])
+		for j, col := range cols {
+			proj[j] = full[col]
+		}
+		ref.Engine.Lookup(uint64(req.Photo), tr.Photos[req.Photo].Size, ref.Engine.NextTick(), proj)
+	}
+	want := ref.Engine.Snapshot()
+	if want.Requests != int64(len(tr.Requests)) || want.Hits == 0 || want.Bypassed == 0 {
+		t.Fatalf("degenerate reference run: %+v", want)
+	}
+
+	// Wire path: an identical layer served over loopback HTTP, replayed
+	// by the otaload client machinery with one worker so the request
+	// order (and hence the tick sequence) matches the trace.
+	layer := buildE2ELayer(t, tr, next)
+	srv := New(layer.Engine, Config{NumFeatures: len(cols)})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	c := NewClient(hs.URL, 1)
+	rep, err := c.Replay(tr, ReplayOptions{Workers: 1, Features: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d of %d requests failed", rep.Errors, rep.Requests)
+	}
+	if rep.Delta != want {
+		t.Errorf("server counters diverge from in-process run:\n  server:     %+v\n  in-process: %+v", rep.Delta, want)
+	}
+	if rep.Hits != want.Hits {
+		t.Errorf("client-observed hits = %d, in-process hits = %d", rep.Hits, want.Hits)
+	}
+}

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"otacache/internal/core"
+	"otacache/internal/mlcore"
+)
+
+// Retrainer closes the paper's daily retraining loop (§4.4.3) over live
+// traffic instead of a trace. The simulator labels samples from the
+// trace's future; a daemon has no future, so the retrainer derives
+// ground truth by observation: a sampled request is held pending until
+// either the same key is served again within M ticks (label: not
+// one-time) or M ticks pass without a reaccess (label: one-time, by the
+// §4.3 criteria definition). Matured samples feed the same
+// cost-sensitive CART trainer the bootstrap used, and the fresh tree is
+// hot-swapped into the running ClassifierAdmission.
+//
+// Observe sits on the serving path under one mutex; it does map work
+// only, never training. Training happens in RetrainNow, which snapshots
+// the matured set under the lock and trains outside it.
+type Retrainer struct {
+	adm *core.ClassifierAdmission
+	cfg RetrainerConfig
+
+	mu      sync.Mutex
+	pending []liveSample
+	head    int
+	base    int              // absolute position of pending[0]
+	byKey   map[uint64][]int // key -> absolute pending positions
+	matured *core.SampleBuffer
+
+	curMinute int64
+	curCount  int
+
+	retrainings int
+	now         func() time.Time // injectable clock for tests
+}
+
+// RetrainerConfig parameterizes the live retraining loop.
+type RetrainerConfig struct {
+	// M is the solved criteria's reaccess-distance threshold, in ticks.
+	M int
+	// CostV is the cost-matrix penalty for the retrained trees.
+	CostV float64
+	// SamplesPerMinute caps sample collection per wall-clock minute
+	// (0 = the paper's 100).
+	SamplesPerMinute int
+	// HorizonSec is how long matured samples stay eligible for training
+	// (0 = the paper's 24 h window).
+	HorizonSec int64
+	// MinSamples is the smallest matured set worth training on (0 = 100).
+	MinSamples int
+}
+
+func (c *RetrainerConfig) normalize() {
+	if c.SamplesPerMinute <= 0 {
+		c.SamplesPerMinute = 100
+	}
+	if c.HorizonSec <= 0 {
+		c.HorizonSec = 24 * 3600
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 100
+	}
+	if c.CostV <= 0 {
+		c.CostV = 2
+	}
+}
+
+type liveSample struct {
+	key     uint64
+	tick    int
+	feat    []float64
+	labeled bool // reaccessed within M -> known not one-time
+}
+
+// NewRetrainer builds a retrainer feeding the given admission system.
+func NewRetrainer(adm *core.ClassifierAdmission, cfg RetrainerConfig) *Retrainer {
+	cfg.normalize()
+	if cfg.M <= 0 {
+		cfg.M = adm.M()
+	}
+	return &Retrainer{
+		adm:   adm,
+		cfg:   cfg,
+		byKey: make(map[uint64][]int),
+		// The matured buffer only enforces the retention horizon; the
+		// per-minute sampling budget is applied at Observe time, before
+		// the pending stage.
+		matured:   core.NewSampleBuffer(1<<30, cfg.HorizonSec),
+		curMinute: -1 << 62,
+		now:       time.Now,
+	}
+}
+
+// Observe feeds one served request into the labeling pipeline: it
+// rectifies pending samples of the same key (a reaccess within M means
+// the earlier access was not one-time), matures samples older than M
+// ticks, and — within the sampling budget — holds this request pending.
+// feat may be nil (an admit-all warmup request); such requests still
+// label and mature pending samples but are not sampled themselves.
+func (rt *Retrainer) Observe(key uint64, tick int, feat []float64) {
+	wall := rt.now().Unix()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	// A reaccess within M labels every pending sample of this key.
+	if positions := rt.byKey[key]; len(positions) > 0 {
+		for _, pos := range positions {
+			i := pos - rt.base
+			if i < rt.head || i >= len(rt.pending) {
+				continue
+			}
+			s := &rt.pending[i]
+			if !s.labeled && tick > s.tick && tick-s.tick < rt.cfg.M {
+				s.labeled = true
+			}
+		}
+	}
+
+	// Mature the front: labeled samples are done; unlabeled ones whose
+	// M-tick window has passed are one-time by definition.
+	for rt.head < len(rt.pending) {
+		s := &rt.pending[rt.head]
+		if !s.labeled && tick-s.tick < rt.cfg.M {
+			break
+		}
+		label := mlcore.Positive // one-time
+		if s.labeled {
+			label = mlcore.Negative
+		}
+		rt.matured.Offer(wall, s.feat, label)
+		rt.dropIndex(s.key, rt.base+rt.head)
+		rt.head++
+	}
+	rt.compact()
+
+	// Sample this request, within the per-minute budget.
+	if feat == nil {
+		return
+	}
+	if minute := wall / 60; minute != rt.curMinute {
+		rt.curMinute = minute
+		rt.curCount = 0
+	}
+	if rt.curCount >= rt.cfg.SamplesPerMinute {
+		return
+	}
+	rt.curCount++
+	row := make([]float64, len(feat))
+	copy(row, feat)
+	rt.pending = append(rt.pending, liveSample{key: key, tick: tick, feat: row})
+	pos := rt.base + len(rt.pending) - 1
+	rt.byKey[key] = append(rt.byKey[key], pos)
+}
+
+// dropIndex removes one absolute position from a key's pending list.
+func (rt *Retrainer) dropIndex(key uint64, pos int) {
+	positions := rt.byKey[key]
+	for i, p := range positions {
+		if p == pos {
+			positions[i] = positions[len(positions)-1]
+			positions = positions[:len(positions)-1]
+			break
+		}
+	}
+	if len(positions) == 0 {
+		delete(rt.byKey, key)
+	} else {
+		rt.byKey[key] = positions
+	}
+}
+
+// compact reclaims the matured prefix once it dominates the slice.
+func (rt *Retrainer) compact() {
+	if rt.head > 4096 && rt.head*2 > len(rt.pending) {
+		rt.base += rt.head
+		rt.pending = append([]liveSample(nil), rt.pending[rt.head:]...)
+		rt.head = 0
+	}
+}
+
+// PendingLen returns the number of samples still awaiting a label.
+func (rt *Retrainer) PendingLen() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.pending) - rt.head
+}
+
+// MaturedLen returns the number of labeled samples ready for training.
+func (rt *Retrainer) MaturedLen() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.matured.Len()
+}
+
+// Retrainings returns how many models this retrainer has installed.
+func (rt *Retrainer) Retrainings() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.retrainings
+}
+
+// RetrainResult reports one RetrainNow outcome.
+type RetrainResult struct {
+	// Retrained reports that a new model was trained and installed.
+	Retrained bool
+	// Samples is the matured training-set size considered.
+	Samples int
+	// Splits and Height describe the installed tree (when Retrained).
+	Splits int
+	Height int
+	// Err carries the reason when no model was installed (a degenerate
+	// window keeps the previous model, as in the simulator).
+	Err string `json:",omitempty"`
+}
+
+// RetrainNow trains a fresh tree on the matured window and installs it.
+// Too few samples or a single-class window is not an error condition —
+// the previous model simply stays, mirroring sim.Runner.retrain.
+func (rt *Retrainer) RetrainNow() RetrainResult {
+	rt.mu.Lock()
+	d := rt.matured.Dataset(rt.now().Unix(), nil)
+	// The dataset views the buffer's backing arrays; rows are append-only
+	// and never mutated in place, so training may proceed outside the
+	// lock while Observe keeps appending.
+	rt.mu.Unlock()
+
+	res := RetrainResult{Samples: d.Len()}
+	if d.Len() < rt.cfg.MinSamples {
+		res.Err = "too few matured samples"
+		return res
+	}
+	neg, pos := d.CountLabels()
+	if neg == 0 || pos == 0 {
+		res.Err = "single-class window"
+		return res
+	}
+	tree, err := core.TrainTree(d, rt.cfg.CostV)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	rt.adm.SetClassifier(tree)
+	rt.mu.Lock()
+	rt.retrainings++
+	rt.mu.Unlock()
+	res.Retrained = true
+	res.Splits = tree.NumSplits()
+	res.Height = tree.Height()
+	return res
+}
+
+// RunDaily retrains at the given wall-clock hour (0-23) every day until
+// ctx is cancelled — the daemon form of the paper's 05:00 schedule.
+// logf receives one line per attempt (nil discards).
+func (rt *Retrainer) RunDaily(ctx context.Context, hour int, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for {
+		now := rt.now()
+		next := time.Date(now.Year(), now.Month(), now.Day(), hour, 0, 0, 0, now.Location())
+		if !next.After(now) {
+			next = next.Add(24 * time.Hour)
+		}
+		timer := time.NewTimer(next.Sub(now))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return
+		case <-timer.C:
+			res := rt.RetrainNow()
+			if res.Retrained {
+				logf("retrain: installed tree (%d samples, %d splits, height %d)",
+					res.Samples, res.Splits, res.Height)
+			} else {
+				logf("retrain: kept previous model (%d samples: %s)", res.Samples, res.Err)
+			}
+		}
+	}
+}

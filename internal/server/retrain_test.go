@@ -1,0 +1,134 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"otacache/internal/mlcore"
+)
+
+// fakeClock advances one second per call, so every Observe lands in a
+// distinct wall second and the per-minute sampling budget never bites.
+func fakeClock() func() time.Time {
+	var sec int64
+	return func() time.Time {
+		sec++
+		return time.Unix(sec, 0)
+	}
+}
+
+// TestRetrainerLabelsByReaccess pins the live-labeling rule: a sampled
+// key reaccessed within M ticks matures as not-one-time, one never
+// reaccessed matures as one-time once its window passes.
+func TestRetrainerLabelsByReaccess(t *testing.T) {
+	adm := trainThresholdTree(t, 0.5, false)
+	rt := NewRetrainer(adm, RetrainerConfig{M: 10, SamplesPerMinute: 1 << 20, MinSamples: 1})
+	rt.now = fakeClock()
+
+	feat := []float64{0.1, 0, 0, 0, 0}
+	// key 1 sampled at tick 0, reaccessed at tick 5 (inside M=10).
+	rt.Observe(1, 0, feat)
+	// key 2 sampled at tick 1, never reaccessed.
+	rt.Observe(2, 1, feat)
+	if rt.PendingLen() != 2 {
+		t.Fatalf("pending = %d, want 2", rt.PendingLen())
+	}
+	rt.Observe(1, 5, feat) // the reaccess labels key 1 negative
+	// Push the ticks past both windows so everything matures.
+	rt.Observe(3, 50, feat)
+	if got := rt.MaturedLen(); got != 3 {
+		// key 1 (negative), key 2 (positive), and the tick-5 sample of
+		// key 1 itself (positive: never reaccessed after tick 5).
+		t.Fatalf("matured = %d, want 3", got)
+	}
+}
+
+// TestRetrainerRetrainsAndSwaps drives enough labeled traffic through
+// the retrainer to train, and checks the new model is installed.
+func TestRetrainerRetrainsAndSwaps(t *testing.T) {
+	adm := trainThresholdTree(t, 0.5, false)
+	before := adm.Classifier()
+	rt := NewRetrainer(adm, RetrainerConfig{M: 4, CostV: 1, SamplesPerMinute: 1 << 20, MinSamples: 50})
+	rt.now = fakeClock()
+
+	// Interleave reaccessed keys (even, not one-time) with one-shot keys
+	// (odd, one-time); separate the two classes on feature 0 so the
+	// trained tree is non-degenerate.
+	tick := 0
+	for i := 0; i < 200; i++ {
+		even := uint64(10000 + i)
+		odd := uint64(20000 + i)
+		rt.Observe(even, tick, []float64{0.9, 0, 0, 0, 0})
+		tick++
+		rt.Observe(odd, tick, []float64{0.1, 0, 0, 0, 0})
+		tick++
+		rt.Observe(even, tick, nil) // reaccess within M, unsampled
+		tick++
+	}
+	// Flush the maturation window.
+	rt.Observe(99999, tick+100, nil)
+
+	if rt.MaturedLen() < 50 {
+		t.Fatalf("matured only %d samples", rt.MaturedLen())
+	}
+	res := rt.RetrainNow()
+	if !res.Retrained {
+		t.Fatalf("retrain failed: %+v", res)
+	}
+	if rt.Retrainings() != 1 {
+		t.Fatalf("retrainings = %d, want 1", rt.Retrainings())
+	}
+	after := adm.Classifier()
+	if after == before {
+		t.Fatal("retrain must install a new classifier")
+	}
+	// The live labels said: high feature0 = reaccessed = keep, low
+	// feature0 = one-time. The new model must have learned that.
+	if after.Predict([]float64{0.9, 0, 0, 0, 0}) != mlcore.Negative {
+		t.Fatal("retrained model must keep reaccessed-profile objects")
+	}
+	if after.Predict([]float64{0.1, 0, 0, 0, 0}) != mlcore.Positive {
+		t.Fatal("retrained model must predict one-shot-profile objects one-time")
+	}
+}
+
+// TestRetrainerKeepsModelOnDegenerateWindow checks the guard rails: too
+// few samples or a single-class window keeps the previous model.
+func TestRetrainerKeepsModelOnDegenerateWindow(t *testing.T) {
+	adm := trainThresholdTree(t, 0.5, false)
+	before := adm.Classifier()
+	rt := NewRetrainer(adm, RetrainerConfig{M: 2, SamplesPerMinute: 1 << 20, MinSamples: 10})
+	rt.now = fakeClock()
+
+	if res := rt.RetrainNow(); res.Retrained || res.Err == "" {
+		t.Fatalf("empty window must not retrain: %+v", res)
+	}
+
+	// 20 one-time-only samples: enough volume, single class.
+	for i := 0; i < 20; i++ {
+		rt.Observe(uint64(i), i*10, []float64{0.5, 0, 0, 0, 0})
+	}
+	rt.Observe(999, 1000, nil)
+	if res := rt.RetrainNow(); res.Retrained {
+		t.Fatalf("single-class window must not retrain: %+v", res)
+	}
+	if adm.Classifier() != before {
+		t.Fatal("degenerate retrain must keep the previous model")
+	}
+}
+
+// TestRetrainerSamplingBudget checks the per-minute budget caps pending
+// growth while unsampled requests still mature and label.
+func TestRetrainerSamplingBudget(t *testing.T) {
+	adm := trainThresholdTree(t, 0.5, false)
+	rt := NewRetrainer(adm, RetrainerConfig{M: 5, SamplesPerMinute: 3, MinSamples: 1})
+	// Freeze the clock inside one minute.
+	rt.now = func() time.Time { return time.Unix(90, 0) }
+
+	for i := 0; i < 50; i++ {
+		rt.Observe(uint64(i), i, []float64{0.5, 0, 0, 0, 0})
+	}
+	if got := rt.PendingLen() + rt.MaturedLen(); got != 3 {
+		t.Fatalf("sampled %d observations in one minute, budget is 3", got)
+	}
+}

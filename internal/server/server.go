@@ -1,0 +1,344 @@
+// Package server puts the serving engine on the network: an HTTP cache
+// daemon (otacached) exposing engine.Engine — the sharded replacement
+// policy plus the paper's classification-system admission — to remote
+// clients, with the operational surface a production cache node needs:
+// interval and cumulative metrics, classifier hot-swap (the wire-level
+// analogue of the §4.4.3 daily retrain), live retraining from served
+// traffic, per-request timeouts, a connection cap, and graceful drain.
+//
+// # Wire protocol
+//
+// Object path (the serving hot path; keys are decimal uint64):
+//
+//	GET /object/{key}   full lookup: policy Get, and on a miss the
+//	                    admission decision + insertion. 200 on a hit,
+//	                    404 on a miss; the decision rides on headers
+//	                    (X-Ota-Admitted, X-Ota-Written, X-Ota-Rectified,
+//	                    X-Ota-Predicted-One-Time).
+//	PUT /object/{key}   offer only (no Get): the return-path admission a
+//	                    tiered front issues after fetching from the next
+//	                    hop. Always 200 with the decision headers.
+//
+// Both take the object size in the X-Ota-Size header (bytes, required)
+// and the projected feature vector in X-Ota-Feat (comma-separated
+// floats, required when the engine runs the classifier filter). The
+// server assigns ticks from the engine's own counter — a live daemon
+// has no trace ordering — so reaccess distances are measured in served
+// requests, exactly as the history table expects.
+//
+// Control plane:
+//
+//	GET /stats             cumulative and interval engine.Metrics as
+//	                       JSON. The interval window is since the
+//	                       previous /stats scrape (one scraper assumed).
+//	GET /healthz           liveness probe.
+//	PUT /admin/classifier  hot-swap: body is a cart.Tree binary stream
+//	                       (cart.(*Tree).WriteTo / cmd/trainer -save);
+//	                       subsequent admissions use the new model.
+//	POST /admin/retrain    train a fresh tree from the attached
+//	                       retrainer's matured live samples and install
+//	                       it (the on-demand form of the daily retrain).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"otacache/internal/core"
+	"otacache/internal/engine"
+	"otacache/internal/ml/cart"
+)
+
+// Config carries the operational knobs of one daemon.
+type Config struct {
+	// MaxConns caps concurrently accepted connections (0 = unlimited).
+	MaxConns int
+	// RequestTimeout bounds one request's handling (0 = 5s).
+	RequestTimeout time.Duration
+	// NumFeatures is the expected X-Ota-Feat vector length; requests
+	// with a different length are rejected with 400 before they can
+	// reach the classifier (0 = do not enforce).
+	NumFeatures int
+}
+
+func (c *Config) normalize() {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+}
+
+// Server serves one engine.Engine over HTTP. The composed policy and
+// filter must be safe for concurrent use (a cache.Sharded policy and
+// any of the lock-protected filters), since every request runs on its
+// own connection goroutine.
+type Server struct {
+	eng *engine.Engine
+	cfg Config
+	// admission is the engine's filter when it is the classifier system,
+	// enabling the hot-swap and retrain endpoints.
+	admission *core.ClassifierAdmission
+	retrainer *Retrainer
+	httpSrv   *http.Server
+	started   time.Time
+
+	// statsMu guards the interval baseline advanced by each /stats.
+	statsMu  sync.Mutex
+	lastScan engine.Metrics
+
+	// testHookRequest, when set, runs inside every object handler —
+	// tests use it to hold requests in flight across a Shutdown.
+	testHookRequest func()
+}
+
+// New wraps an engine for serving. The classifier admin endpoints are
+// enabled automatically when the engine's filter is the classification
+// system.
+func New(eng *engine.Engine, cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{eng: eng, cfg: cfg, started: time.Now()}
+	s.admission, _ = eng.Filter().(*core.ClassifierAdmission)
+	s.httpSrv = &http.Server{
+		Handler:           http.TimeoutHandler(s.mux(), cfg.RequestTimeout, "request timeout\n"),
+		ReadHeaderTimeout: cfg.RequestTimeout,
+	}
+	return s
+}
+
+// Engine returns the served engine.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// AttachRetrainer wires a live retrainer into the serving path: every
+// object request is observed for sampling and labeling, and the
+// /admin/retrain endpoint becomes available. Must be called before
+// Serve.
+func (s *Server) AttachRetrainer(rt *Retrainer) { s.retrainer = rt }
+
+// Retrainer returns the attached retrainer (nil if none).
+func (s *Server) Retrainer() *Retrainer { return s.retrainer }
+
+// Handler returns the daemon's full HTTP handler (the per-request
+// timeout included), for tests and embedders that bring their own
+// listener management.
+func (s *Server) Handler() http.Handler { return s.httpSrv.Handler }
+
+// mux routes the wire protocol.
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /object/{key}", s.handleLookup)
+	mux.HandleFunc("PUT /object/{key}", s.handleOffer)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("PUT /admin/classifier", s.handleSwapClassifier)
+	mux.HandleFunc("POST /admin/retrain", s.handleRetrain)
+	return mux
+}
+
+// Serve accepts connections on ln until Shutdown, applying the
+// connection cap. It returns nil after a clean Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	if s.cfg.MaxConns > 0 {
+		ln = limitListener(ln, s.cfg.MaxConns)
+	}
+	err := s.httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests: the listener closes immediately,
+// idle connections are torn down, and active requests get until ctx
+// expires to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// parseObject extracts the key, size, and feature vector of one object
+// request, enforcing the configured feature arity.
+func (s *Server) parseObject(r *http.Request) (key uint64, size int64, feat []float64, err error) {
+	key, err = strconv.ParseUint(r.PathValue("key"), 10, 64)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("bad key: %v", err)
+	}
+	sizeHdr := r.Header.Get("X-Ota-Size")
+	if sizeHdr == "" {
+		return 0, 0, nil, fmt.Errorf("missing X-Ota-Size header")
+	}
+	size, err = strconv.ParseInt(sizeHdr, 10, 64)
+	if err != nil || size <= 0 {
+		return 0, 0, nil, fmt.Errorf("bad X-Ota-Size %q", sizeHdr)
+	}
+	if fh := r.Header.Get("X-Ota-Feat"); fh != "" {
+		parts := strings.Split(fh, ",")
+		feat = make([]float64, len(parts))
+		for i, p := range parts {
+			feat[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return 0, 0, nil, fmt.Errorf("bad X-Ota-Feat element %q", p)
+			}
+		}
+	}
+	if s.cfg.NumFeatures > 0 && feat != nil && len(feat) != s.cfg.NumFeatures {
+		return 0, 0, nil, fmt.Errorf("X-Ota-Feat has %d features, want %d", len(feat), s.cfg.NumFeatures)
+	}
+	if s.admission != nil && feat == nil {
+		return 0, 0, nil, fmt.Errorf("classifier admission requires X-Ota-Feat")
+	}
+	return key, size, feat, nil
+}
+
+func writeDecision(w http.ResponseWriter, out engine.Outcome) {
+	h := w.Header()
+	h.Set("X-Ota-Admitted", strconv.FormatBool(out.Decision.Admit))
+	h.Set("X-Ota-Written", strconv.FormatBool(out.Written))
+	h.Set("X-Ota-Rectified", strconv.FormatBool(out.Decision.Rectified))
+	h.Set("X-Ota-Predicted-One-Time", strconv.FormatBool(out.Decision.PredictedOneTime))
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	key, size, feat, err := s.parseObject(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.testHookRequest != nil {
+		s.testHookRequest()
+	}
+	tick := s.eng.NextTick()
+	if s.retrainer != nil {
+		s.retrainer.Observe(key, tick, feat)
+	}
+	out := s.eng.Lookup(key, size, tick, feat)
+	if out.Hit {
+		w.Header().Set("X-Ota-Hit", "true")
+		fmt.Fprintln(w, "HIT")
+		return
+	}
+	w.Header().Set("X-Ota-Hit", "false")
+	writeDecision(w, out)
+	w.WriteHeader(http.StatusNotFound)
+	fmt.Fprintln(w, "MISS")
+}
+
+func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
+	key, size, feat, err := s.parseObject(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.testHookRequest != nil {
+		s.testHookRequest()
+	}
+	tick := s.eng.NextTick()
+	if s.retrainer != nil {
+		s.retrainer.Observe(key, tick, feat)
+	}
+	out := s.eng.Offer(key, size, tick, feat)
+	writeDecision(w, out)
+	fmt.Fprintln(w, "OFFERED")
+}
+
+// Stats is the /stats payload: the engine's cumulative counters since
+// boot and the interval since the previous scrape.
+type Stats struct {
+	Policy     string
+	Filter     string
+	UptimeSec  float64
+	Cumulative engine.Metrics
+	Interval   engine.Metrics
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	cur := s.eng.Snapshot()
+	s.statsMu.Lock()
+	interval := cur.Sub(s.lastScan)
+	s.lastScan = cur
+	s.statsMu.Unlock()
+	st := Stats{
+		Policy:     s.eng.Policy().Name(),
+		Filter:     s.eng.Filter().Name(),
+		UptimeSec:  time.Since(s.started).Seconds(),
+		Cumulative: cur,
+		Interval:   interval,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+func (s *Server) handleSwapClassifier(w http.ResponseWriter, r *http.Request) {
+	if s.admission == nil {
+		http.Error(w, "engine has no classifier admission", http.StatusConflict)
+		return
+	}
+	tree, err := cart.ReadTree(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.cfg.NumFeatures > 0 && tree.MaxFeature() >= s.cfg.NumFeatures {
+		http.Error(w, fmt.Sprintf("tree references feature %d, server takes %d",
+			tree.MaxFeature(), s.cfg.NumFeatures), http.StatusBadRequest)
+		return
+	}
+	s.admission.SetClassifier(tree)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{
+		"splits": tree.NumSplits(),
+		"height": tree.Height(),
+	})
+}
+
+func (s *Server) handleRetrain(w http.ResponseWriter, _ *http.Request) {
+	if s.retrainer == nil {
+		http.Error(w, "no retrainer attached", http.StatusConflict)
+		return
+	}
+	res := s.retrainer.RetrainNow()
+	w.Header().Set("Content-Type", "application/json")
+	if res.Err != "" {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	}
+	json.NewEncoder(w).Encode(res)
+}
+
+// limitListener caps concurrent connections with a semaphore acquired
+// before Accept and released when the connection closes.
+type limitedListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func limitListener(ln net.Listener, n int) net.Listener {
+	return &limitedListener{Listener: ln, sem: make(chan struct{}, n)}
+}
+
+func (l *limitedListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitedConn{Conn: c, release: func() { <-l.sem }}, nil
+}
+
+type limitedConn struct {
+	net.Conn
+	once    sync.Once
+	release func()
+}
+
+func (c *limitedConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.release)
+	return err
+}

@@ -37,6 +37,9 @@ const (
 	Classifier
 	// Oracle uses perfect future knowledge.
 	Oracle
+	// Doorkeeper uses the non-ML frequency baseline (bloom doorkeeper +
+	// decayed count-min sketch, "admit on re-access").
+	Doorkeeper
 )
 
 // String names the kind.
@@ -46,6 +49,8 @@ func (k FilterKind) String() string {
 		return "classifier"
 	case Oracle:
 		return "oracle"
+	case Doorkeeper:
+		return "doorkeeper"
 	default:
 		return "admit-all"
 	}
@@ -59,6 +64,11 @@ type LayerConfig struct {
 	CacheBytes int64
 	// Filter is the layer's admission behaviour.
 	Filter FilterKind
+	// Shards, when > 1, wraps the policy in a lock-per-shard concurrent
+	// front (cache.Sharded), making the layer's Engine safe for
+	// concurrent Lookup — the configuration a network cache server
+	// deploys. 0 or 1 keeps the bare single-threaded policy.
+	Shards int
 }
 
 // Latency models the three-hop read path in microseconds.
@@ -96,6 +106,9 @@ type Config struct {
 	HitRateEstimate float64
 	// Seed drives training randomness.
 	Seed uint64
+	// DisableHistoryTable runs classifier layers without rectification
+	// (the §4.4.2 ablation).
+	DisableHistoryTable bool
 }
 
 // Result is the two-layer outcome.
@@ -271,13 +284,25 @@ func project(full []float64) []float64 {
 // filter, and the Engine composing them. Exported so a cache server
 // can deploy a single layer without running the two-tier simulation.
 func BuildLayer(tr *trace.Trace, next []int, cfg Config, lc LayerConfig) (*Layer, error) {
-	p, err := cache.New(lc.Policy, lc.CacheBytes, next)
+	p, err := buildPolicy(lc, next)
 	if err != nil {
 		return nil, err
 	}
 	l := &Layer{Kind: lc.Filter}
 	var filter core.Filter
-	if lc.Filter != AdmitAll {
+	switch lc.Filter {
+	case AdmitAll:
+		// nothing to prepare
+	case Doorkeeper:
+		width := int(lc.CacheBytes / tr.MeanPhotoSize())
+		if width < 1024 {
+			width = 1024
+		}
+		filter, err = core.NewFrequencyAdmission(width, 1)
+		if err != nil {
+			return nil, err
+		}
+	default:
 		h := cfg.HitRateEstimate
 		if h <= 0 {
 			h = labeling.EstimateHitRate(tr, lc.CacheBytes, 200000)
@@ -294,12 +319,17 @@ func BuildLayer(tr *trace.Trace, next []int, cfg Config, lc LayerConfig) (*Layer
 			if err != nil {
 				return nil, err
 			}
-			table := core.NewHistoryTable(core.TableCapacity(crit))
+			var table *core.HistoryTable
+			if !cfg.DisableHistoryTable {
+				table = core.NewHistoryTable(core.TableCapacity(crit))
+			}
 			adm, err := core.NewClassifierAdmission(clf, table, crit)
 			if err != nil {
 				return nil, err
 			}
 			filter = adm
+		default:
+			return nil, fmt.Errorf("tier: unknown filter kind %d", lc.Filter)
 		}
 	}
 	l.Engine, err = engine.New(p, filter)
@@ -307,6 +337,27 @@ func BuildLayer(tr *trace.Trace, next []int, cfg Config, lc LayerConfig) (*Layer
 		return nil, err
 	}
 	return l, nil
+}
+
+// buildPolicy constructs the layer's replacement policy, wrapping it in
+// the lock-per-shard concurrent front when Shards asks for one.
+func buildPolicy(lc LayerConfig, next []int) (cache.Policy, error) {
+	if lc.Shards <= 1 {
+		return cache.New(lc.Policy, lc.CacheBytes, next)
+	}
+	var shardErr error
+	p, err := cache.NewSharded(lc.CacheBytes, lc.Shards, func(shardCapacity int64) cache.Policy {
+		sp, err := cache.New(lc.Policy, shardCapacity, next)
+		if err != nil {
+			shardErr = err
+			return nil
+		}
+		return sp
+	})
+	if shardErr != nil {
+		return nil, shardErr
+	}
+	return p, err
 }
 
 // bootstrapTree trains the layer's tree on the first day's sample.
