@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fmt bench
+.PHONY: check build vet test race fmt bench fuzz
 
 # The full gate: formatting, build, vet, and the test suite under the
 # race detector. CI and pre-commit both run this.
@@ -23,6 +24,18 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkLookup -benchmem ./internal/engine \
 		| $(GO) run ./cmd/benchjson > BENCH_serve.json
 	@cat BENCH_serve.json
+
+# Coverage-guided smoke over every fuzz target in the repo, $(FUZZTIME)
+# each (wire-protocol parsers, snapshot reader, trace importers). Go
+# allows one -fuzz pattern per invocation, hence the loop.
+fuzz:
+	@set -e; \
+	for pkg in $$(grep -rl '^func Fuzz' --include='*_test.go' . | xargs -n1 dirname | sort -u); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "== fuzz $$pkg $$target"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
 
 # gofmt -l prints offending files; turn any output into a failure.
 fmt:

@@ -13,6 +13,15 @@
 //	otacached -addr :8344 -policy lru -mode proposal -frac 0.15 -photos 60000
 //	otacached -mode proposal -trace t.bin -bytes 500000000 -retrain-hour 5
 //	otacached -mode original -photos 30000          # traditional cache
+//	otacached -mode proposal -snapshot state.snap   # crash-safe restarts
+//
+// In proposal mode a circuit breaker guards the classifier: errors,
+// panics, and over-budget decisions degrade admission to the
+// -breaker-fallback filter instead of failing requests, and the breaker
+// self-heals once the classifier recovers. With -snapshot, warm state
+// (residency, history table, classifier) is restored at startup behind
+// the /readyz gate, persisted every -snapshot-interval, and written one
+// final time after a clean drain.
 //
 // SIGINT/SIGTERM drain in-flight requests (bounded by -drain-timeout)
 // and exit 0.
@@ -20,6 +29,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	"otacache/internal/core"
+	"otacache/internal/engine"
 	"otacache/internal/features"
 	"otacache/internal/ml/cart"
 	"otacache/internal/server"
@@ -59,6 +70,14 @@ func main() {
 		maxConns  = flag.Int("max-conns", 0, "concurrent connection cap (0 = unlimited)")
 		reqTO     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
+
+		snapPath  = flag.String("snapshot", "", "crash-safe state file: restored at startup, written periodically and after drain")
+		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot cadence (with -snapshot)")
+
+		brFallback  = flag.String("breaker-fallback", "admit-all", "degraded admission when the classifier fails (admit-all|doorkeeper|off)")
+		brLatency   = flag.Duration("breaker-latency", 0, "classifier latency budget; slower decisions count as breaker failures (0 = none)")
+		brThreshold = flag.Int("breaker-threshold", 3, "consecutive classifier failures that open the breaker")
+		brCooldown  = flag.Duration("breaker-cooldown", time.Second, "open-state wait before half-open probes")
 	)
 	flag.Parse()
 	log.SetPrefix("otacached: ")
@@ -121,15 +140,55 @@ func main() {
 		log.Printf("criteria: %s", layer.Criteria)
 	}
 
-	srv := server.New(layer.Engine, server.Config{
+	// adm is the classifier admission behind any breaker wrapping below;
+	// the model and retraining paths target it directly.
+	adm, _ := layer.Engine.Filter().(*core.ClassifierAdmission)
+
+	// In proposal mode a circuit breaker stands between the engine and
+	// the classifier: a failing model degrades admission, never requests.
+	eng := layer.Engine
+	if kind == tier.Classifier && *brFallback != "off" {
+		var fallback core.Filter
+		switch *brFallback {
+		case "admit-all":
+			// NewBreaker's default.
+		case "doorkeeper":
+			width := int(capacity / tr.MeanPhotoSize())
+			if width < 1024 {
+				width = 1024
+			}
+			fallback, err = core.NewFrequencyAdmission(width, 1)
+			if err != nil {
+				fail(err)
+			}
+		default:
+			fail(fmt.Errorf("unknown -breaker-fallback %q", *brFallback))
+		}
+		breaker, err := engine.NewBreaker(eng.Filter(), engine.BreakerConfig{
+			Fallback:         fallback,
+			LatencyBudget:    *brLatency,
+			FailureThreshold: *brThreshold,
+			Cooldown:         *brCooldown,
+		})
+		if err != nil {
+			fail(err)
+		}
+		eng, err = engine.New(eng.Policy(), breaker)
+		if err != nil {
+			fail(err)
+		}
+		log.Printf("breaker: fallback=%s threshold=%d cooldown=%s latency-budget=%s",
+			*brFallback, *brThreshold, *brCooldown, *brLatency)
+	}
+
+	srv := server.New(eng, server.Config{
 		MaxConns:       *maxConns,
 		RequestTimeout: *reqTO,
 		NumFeatures:    len(features.PaperSelected()),
 	})
 
 	if *modelPath != "" {
-		adm, ok := layer.Engine.Filter().(*core.ClassifierAdmission)
-		if !ok {
+		if adm == nil {
 			fail(fmt.Errorf("-model requires -mode proposal"))
 		}
 		tree, err := cart.Load(*modelPath)
@@ -143,7 +202,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	if adm, ok := layer.Engine.Filter().(*core.ClassifierAdmission); ok && retrainHour >= 0 {
+	if adm != nil && retrainHour >= 0 {
 		v := *costV
 		if v <= 0 {
 			v = core.CostV(capacity)
@@ -158,15 +217,41 @@ func main() {
 		log.Printf("retraining: daily at %02d:00 from live traffic (%d samples/min)", retrainHour, *samples)
 	}
 
+	// Crash-safe state: the daemon is listening but not ready while the
+	// previous run's snapshot is restored, so orchestrators (and otaload)
+	// can gate on /readyz instead of racing the warm-up.
+	var snap *server.Snapshotter
+	if *snapPath != "" {
+		snap = server.NewSnapshotter(eng, *snapPath)
+		srv.AttachSnapshotter(snap)
+		srv.SetNotReady("restoring snapshot")
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(err)
 	}
 	log.Printf("serving policy=%s filter=%s on %s (shards=%d, max-conns=%d, timeout=%s)",
-		layer.Engine.Policy().Name(), layer.Engine.Filter().Name(), ln.Addr(), nshards, *maxConns, *reqTO)
+		eng.Policy().Name(), eng.Filter().Name(), ln.Addr(), nshards, *maxConns, *reqTO)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
+
+	if snap != nil {
+		res, err := server.LoadSnapshot(*snapPath, eng)
+		switch {
+		case err == nil:
+			log.Printf("snapshot: restored %d residents (%d MB), %d table entries, tree=%v, resuming at tick %d",
+				res.Residents, res.ResidentBytes>>20, res.TableEntries, res.HasTree, res.Tick)
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("snapshot: no state at %s, cold start", *snapPath)
+		default:
+			log.Printf("snapshot: restore failed, serving cold: %v", err)
+		}
+		srv.SetReady()
+		go snap.Run(ctx, *snapEvery, log.Printf)
+		log.Printf("snapshot: writing to %s every %s", *snapPath, *snapEvery)
+	}
 
 	select {
 	case err := <-done:
@@ -183,9 +268,19 @@ func main() {
 			os.Exit(1)
 		}
 		<-done
-		m := layer.Engine.Snapshot()
-		log.Printf("drained cleanly: served %d requests (%.2f%% hits, %.2f%% writes)",
-			m.Requests, 100*m.HitRate(), 100*m.WriteRate())
+		if snap != nil {
+			// One final write now that the counters have settled: the next
+			// start resumes from exactly the drained state.
+			if res, err := snap.WriteNow(); err != nil {
+				log.Printf("final snapshot: %v", err)
+			} else {
+				log.Printf("final snapshot: %d residents, %d table entries -> %s",
+					res.Residents, res.TableEntries, *snapPath)
+			}
+		}
+		m := eng.Snapshot()
+		log.Printf("drained cleanly: served %d requests (%.2f%% hits, %.2f%% writes, %d degraded)",
+			m.Requests, 100*m.HitRate(), 100*m.WriteRate(), m.Degraded)
 	}
 }
 

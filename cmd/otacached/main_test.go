@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"otacache/internal/server"
+)
+
+// daemonProc is one running otacached child plus its captured log.
+type daemonProc struct {
+	cmd *exec.Cmd
+
+	mu  sync.Mutex
+	log strings.Builder
+}
+
+func (d *daemonProc) Log() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.String()
+}
+
+// waitLog polls the captured log for re until timeout, returning the
+// first submatch (or the whole match).
+func (d *daemonProc) waitLog(t *testing.T, re *regexp.Regexp, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(d.Log()); m != nil {
+			return m[len(m)-1]
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("log never matched %v; log so far:\n%s", re, d.Log())
+	return ""
+}
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "otacached")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building otacached: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Write appends stderr output under the log lock. Handing exec an
+// io.Writer (not a pipe) makes cmd.Wait block until the copier drains,
+// so no trailing log lines are lost at exit.
+func (d *daemonProc) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Write(p)
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) *daemonProc {
+	t.Helper()
+	d := &daemonProc{cmd: exec.Command(bin, args...)}
+	d.cmd.Stderr = d
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	return d
+}
+
+var servingRe = regexp.MustCompile(`serving .* on (127\.0\.0\.1:\d+)`)
+
+// TestDaemonSIGTERMDrainAndSnapshotRestart exercises the full process
+// lifecycle over a real socket: the daemon comes up behind its /readyz
+// gate, serves object traffic, and on SIGTERM drains in flight
+// requests, refuses new ones, writes a final snapshot, and exits 0. A
+// second daemon started on the same snapshot file restores the warm
+// state before reporting ready.
+func TestDaemonSIGTERMDrainAndSnapshotRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the real daemon twice")
+	}
+	bin := buildDaemon(t)
+	snapPath := filepath.Join(t.TempDir(), "state.snap")
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-mode", "proposal",
+		"-photos", "3000",
+		"-snapshot", snapPath,
+		"-snapshot-interval", "1h", // only the final drain write matters here
+		"-drain-timeout", "10s",
+	}
+
+	d := startDaemon(t, bin, args...)
+	addr := d.waitLog(t, servingRe, 60*time.Second)
+	c := server.NewClient("http://"+addr, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.WaitReady(ctx, 0); err != nil {
+		t.Fatalf("daemon never became ready: %v\nlog:\n%s", err, d.Log())
+	}
+
+	// Traffic through the SIGTERM moment: a background worker hammers
+	// the daemon; whatever the drain does, it must never surface a 5xx —
+	// in-flight requests complete, refused ones fail at the connection.
+	feat := []float64{1, 2, 3, 4, 5}
+	stopTraffic := make(chan struct{})
+	trafficDone := make(chan string, 1)
+	go func() {
+		w := server.NewClient("http://"+addr, 1)
+		w.SetRetry(server.RetryConfig{MaxAttempts: 1})
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stopTraffic:
+				trafficDone <- ""
+				return
+			default:
+			}
+			if _, err := w.Lookup(i%4096, 256, feat); err != nil {
+				if strings.Contains(err.Error(), "server: 5") {
+					trafficDone <- err.Error()
+					return
+				}
+				// Connection-level failure: the daemon is refusing new
+				// requests mid-drain, which is exactly the contract.
+			}
+		}
+	}()
+
+	// Let some requests land, then deliver SIGTERM mid-traffic.
+	for i := uint64(0); i < 200; i++ {
+		if _, err := c.Lookup(i, 256, feat); err != nil {
+			t.Fatalf("pre-drain request %d: %v", i, err)
+		}
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The process must exit 0 on its own (no Kill from cleanup).
+	exited := make(chan error, 1)
+	go func() { exited <- d.cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly after SIGTERM: %v\nlog:\n%s", err, d.Log())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit within 30s of SIGTERM\nlog:\n%s", d.Log())
+	}
+	close(stopTraffic)
+	if msg := <-trafficDone; msg != "" {
+		t.Fatalf("traffic saw a 5xx during drain: %s", msg)
+	}
+
+	logText := d.Log()
+	for _, want := range []string{"draining", "final snapshot:", "drained cleanly"} {
+		if !strings.Contains(logText, want) {
+			t.Errorf("shutdown log missing %q:\n%s", want, logText)
+		}
+	}
+	// New requests are refused once the process is gone.
+	if err := c.Health(); err == nil {
+		t.Error("daemon still answering /healthz after clean exit")
+	}
+	fi, err := os.Stat(snapPath)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("final snapshot missing or empty: fi=%v err=%v", fi, err)
+	}
+
+	// Restart on the same snapshot: the second daemon restores the warm
+	// state behind its readiness gate and serves again.
+	d2 := startDaemon(t, bin, args...)
+	addr2 := d2.waitLog(t, servingRe, 60*time.Second)
+	c2 := server.NewClient("http://"+addr2, 2)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := c2.WaitReady(ctx2, 0); err != nil {
+		t.Fatalf("restarted daemon never became ready: %v\nlog:\n%s", err, d2.Log())
+	}
+	restoredRe := regexp.MustCompile(`snapshot: restored (\d+) residents`)
+	if n := d2.waitLog(t, restoredRe, 5*time.Second); n == "0" {
+		t.Errorf("restart restored 0 residents\nlog:\n%s", d2.Log())
+	}
+	st, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Residents == 0 {
+		t.Errorf("restarted daemon serving with empty cache: %+v", st)
+	}
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited2 := make(chan error, 1)
+	go func() { exited2 <- d2.cmd.Wait() }()
+	select {
+	case err := <-exited2:
+		if err != nil {
+			t.Fatalf("restarted daemon exited uncleanly: %v\nlog:\n%s", err, d2.Log())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("restarted daemon did not exit within 30s\nlog:\n%s", d2.Log())
+	}
+}

@@ -13,13 +13,21 @@
 // The trace (and -seed) must match what the daemon was bootstrapped
 // with for the classifier's features to mean what the model was trained
 // on — the same pairing otasim gets for free in-process.
+//
+// The run waits for the daemon's /readyz gate (snapshot restoration)
+// before replaying, retries transient request failures with backoff,
+// and exits nonzero when the failed-request percentage exceeds
+// -max-error-rate — so a scripted benchmark cannot silently pass on a
+// partially failed run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"otacache/internal/server"
 	"otacache/internal/trace"
@@ -36,6 +44,9 @@ func main() {
 		maxN      = flag.Int("n", 0, "stop after this many requests (0 = whole trace)")
 		featFlag  = flag.String("features", "auto", "send feature vectors: auto|on|off (auto asks /stats for the filter)")
 		progress  = flag.Int("progress", 0, "log a line every N dispatched requests (0 = off)")
+		waitReady = flag.Duration("wait-ready", 30*time.Second, "poll /readyz this long before replaying (0 = don't wait)")
+		maxErrPct = flag.Float64("max-error-rate", 1, "exit nonzero when the failed-request percentage exceeds this")
+		retries   = flag.Int("retries", 3, "attempts per request (transient transport errors and 5xx lookups)")
 	)
 	flag.Parse()
 	log.SetPrefix("otaload: ")
@@ -53,6 +64,19 @@ func main() {
 	}
 
 	c := server.NewClient(*addr, *workers)
+	c.SetRetry(server.RetryConfig{MaxAttempts: *retries, Seed: *seed})
+
+	// A daemon restoring a snapshot listens before it is warm; gate the
+	// measured run on readiness rather than replaying into the warm-up.
+	if *waitReady > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *waitReady)
+		err := c.WaitReady(ctx, 0)
+		cancel()
+		if err != nil {
+			fail(err)
+		}
+	}
+
 	st, err := c.Stats()
 	if err != nil {
 		fail(fmt.Errorf("cannot reach daemon at %s: %w", *addr, err))
@@ -83,6 +107,10 @@ func main() {
 		fail(err)
 	}
 	fmt.Print(rep)
+	if pct := 100 * rep.ErrorRate(); pct > *maxErrPct {
+		fail(fmt.Errorf("error rate %.2f%% exceeds -max-error-rate %.2f%% (first error: %s)",
+			pct, *maxErrPct, rep.FirstError))
+	}
 }
 
 func fail(err error) {

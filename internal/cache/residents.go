@@ -1,0 +1,109 @@
+package cache
+
+// Ranger is the optional enumeration side of Policy: policies that can
+// walk their resident set implement it so a cache server can snapshot
+// residency for a crash-safe restart. Range visits every resident
+// object from coldest (the next eviction victim) to hottest (the most
+// protected), stopping early when fn returns false.
+//
+// The cold-to-hot order is the restore order: re-Admitting the visited
+// objects into an empty policy of the same kind rebuilds the resident
+// set with (at least approximately) the original eviction order — for
+// LRU and FIFO exactly, for the segmented/adaptive policies as a warm
+// approximation whose protected structure re-forms under traffic.
+//
+// Like every other Policy method, Range on the bare single-threaded
+// policies must not race with concurrent mutation; Sharded serializes
+// per shard.
+type Ranger interface {
+	Range(fn func(key uint64, size int64) bool)
+}
+
+// rangeList walks a dlist from the eviction end to the MRU end.
+func rangeList(l *dlist, fn func(key uint64, size int64) bool) bool {
+	for e := l.back(); e != nil; e = e.prev {
+		if !fn(e.key, e.size) {
+			return false
+		}
+	}
+	return true
+}
+
+// Range implements Ranger: LRU end to MRU end.
+func (c *LRU) Range(fn func(key uint64, size int64) bool) {
+	rangeList(&c.list, fn)
+}
+
+// Range implements Ranger: oldest insertion to newest.
+func (c *FIFO) Range(fn func(key uint64, size int64) bool) {
+	rangeList(&c.list, fn)
+}
+
+// Range implements Ranger: probationary segment first (its LRU tail is
+// the global victim), then each more-protected segment, tail to head.
+func (c *SLRU) Range(fn func(key uint64, size int64) bool) {
+	for s := range c.segs {
+		if !rangeList(&c.segs[s], fn) {
+			return
+		}
+	}
+}
+
+// Range implements Ranger: the recency list T1 (evicted first when the
+// adaptation target favors frequency), then the frequency list T2, each
+// tail to head. Ghost entries are not resident and are not visited.
+func (c *ARC) Range(fn func(key uint64, size int64) bool) {
+	if !rangeList(&c.t1, fn) {
+		return
+	}
+	rangeList(&c.t2, fn)
+}
+
+// Range implements Ranger: the resident-HIR queue back to front (queue
+// back is the eviction victim), then the LIR set from the stack bottom
+// up (bottom LIR objects are demoted first). Non-resident ghosts are
+// not visited.
+func (c *LIRS) Range(fn func(key uint64, size int64) bool) {
+	for x := c.queue.back(); x != nil; x = x.qPrev {
+		if !fn(x.key, x.size) {
+			return
+		}
+	}
+	for x := c.stack.back(); x != nil; x = x.sPrev {
+		if x.state != stateLIR {
+			continue
+		}
+		if !fn(x.key, x.size) {
+			return
+		}
+	}
+}
+
+// Range implements Ranger over every shard in turn, holding one shard
+// lock at a time. The cross-shard visit order carries no warmth
+// information — a restore routes each key back to its home shard by
+// hash, so only the per-shard order matters, and that is preserved.
+// Shards whose policy does not implement Ranger are skipped.
+func (s *Sharded) Range(fn func(key uint64, size int64) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		r, ok := sh.p.(Ranger)
+		if !ok {
+			sh.mu.Unlock()
+			continue
+		}
+		stopped := false
+		r.Range(func(key uint64, size int64) bool {
+			if !fn(key, size) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		sh.mu.Unlock()
+		if stopped {
+			return
+		}
+	}
+}

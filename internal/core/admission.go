@@ -49,6 +49,26 @@ type Decision struct {
 	// Rectified reports that the history table overrode a one-time
 	// prediction because the photo returned within distance M.
 	Rectified bool
+	// Degraded reports that the decision did not come from the primary
+	// filter: a circuit breaker served it from the fallback because the
+	// primary errored, panicked, overran its latency budget, or the
+	// breaker was open. Degraded decisions are counted separately by the
+	// engine so operators can see how much traffic ran unclassified.
+	Degraded bool
+}
+
+// FallibleFilter is the optional error-reporting extension of Filter.
+// The classification path can fail operationally (a model server
+// timeout, a corrupt hot-swapped tree, an injected fault in tests);
+// Decide has no error channel, so filters that can fail implement
+// DecideErr and a circuit breaker consults it, treating a non-nil error
+// as a failed decision. Decide on such filters should degrade to a
+// safe default rather than panic.
+type FallibleFilter interface {
+	Filter
+	// DecideErr returns the admission decision, or an error when the
+	// filter could not decide. On error the Decision is ignored.
+	DecideErr(key uint64, tick int, feat []float64) (Decision, error)
 }
 
 // AdmitAll is the traditional no-filter behaviour ("Original" curves).
@@ -202,6 +222,29 @@ func (t *HistoryTable) Rectify(key uint64, tick, m int) bool {
 	return false
 }
 
+// TableEntry is one live history-table record, exported for snapshots.
+type TableEntry struct {
+	Key  uint64
+	Tick int
+}
+
+// Entries returns the live records in FIFO order (oldest insertion
+// first). Re-Inserting them in that order into an empty table of the
+// same capacity reconstructs both the tick map and the eviction order,
+// which is how a daemon's snapshot restore rebuilds rectification state.
+func (t *HistoryTable) Entries() []TableEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TableEntry, 0, len(t.ticks))
+	for i := t.head; i < len(t.fifo); i++ {
+		slot := t.fifo[i]
+		if e, ok := t.ticks[slot.key]; ok && e.seq == slot.seq {
+			out = append(out, TableEntry{Key: slot.key, Tick: e.tick})
+		}
+	}
+	return out
+}
+
 func (t *HistoryTable) evictOldest() {
 	for t.head < len(t.fifo) {
 		slot := t.fifo[t.head]
@@ -293,6 +336,10 @@ func (a *ClassifierAdmission) Classifier() mlcore.Classifier {
 
 // M returns the reaccess-distance threshold in force.
 func (a *ClassifierAdmission) M() int { return a.m }
+
+// Table returns the history table (nil when running the ablation),
+// exposed so a daemon can snapshot and restore rectification state.
+func (a *ClassifierAdmission) Table() *HistoryTable { return a.table }
 
 // Decide implements Filter, following the workflow of §4.2 steps
 // (4)–(6): classify; if predicted one-time, consult the history table

@@ -1,0 +1,49 @@
+package core
+
+import "testing"
+
+// TestHistoryTableEntriesRoundTrip pins the snapshot contract: Entries
+// returns live records oldest-first, and re-Inserting them into an
+// empty table reproduces lookups and the eviction order.
+func TestHistoryTableEntriesRoundTrip(t *testing.T) {
+	src := NewHistoryTable(4)
+	for k := uint64(1); k <= 6; k++ { // 1 and 2 evicted by capacity
+		src.Insert(k, int(k)*10)
+	}
+	src.Remove(4)
+	src.Insert(3, 99) // refresh keeps FIFO position
+
+	got := src.Entries()
+	want := []TableEntry{{Key: 3, Tick: 99}, {Key: 5, Tick: 50}, {Key: 6, Tick: 60}}
+	if len(got) != len(want) {
+		t.Fatalf("Entries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Entries[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	dst := NewHistoryTable(src.Capacity())
+	for _, e := range got {
+		dst.Insert(e.Key, e.Tick)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored Len = %d, want %d", dst.Len(), src.Len())
+	}
+	// Same eviction order: filling to capacity and one past evicts the
+	// oldest live record (key 3) on both.
+	src.Insert(7, 70)
+	dst.Insert(7, 70)
+	src.Insert(8, 80)
+	dst.Insert(8, 80)
+	if _, ok := src.Lookup(3); ok {
+		t.Fatal("src should have evicted key 3")
+	}
+	if _, ok := dst.Lookup(3); ok {
+		t.Fatal("restored table should have evicted key 3")
+	}
+	if tick, ok := dst.Lookup(5); !ok || tick != 50 {
+		t.Fatalf("restored Lookup(5) = %d,%v", tick, ok)
+	}
+}

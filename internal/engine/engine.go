@@ -50,6 +50,7 @@ type Engine struct {
 	writeBytes atomic.Int64
 	bypassed   atomic.Int64
 	rectified  atomic.Int64
+	degraded   atomic.Int64
 	totalBytes atomic.Int64
 }
 
@@ -78,6 +79,10 @@ type Metrics struct {
 	WriteBytes int64
 	Bypassed   int64
 	Rectified  int64
+	// Degraded counts admission decisions served by a fallback path
+	// (circuit breaker open, or the primary filter failed on that call)
+	// rather than the primary filter — see Breaker.
+	Degraded   int64
 	TotalBytes int64
 }
 
@@ -114,6 +119,7 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		WriteBytes: m.WriteBytes - prev.WriteBytes,
 		Bypassed:   m.Bypassed - prev.Bypassed,
 		Rectified:  m.Rectified - prev.Rectified,
+		Degraded:   m.Degraded - prev.Degraded,
 		TotalBytes: m.TotalBytes - prev.TotalBytes,
 	}
 }
@@ -142,6 +148,17 @@ func (e *Engine) Filter() core.Filter { return e.filter }
 // reaccess distances.
 func (e *Engine) NextTick() int { return int(e.tick.Add(1) - 1) }
 
+// Tick returns the next tick NextTick would hand out, without
+// consuming it — the value a snapshot persists.
+func (e *Engine) Tick() int64 { return e.tick.Load() }
+
+// ResumeTick fast-forwards the tick counter to resume a snapshotted
+// daemon: restored history-table ticks keep their meaning only if new
+// requests continue the old numbering instead of restarting at zero
+// (a restart at zero would make every restored entry look M ticks
+// stale, or worse, in the future). Call before serving traffic.
+func (e *Engine) ResumeTick(t int64) { e.tick.Store(t) }
+
 // Get consults the policy for key, updating hit/miss counters. It is
 // the first half of Lookup, exposed separately for callers (such as the
 // tiered hierarchy) whose admission happens later on the return path.
@@ -164,6 +181,9 @@ func (e *Engine) Offer(key uint64, size int64, tick int, feat []float64) Outcome
 	d := e.filter.Decide(key, tick, feat)
 	if d.Rectified {
 		e.rectified.Add(1)
+	}
+	if d.Degraded {
+		e.degraded.Add(1)
 	}
 	if !d.Admit {
 		e.bypassed.Add(1)
@@ -199,6 +219,7 @@ func (e *Engine) Snapshot() Metrics {
 		WriteBytes: e.writeBytes.Load(),
 		Bypassed:   e.bypassed.Load(),
 		Rectified:  e.rectified.Load(),
+		Degraded:   e.degraded.Load(),
 		TotalBytes: e.totalBytes.Load(),
 	}
 }

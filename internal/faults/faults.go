@@ -1,0 +1,288 @@
+// Package faults is a seeded, deterministic fault injector for the
+// serving path. Production cache nodes degrade in three recurring ways
+// — a dependency returns an error, a call stalls past its latency
+// budget, or a component panics outright — and the resilience layer
+// (the engine's admission circuit breaker, the server's panic-recovery
+// middleware, the client's retry loop) exists to absorb exactly those.
+// This package makes each of them reproducible in tests: a Schedule
+// decides, purely from the call index, which calls fault and how, so a
+// test under -race observes the same fault sequence on every run with
+// no timing dependence.
+//
+// The building blocks:
+//
+//   - Fault: one injected failure (error, latency, or panic).
+//   - Schedule: call index -> Fault. Combinators (FailN, After,
+//     EveryNth, Seeded) express recovery scripts like "fail the first
+//     five calls, then heal" without sleeps or real clocks.
+//   - Injector: an atomic call counter applying a Schedule.
+//   - Wrappers: Filter (core.FallibleFilter), Policy (cache.Policy),
+//     and Transport (http.RoundTripper), which interpose an Injector on
+//     the three layers the resilience work hardens.
+//
+// Latency faults go through a Clock so tests can pair an injector with
+// a FakeClock shared with the component under test: the "stall" then
+// advances simulated time rather than wall time, keeping even
+// latency-budget tests deterministic.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable failure modes.
+type Kind int
+
+// Failure modes.
+const (
+	// None leaves the call untouched.
+	None Kind = iota
+	// Error makes the call return ErrInjected (or the Fault's Err).
+	Error
+	// Latency delays the call by the Fault's Delay before proceeding.
+	Latency
+	// Panic makes the call panic with a recognizable value.
+	Panic
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Latency:
+		return "latency"
+	case Panic:
+		return "panic"
+	default:
+		return "none"
+	}
+}
+
+// ErrInjected is the default error for Error faults.
+var ErrInjected = errors.New("faults: injected error")
+
+// PanicValue is the value injected panics carry, so recovery paths can
+// assert they caught the injected panic and not a real bug.
+const PanicValue = "faults: injected panic"
+
+// Fault is one injected failure.
+type Fault struct {
+	Kind Kind
+	// Delay is the stall for Latency faults.
+	Delay time.Duration
+	// Err overrides ErrInjected for Error faults (nil keeps the default).
+	Err error
+}
+
+func (f Fault) error() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// Schedule maps a zero-based call index to the fault injected on that
+// call. Implementations must be pure functions of n (safe for
+// concurrent use and reproducible across runs).
+type Schedule interface {
+	Nth(n uint64) Fault
+}
+
+type scheduleFunc func(n uint64) Fault
+
+func (f scheduleFunc) Nth(n uint64) Fault { return f(n) }
+
+// Never injects nothing — the healthy baseline.
+func Never() Schedule {
+	return scheduleFunc(func(uint64) Fault { return Fault{} })
+}
+
+// Always injects f on every call.
+func Always(f Fault) Schedule {
+	return scheduleFunc(func(uint64) Fault { return f })
+}
+
+// FailN injects f on the first n calls, then recovers — the canonical
+// "component is down, then heals" script a circuit breaker must ride
+// through (trip, fall back, probe, close again).
+func FailN(n uint64, f Fault) Schedule {
+	return scheduleFunc(func(i uint64) Fault {
+		if i < n {
+			return f
+		}
+		return Fault{}
+	})
+}
+
+// After runs healthy for skip calls, then delegates to s (with call
+// indexes rebased to zero). After(100, FailN(5, f)) is "healthy for
+// 100 calls, down for 5, healthy again".
+func After(skip uint64, s Schedule) Schedule {
+	return scheduleFunc(func(i uint64) Fault {
+		if i < skip {
+			return Fault{}
+		}
+		return s.Nth(i - skip)
+	})
+}
+
+// EveryNth injects f on every n-th call (call indexes n-1, 2n-1, ...).
+// n < 1 is clamped to 1 (every call).
+func EveryNth(n uint64, f Fault) Schedule {
+	if n < 1 {
+		n = 1
+	}
+	return scheduleFunc(func(i uint64) Fault {
+		if (i+1)%n == 0 {
+			return f
+		}
+		return Fault{}
+	})
+}
+
+// Seeded injects f on a pseudorandom fraction p of calls, derived
+// deterministically from the seed and the call index (SplitMix64 of
+// seed^index), so a given (seed, index) always faults or always does
+// not — concurrency changes interleaving but never the fault set.
+func Seeded(seed uint64, p float64, f Fault) Schedule {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	threshold := uint64(p * float64(1<<63) * 2)
+	return scheduleFunc(func(i uint64) Fault {
+		if splitmix64(seed+0x9e3779b97f4a7c15*(i+1)) < threshold {
+			return f
+		}
+		return Fault{}
+	})
+}
+
+// splitmix64 is the SplitMix64 finalizer, a strong 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Clock abstracts time so latency faults (and the components measuring
+// them) can run on simulated time in tests.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real time.Now/time.Sleep clock.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a manually advanced clock: Sleep advances Now by the
+// requested duration and returns immediately. Sharing one FakeClock
+// between an Injector (which "sleeps" on latency faults) and a
+// component with a latency budget (which measures Now before and after)
+// makes over-budget calls observable without any real delay.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock starts a fake clock at a fixed arbitrary epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing Now.
+func (c *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward without a sleeping caller (e.g. to
+// expire a circuit breaker's cooldown in a test).
+func (c *FakeClock) Advance(d time.Duration) { c.Sleep(d) }
+
+// Injector applies a Schedule call by call. The counter is atomic, so
+// one Injector may sit on a hot path exercised from many goroutines;
+// which goroutine draws which call index depends on interleaving, but
+// the multiset of injected faults does not.
+type Injector struct {
+	sched Schedule
+	clock Clock
+	calls atomic.Uint64
+
+	injected atomic.Uint64
+}
+
+// NewInjector builds an injector. A nil schedule means Never; a nil
+// clock means WallClock.
+func NewInjector(sched Schedule, clock Clock) *Injector {
+	if sched == nil {
+		sched = Never()
+	}
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &Injector{sched: sched, clock: clock}
+}
+
+// Calls returns how many calls the injector has intercepted.
+func (in *Injector) Calls() uint64 { return in.calls.Load() }
+
+// Injected returns how many of them carried a fault.
+func (in *Injector) Injected() uint64 { return in.injected.Load() }
+
+// Clock returns the injector's clock (for components that should share
+// simulated time with it).
+func (in *Injector) Clock() Clock { return in.clock }
+
+// next draws the fault for this call.
+func (in *Injector) next() Fault {
+	n := in.calls.Add(1) - 1
+	f := in.sched.Nth(n)
+	if f.Kind != None {
+		in.injected.Add(1)
+	}
+	return f
+}
+
+// apply enacts f: sleeps on latency (then lets the call proceed),
+// panics on panic, and returns the error for Error faults. The
+// returned bool reports whether the wrapped call should still run
+// (true for None and Latency).
+func (in *Injector) apply(f Fault) (proceed bool, err error) {
+	switch f.Kind {
+	case Latency:
+		in.clock.Sleep(f.Delay)
+		return true, nil
+	case Error:
+		return false, f.error()
+	case Panic:
+		panic(fmt.Sprintf("%s (call %d)", PanicValue, in.calls.Load()-1))
+	default:
+		return true, nil
+	}
+}

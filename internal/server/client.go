@@ -2,26 +2,81 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"otacache/internal/ml/cart"
 )
 
+// RetryConfig tunes the client's retry loop. A replay client that
+// gives up after one TCP error turns every transient network blip into
+// a gap in the measured workload, so object requests retry with
+// exponential backoff and jitter — but only where a duplicate cannot
+// corrupt server state (see Lookup vs Offer).
+type RetryConfig struct {
+	// MaxAttempts bounds tries per request, first included (0 = 3).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it (0 = 5ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = 500ms).
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each individual attempt (0 = the client's
+	// overall 30s timeout only).
+	AttemptTimeout time.Duration
+	// Budget caps total retries across the client's lifetime: once
+	// spent, requests fail fast on their first error instead of piling
+	// backoff on an outage (0 = unlimited). A replay run reports budget
+	// exhaustion through its error counters rather than stalling.
+	Budget int64
+	// Seed drives jitter; a fixed seed makes backoff sequences
+	// reproducible in tests (0 = 1).
+	Seed uint64
+}
+
+func (c *RetryConfig) normalize() {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 5 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 500 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
 // Client is a typed client for the otacached wire protocol.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryConfig
+
+	// rng drives backoff jitter (guarded: workers share the client).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	retriesUsed atomic.Int64
 }
 
 // NewClient targets a daemon at base (e.g. "http://127.0.0.1:8344").
 // workers sizes the connection pool for concurrent use (<= 0 picks a
-// default).
+// default). The default retry policy (3 attempts, jittered exponential
+// backoff) applies; SetRetry overrides it.
 func NewClient(base string, workers int) *Client {
 	if workers <= 0 {
 		workers = 8
@@ -31,10 +86,63 @@ func NewClient(base string, workers int) *Client {
 		MaxIdleConnsPerHost: workers * 2,
 		IdleConnTimeout:     30 * time.Second,
 	}
-	return &Client{
+	c := &Client{
 		base: strings.TrimRight(base, "/"),
 		hc:   &http.Client{Transport: tr, Timeout: 30 * time.Second},
 	}
+	c.SetRetry(RetryConfig{})
+	return c
+}
+
+// SetRetry replaces the retry policy. Not safe to call concurrently
+// with in-flight requests; configure before use.
+func (c *Client) SetRetry(cfg RetryConfig) {
+	cfg.normalize()
+	c.retry = cfg
+	c.rng = rand.New(rand.NewSource(int64(cfg.Seed)))
+}
+
+// SetTransport replaces the underlying HTTP transport — the seam a
+// fault injector (internal/faults.Transport) wraps in tests. Configure
+// before use.
+func (c *Client) SetTransport(rt http.RoundTripper) { c.hc.Transport = rt }
+
+// RetriesUsed returns how many retries (attempts beyond each request's
+// first) this client has spent.
+func (c *Client) RetriesUsed() int64 { return c.retriesUsed.Load() }
+
+// takeRetryToken spends one unit of the lifetime retry budget.
+func (c *Client) takeRetryToken() bool {
+	if c.retry.Budget > 0 && c.retriesUsed.Load() >= c.retry.Budget {
+		return false
+	}
+	c.retriesUsed.Add(1)
+	return true
+}
+
+// backoff sleeps before retry attempt a (1-based) with full jitter:
+// a uniform draw from (0, base*2^(a-1)], capped at MaxBackoff. Jitter
+// decorrelates a worker fleet hammering a recovering daemon.
+func (c *Client) backoff(a int) {
+	d := c.retry.BaseBackoff << (a - 1)
+	if d > c.retry.MaxBackoff || d <= 0 {
+		d = c.retry.MaxBackoff
+	}
+	c.rngMu.Lock()
+	f := c.rng.Float64()
+	c.rngMu.Unlock()
+	time.Sleep(time.Duration((0.1 + 0.9*f) * float64(d)))
+}
+
+// connectionError reports an error that occurred before the request
+// could have reached the server (dial/refused/reset during connect) —
+// the only class where retrying a non-idempotent request is safe.
+func connectionError(err error) bool {
+	var opErr *net.OpError
+	if errors.As(err, &opErr) {
+		return opErr.Op == "dial"
+	}
+	return false
 }
 
 // LookupResult is one GET /object outcome.
@@ -44,6 +152,9 @@ type LookupResult struct {
 	Written          bool
 	Rectified        bool
 	PredictedOneTime bool
+	// Degraded reports the admission decision came from the circuit
+	// breaker's fallback, not the primary classifier.
+	Degraded bool
 }
 
 func encodeFeat(feat []float64) string {
@@ -60,22 +171,74 @@ func encodeFeat(feat []float64) string {
 	return sb.String()
 }
 
-func (c *Client) objectRequest(method string, key uint64, size int64, feat []float64) (*http.Response, error) {
+func (c *Client) objectRequest(method string, key uint64, size int64, feat []float64) (LookupResult, error) {
 	req, err := http.NewRequest(method, fmt.Sprintf("%s/object/%d", c.base, key), nil)
 	if err != nil {
-		return nil, err
+		return LookupResult{}, err
 	}
 	req.Header.Set("X-Ota-Size", strconv.FormatInt(size, 10))
 	if fh := encodeFeat(feat); fh != "" {
 		req.Header.Set("X-Ota-Feat", fh)
 	}
-	return c.hc.Do(req)
+	if c.retry.AttemptTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), c.retry.AttemptTimeout)
+		defer cancel()
+		req = req.WithContext(ctx)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	return decodeObject(resp)
+}
+
+// retryable5xx marks a decoded-but-failed attempt (HTTP 5xx) so the
+// retry loop can distinguish it from protocol errors like 400s.
+type retryable5xx struct{ err error }
+
+func (e retryable5xx) Error() string { return e.err.Error() }
+func (e retryable5xx) Unwrap() error { return e.err }
+
+// doObject runs one object request through the retry loop. GETs are
+// read-only and retry on any transport error or 5xx; PUTs (Offer)
+// mutate the doorkeeper/history state, so a duplicate skews admission —
+// they retry only on connection-level errors raised before the request
+// could have reached the server.
+func (c *Client) doObject(method string, key uint64, size int64, feat []float64) (LookupResult, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if !c.takeRetryToken() {
+				return LookupResult{}, fmt.Errorf("retry budget exhausted: %w", lastErr)
+			}
+			c.backoff(attempt)
+		}
+		res, err := c.objectRequest(method, key, size, feat)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		retryable := method == http.MethodGet || connectionError(err)
+		var r5 retryable5xx
+		if errors.As(err, &r5) {
+			retryable = method == http.MethodGet
+			lastErr = r5.err
+		}
+		if !retryable {
+			return LookupResult{}, err
+		}
+	}
+	return LookupResult{}, fmt.Errorf("after %d attempts: %w", c.retry.MaxAttempts, lastErr)
 }
 
 func decodeObject(resp *http.Response) (LookupResult, error) {
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
-		return LookupResult{}, fmt.Errorf("server: %s", resp.Status)
+		err := fmt.Errorf("server: %s", resp.Status)
+		if resp.StatusCode >= 500 {
+			return LookupResult{}, retryable5xx{err}
+		}
+		return LookupResult{}, err
 	}
 	h := resp.Header
 	return LookupResult{
@@ -84,25 +247,24 @@ func decodeObject(resp *http.Response) (LookupResult, error) {
 		Written:          h.Get("X-Ota-Written") == "true",
 		Rectified:        h.Get("X-Ota-Rectified") == "true",
 		PredictedOneTime: h.Get("X-Ota-Predicted-One-Time") == "true",
+		Degraded:         h.Get("X-Ota-Degraded") == "true",
 	}, nil
 }
 
 // Lookup runs the full pipeline for one object: GET /object/{key}.
+// Idempotent on the wire (a repeated GET is just another access), so
+// it retries on any transport error or 5xx response.
 func (c *Client) Lookup(key uint64, size int64, feat []float64) (LookupResult, error) {
-	resp, err := c.objectRequest(http.MethodGet, key, size, feat)
-	if err != nil {
-		return LookupResult{}, err
-	}
-	return decodeObject(resp)
+	return c.doObject(http.MethodGet, key, size, feat)
 }
 
-// Offer runs the admission-only path: PUT /object/{key}.
+// Offer runs the admission-only path: PUT /object/{key}. An Offer
+// mutates admission state (doorkeeper counts, history records), so it
+// retries only on connection-level errors raised before the request
+// reached the server; once a response — even a 5xx — proves the server
+// saw the request, a duplicate would double-count the access.
 func (c *Client) Offer(key uint64, size int64, feat []float64) (LookupResult, error) {
-	resp, err := c.objectRequest(http.MethodPut, key, size, feat)
-	if err != nil {
-		return LookupResult{}, err
-	}
-	return decodeObject(resp)
+	return c.doObject(http.MethodPut, key, size, feat)
 }
 
 // Stats scrapes /stats.
@@ -122,15 +284,45 @@ func (c *Client) Stats() (*Stats, error) {
 	return &st, nil
 }
 
-// Health probes /healthz.
+// Health probes /healthz (liveness: the process is up).
 func (c *Client) Health() error {
-	resp, err := c.hc.Get(c.base + "/healthz")
+	return c.probe("/healthz")
+}
+
+// Ready probes /readyz (readiness: the daemon will serve object
+// traffic — snapshot restored, not draining).
+func (c *Client) Ready() error {
+	return c.probe("/readyz")
+}
+
+// WaitReady polls /readyz until the daemon reports ready or ctx
+// expires, in which case the last probe error is returned.
+func (c *Client) WaitReady(ctx context.Context, poll time.Duration) error {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	var lastErr error
+	for {
+		if lastErr = c.Ready(); lastErr == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("daemon not ready: %w (last probe: %v)", ctx.Err(), lastErr)
+		case <-time.After(poll):
+		}
+	}
+}
+
+func (c *Client) probe(path string) error {
+	resp, err := c.hc.Get(c.base + path)
 	if err != nil {
 		return err
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server: %s", resp.Status)
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
 	return nil
 }

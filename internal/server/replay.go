@@ -44,6 +44,13 @@ type ReplayReport struct {
 	Duration    time.Duration
 	AchievedQPS float64
 
+	// FirstError is the first request failure observed (empty when
+	// Errors == 0) — one concrete symptom beats a bare count when a run
+	// goes sideways.
+	FirstError string
+	// RetriesUsed is the client's lifetime retry count after the run.
+	RetriesUsed int64
+
 	// Client-observed hits (from response status).
 	Hits int64
 
@@ -61,10 +68,15 @@ type ReplayReport struct {
 	Delta  engine.Metrics
 }
 
+// ErrorRate returns the fraction of requests that failed.
+func (r *ReplayReport) ErrorRate() float64 {
+	return ratio(int64(r.Errors), int64(r.Requests))
+}
+
 // String renders the report as the otaload summary block.
 func (r *ReplayReport) String() string {
 	d := r.Delta
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"requests:          %d (%d errors) in %.2fs\n"+
 			"achieved qps:      %.0f\n"+
 			"latency us:        mean=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f\n"+
@@ -79,6 +91,17 @@ func (r *ReplayReport) String() string {
 		100*d.HitRate(), 100*d.ByteHitRate(),
 		100*d.WriteRate(), d.Writes, float64(d.WriteBytes)/(1<<30),
 		d.Bypassed, d.Rectified)
+	if r.Errors > 0 {
+		s += fmt.Sprintf("error rate:        %.2f%%  first error: %s\n",
+			100*r.ErrorRate(), r.FirstError)
+	}
+	if r.RetriesUsed > 0 {
+		s += fmt.Sprintf("client retries:    %d\n", r.RetriesUsed)
+	}
+	if d.Degraded > 0 {
+		s += fmt.Sprintf("server degraded:   %d decisions served by fallback\n", d.Degraded)
+	}
+	return s
 }
 
 func ratio(a, b int64) float64 {
@@ -198,13 +221,17 @@ func (c *Client) Replay(tr *trace.Trace, opt ReplayOptions) (*ReplayReport, erro
 	}
 
 	rep := &ReplayReport{
-		Requests: limit,
-		Errors:   int(errs.Load()),
-		Duration: elapsed,
-		Hits:     hits.Load(),
-		Before:   before.Cumulative,
-		After:    after.Cumulative,
-		Delta:    after.Cumulative.Sub(before.Cumulative),
+		Requests:    limit,
+		Errors:      int(errs.Load()),
+		Duration:    elapsed,
+		Hits:        hits.Load(),
+		RetriesUsed: c.RetriesUsed(),
+		Before:      before.Cumulative,
+		After:       after.Cumulative,
+		Delta:       after.Cumulative.Sub(before.Cumulative),
+	}
+	if e, ok := firstErr.Load().(error); ok {
+		rep.FirstError = e.Error()
 	}
 	if rep.Errors == limit && limit > 0 {
 		if e, ok := firstErr.Load().(error); ok {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -221,8 +222,21 @@ type RetrainResult struct {
 
 // RetrainNow trains a fresh tree on the matured window and installs it.
 // Too few samples or a single-class window is not an error condition —
-// the previous model simply stays, mirroring sim.Runner.retrain.
-func (rt *Retrainer) RetrainNow() RetrainResult {
+// the previous model simply stays, mirroring sim.Runner.retrain. A
+// panicking trainer is absorbed the same way: retraining is an
+// optimization, so any failure keeps the daemon serving on the last
+// good tree rather than taking the process down.
+func (rt *Retrainer) RetrainNow() (res RetrainResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Retrained = false
+			res.Err = fmt.Sprintf("retrain panic: %v", r)
+		}
+	}()
+	return rt.retrain()
+}
+
+func (rt *Retrainer) retrain() RetrainResult {
 	rt.mu.Lock()
 	d := rt.matured.Dataset(rt.now().Unix(), nil)
 	// The dataset views the buffer's backing arrays; rows are append-only

@@ -32,12 +32,21 @@
 //	                       JSON. The interval window is since the
 //	                       previous /stats scrape (one scraper assumed).
 //	GET /healthz           liveness probe.
+//	GET /readyz            readiness probe: 503 while a snapshot is
+//	                       being restored or the drain has begun, 200
+//	                       once object traffic will be served.
 //	PUT /admin/classifier  hot-swap: body is a cart.Tree binary stream
 //	                       (cart.(*Tree).WriteTo / cmd/trainer -save);
 //	                       subsequent admissions use the new model.
 //	POST /admin/retrain    train a fresh tree from the attached
 //	                       retrainer's matured live samples and install
 //	                       it (the on-demand form of the daily retrain).
+//	POST /admin/snapshot   write a crash-safe state snapshot now (with
+//	                       an attached Snapshotter).
+//
+// Responses decided by the circuit breaker's fallback (classifier
+// error, panic, or latency-budget overrun) carry X-Ota-Degraded: true;
+// /stats reports the breaker state and the degraded-decision count.
 package server
 
 import (
@@ -49,6 +58,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"otacache/internal/core"
@@ -81,12 +91,23 @@ func (c *Config) normalize() {
 type Server struct {
 	eng *engine.Engine
 	cfg Config
-	// admission is the engine's filter when it is the classifier system,
-	// enabling the hot-swap and retrain endpoints.
+	// admission is the engine's admission system when one is composed
+	// (possibly behind a circuit breaker), enabling the hot-swap and
+	// retrain endpoints.
 	admission *core.ClassifierAdmission
+	// breaker is the engine's circuit breaker when one wraps the filter,
+	// surfaced through /stats.
+	breaker   *engine.Breaker
 	retrainer *Retrainer
+	snap      *Snapshotter
 	httpSrv   *http.Server
 	started   time.Time
+
+	// notReady carries the reason the daemon is not ready to serve
+	// (restoring a snapshot, draining on SIGTERM); empty means ready.
+	notReady atomic.Value // string
+	// panics counts handler panics absorbed by the recovery middleware.
+	panics atomic.Int64
 
 	// statsMu guards the interval baseline advanced by each /stats.
 	statsMu  sync.Mutex
@@ -99,17 +120,79 @@ type Server struct {
 
 // New wraps an engine for serving. The classifier admin endpoints are
 // enabled automatically when the engine's filter is the classification
-// system.
+// system, directly or behind a circuit breaker. A new server is ready;
+// use SetNotReady around snapshot restoration.
 func New(eng *engine.Engine, cfg Config) *Server {
 	cfg.normalize()
 	s := &Server{eng: eng, cfg: cfg, started: time.Now()}
-	s.admission, _ = eng.Filter().(*core.ClassifierAdmission)
+	s.notReady.Store("")
+	s.breaker, _ = eng.Filter().(*engine.Breaker)
+	s.admission = findAdmission(eng.Filter())
 	s.httpSrv = &http.Server{
-		Handler:           http.TimeoutHandler(s.mux(), cfg.RequestTimeout, "request timeout\n"),
+		Handler:           http.TimeoutHandler(s.recoverPanics(s.mux()), cfg.RequestTimeout, "request timeout\n"),
 		ReadHeaderTimeout: cfg.RequestTimeout,
 	}
 	return s
 }
+
+// findAdmission unwraps degradation layers to the admission system, so
+// hot-swap and retraining keep working when a breaker fronts the
+// classifier. Any wrapper exposing Primary() participates.
+func findAdmission(f core.Filter) *core.ClassifierAdmission {
+	for f != nil {
+		switch v := f.(type) {
+		case *core.ClassifierAdmission:
+			return v
+		case interface{ Primary() core.Filter }:
+			f = v.Primary()
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// recoverPanics is the outermost handler layer: a panicking handler
+// (or anything it calls that the admission breaker does not already
+// absorb) becomes a 500 and a counted incident instead of a torn
+// connection, keeping one poisoned request from looking like a daemon
+// crash to the client fleet.
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { // deliberate abort, not a fault
+				panic(rec)
+			}
+			s.panics.Add(1)
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// PanicsRecovered returns how many handler panics the middleware has
+// absorbed since boot.
+func (s *Server) PanicsRecovered() int64 { return s.panics.Load() }
+
+// SetNotReady marks the daemon not ready for traffic (reason required):
+// /readyz turns 503 while liveness stays green. Used around snapshot
+// restoration and during drain.
+func (s *Server) SetNotReady(reason string) {
+	if reason == "" {
+		reason = "not ready"
+	}
+	s.notReady.Store(reason)
+}
+
+// SetReady marks the daemon ready: /readyz turns 200.
+func (s *Server) SetReady() { s.notReady.Store("") }
+
+// Ready reports whether the daemon currently serves /readyz with 200.
+func (s *Server) Ready() bool { return s.notReady.Load().(string) == "" }
 
 // Engine returns the served engine.
 func (s *Server) Engine() *engine.Engine { return s.eng }
@@ -137,9 +220,23 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("PUT /admin/classifier", s.handleSwapClassifier)
 	mux.HandleFunc("POST /admin/retrain", s.handleRetrain)
+	mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	return mux
+}
+
+// handleReady is the readiness probe, distinct from liveness: a daemon
+// restoring a snapshot or draining on SIGTERM is alive (healthz 200)
+// but must not receive traffic (readyz 503), so a load balancer or the
+// otaload wait-for-ready loop holds off without declaring it dead.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if reason := s.notReady.Load().(string); reason != "" {
+		http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // Serve accepts connections on ln until Shutdown, applying the
@@ -155,10 +252,12 @@ func (s *Server) Serve(ln net.Listener) error {
 	return err
 }
 
-// Shutdown drains in-flight requests: the listener closes immediately,
-// idle connections are torn down, and active requests get until ctx
-// expires to finish.
+// Shutdown drains in-flight requests: readiness flips to "draining",
+// the listener closes immediately (new connections are refused), idle
+// connections are torn down, and active requests get until ctx expires
+// to finish.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.SetNotReady("draining")
 	return s.httpSrv.Shutdown(ctx)
 }
 
@@ -202,6 +301,9 @@ func writeDecision(w http.ResponseWriter, out engine.Outcome) {
 	h.Set("X-Ota-Written", strconv.FormatBool(out.Written))
 	h.Set("X-Ota-Rectified", strconv.FormatBool(out.Decision.Rectified))
 	h.Set("X-Ota-Predicted-One-Time", strconv.FormatBool(out.Decision.PredictedOneTime))
+	if out.Decision.Degraded {
+		h.Set("X-Ota-Degraded", "true")
+	}
 }
 
 func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
@@ -248,13 +350,40 @@ func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
 }
 
 // Stats is the /stats payload: the engine's cumulative counters since
-// boot and the interval since the previous scrape.
+// boot, the interval since the previous scrape, and the resilience
+// surface (readiness, recovered panics, breaker state).
 type Stats struct {
-	Policy     string
-	Filter     string
-	UptimeSec  float64
-	Cumulative engine.Metrics
-	Interval   engine.Metrics
+	Policy    string
+	Filter    string
+	UptimeSec float64
+	// Ready mirrors /readyz.
+	Ready bool
+	// PanicsRecovered counts handler panics the middleware absorbed.
+	PanicsRecovered int64
+	// Breaker reports the admission circuit breaker (nil when the
+	// engine runs without one).
+	Breaker *BreakerStats `json:",omitempty"`
+	// Residents and ResidentBytes are the policy's current occupancy —
+	// nonzero right after a snapshot restore even though the counters
+	// start at zero.
+	Residents     int
+	ResidentBytes int64
+	Cumulative    engine.Metrics
+	Interval      engine.Metrics
+}
+
+// BreakerStats is the admission breaker's observable state.
+type BreakerStats struct {
+	// State is "closed", "open", or "half-open".
+	State string
+	// Opens counts trips since boot.
+	Opens int64
+	// Failures counts failed primary decisions since boot.
+	Failures int64
+	// Fallback names the filter serving degraded decisions.
+	Fallback string
+	// LastError is the most recent primary failure.
+	LastError string `json:",omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -264,11 +393,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.lastScan = cur
 	s.statsMu.Unlock()
 	st := Stats{
-		Policy:     s.eng.Policy().Name(),
-		Filter:     s.eng.Filter().Name(),
-		UptimeSec:  time.Since(s.started).Seconds(),
-		Cumulative: cur,
-		Interval:   interval,
+		Policy:          s.eng.Policy().Name(),
+		Filter:          s.eng.Filter().Name(),
+		UptimeSec:       time.Since(s.started).Seconds(),
+		Ready:           s.Ready(),
+		PanicsRecovered: s.panics.Load(),
+		Residents:       s.eng.Policy().Len(),
+		ResidentBytes:   s.eng.Policy().Used(),
+		Cumulative:      cur,
+		Interval:        interval,
+	}
+	if s.breaker != nil {
+		bs := &BreakerStats{
+			State:    s.breaker.State().String(),
+			Opens:    s.breaker.Opens(),
+			Failures: s.breaker.Failures(),
+			Fallback: s.breaker.Fallback().Name(),
+		}
+		if err := s.breaker.LastError(); err != nil {
+			bs.LastError = err.Error()
+		}
+		st.Breaker = bs
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
@@ -295,6 +440,28 @@ func (s *Server) handleSwapClassifier(w http.ResponseWriter, r *http.Request) {
 		"splits": tree.NumSplits(),
 		"height": tree.Height(),
 	})
+}
+
+// AttachSnapshotter wires crash-safe state persistence into the admin
+// surface: POST /admin/snapshot forces a snapshot write. Must be called
+// before Serve.
+func (s *Server) AttachSnapshotter(sn *Snapshotter) { s.snap = sn }
+
+// Snapshotter returns the attached snapshotter (nil if none).
+func (s *Server) Snapshotter() *Snapshotter { return s.snap }
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.snap == nil {
+		http.Error(w, "no snapshotter attached", http.StatusConflict)
+		return
+	}
+	res, err := s.snap.WriteNow()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
 }
 
 func (s *Server) handleRetrain(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"otacache/internal/cache"
+	"otacache/internal/engine"
+	"otacache/internal/ml/cart"
+)
+
+// Crash-safe state: a daemon restart must resume warm. Without it, a
+// restarted cache re-admits its entire working set — exactly the
+// one-time-ish write burst the paper's admission policy exists to
+// avoid — and the history table forgets every recent bypass, so early
+// reaccesses lose their second chance. A snapshot therefore persists
+// the three pieces of state that make admission decisions stateful:
+//
+//   - the policy's resident set, in cold-to-hot order (cache.Ranger),
+//     so re-admission rebuilds the eviction order;
+//   - the history table's live records, in FIFO order;
+//   - the current CART tree (which may be newer than any file on disk
+//     after live retraining or a hot-swap);
+//
+// plus the engine's tick counter, so restored reaccess distances stay
+// meaningful under the resumed numbering.
+//
+// # File format (version 1)
+//
+// Little-endian throughout:
+//
+//	magic   uint32  0x0ca27510 ("OTA snapshot")
+//	version uint32  1
+//	tick    int64   next tick the engine will assign
+//	resCnt  uint64  resident count, then resCnt x (key uint64, size int64)
+//	hasTab  uint8   1 if a history table section follows
+//	tabCnt  uint64  live entries, then tabCnt x (key uint64, tick int64)
+//	hasTree uint8   1 if a cart.Tree stream (cart.(*Tree).WriteTo) follows
+//
+// Compatibility: the version is bumped on any layout change and
+// ReadSnapshot rejects versions it does not know — a daemon never
+// guesses at state. A missing or corrupt snapshot is a cold start, not
+// a crash: callers should log and serve cold. Snapshots do not record
+// the policy/filter configuration; restoring into a differently
+// configured engine is allowed (keys re-admit under the new policy,
+// oversized sections are skipped), which is also what makes the format
+// forward-useful for capacity changes.
+const (
+	snapMagic   = uint32(0x0ca27510)
+	snapVersion = uint32(1)
+)
+
+// SnapshotResult summarizes one written snapshot.
+type SnapshotResult struct {
+	// Residents and ResidentBytes describe the persisted resident set.
+	Residents     int
+	ResidentBytes int64
+	// TableEntries is the number of history-table records persisted.
+	TableEntries int
+	// HasTree reports whether the current classifier was persisted.
+	HasTree bool
+	// Tick is the engine tick the snapshot resumes from.
+	Tick int64
+	// FileBytes is the snapshot size on disk (0 for WriteSnapshot to a
+	// plain writer).
+	FileBytes int64
+}
+
+// WriteSnapshot serializes the engine's warm state to w. The engine may
+// be serving concurrently: each section is internally consistent (the
+// policy is walked shard by shard under the shard locks, the table
+// under its own), though the sections are not one atomic cut — the same
+// property engine.Snapshot has, and sufficient for a warm restart.
+func WriteSnapshot(w io.Writer, eng *engine.Engine) (SnapshotResult, error) {
+	var res SnapshotResult
+	ranger, ok := eng.Policy().(cache.Ranger)
+	if !ok {
+		return res, fmt.Errorf("snapshot: policy %s cannot enumerate residents", eng.Policy().Name())
+	}
+
+	bw := bufio.NewWriter(w)
+	put := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+
+	res.Tick = eng.Tick()
+	for _, v := range []any{snapMagic, snapVersion, res.Tick} {
+		if err := put(v); err != nil {
+			return res, err
+		}
+	}
+
+	// Resident set, cold to hot. Collected first so the count can be
+	// written before the records.
+	type resident struct {
+		key  uint64
+		size int64
+	}
+	var residents []resident
+	ranger.Range(func(key uint64, size int64) bool {
+		residents = append(residents, resident{key, size})
+		res.ResidentBytes += size
+		return true
+	})
+	res.Residents = len(residents)
+	if err := put(uint64(len(residents))); err != nil {
+		return res, err
+	}
+	for _, r := range residents {
+		if err := put(r.key); err != nil {
+			return res, err
+		}
+		if err := put(r.size); err != nil {
+			return res, err
+		}
+	}
+
+	// History table.
+	adm := findAdmission(eng.Filter())
+	if adm == nil || adm.Table() == nil {
+		if err := put(uint8(0)); err != nil {
+			return res, err
+		}
+	} else {
+		if err := put(uint8(1)); err != nil {
+			return res, err
+		}
+		entries := adm.Table().Entries()
+		res.TableEntries = len(entries)
+		if err := put(uint64(len(entries))); err != nil {
+			return res, err
+		}
+		for _, e := range entries {
+			if err := put(e.Key); err != nil {
+				return res, err
+			}
+			if err := put(int64(e.Tick)); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	// Classifier: only a cart.Tree has a serial form; other classifier
+	// types simply restart from their bootstrap model.
+	var tree *cart.Tree
+	if adm != nil {
+		tree, _ = adm.Classifier().(*cart.Tree)
+	}
+	if tree == nil {
+		if err := put(uint8(0)); err != nil {
+			return res, err
+		}
+	} else {
+		if err := put(uint8(1)); err != nil {
+			return res, err
+		}
+		if err := bw.Flush(); err != nil {
+			return res, err
+		}
+		if _, err := tree.WriteTo(bw); err != nil {
+			return res, err
+		}
+		res.HasTree = true
+	}
+	return res, bw.Flush()
+}
+
+// SaveSnapshot writes the snapshot to path atomically: the bytes land
+// in path+".tmp", are fsynced, and replace path with a rename, so a
+// crash mid-write leaves the previous snapshot intact and a reader
+// never observes a torn file.
+func SaveSnapshot(path string, eng *engine.Engine) (SnapshotResult, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return SnapshotResult{}, err
+	}
+	res, err := WriteSnapshot(f, eng)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return res, fmt.Errorf("snapshot: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return res, err
+	}
+	if fi, err := os.Stat(path); err == nil {
+		res.FileBytes = fi.Size()
+	}
+	// Persist the rename itself.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return res, nil
+}
+
+// ReadSnapshot restores warm state from r into a freshly built engine
+// (empty policy, bootstrap classifier): the tick counter resumes, each
+// snapshotted resident is re-admitted in cold-to-hot order, history
+// records are re-inserted in FIFO order, and the persisted tree (if
+// any) replaces the bootstrap classifier. Restore before serving —
+// ideally behind a readiness gate.
+//
+// State that does not fit the engine is skipped, not fatal: a smaller
+// cache simply evicts during re-admission, an admit-all engine ignores
+// the table and tree sections.
+func ReadSnapshot(r io.Reader, eng *engine.Engine) (SnapshotResult, error) {
+	var res SnapshotResult
+	br := bufio.NewReader(r)
+	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic, version uint32
+	if err := get(&magic); err != nil {
+		return res, fmt.Errorf("snapshot: reading header: %w", err)
+	}
+	if magic != snapMagic {
+		return res, fmt.Errorf("snapshot: bad magic %#x", magic)
+	}
+	if err := get(&version); err != nil {
+		return res, err
+	}
+	if version != snapVersion {
+		return res, fmt.Errorf("snapshot: unsupported version %d (have %d)", version, snapVersion)
+	}
+	var tick int64
+	if err := get(&tick); err != nil {
+		return res, err
+	}
+	if tick < 0 {
+		return res, fmt.Errorf("snapshot: negative tick %d", tick)
+	}
+	res.Tick = tick
+
+	var count uint64
+	if err := get(&count); err != nil {
+		return res, err
+	}
+	policy := eng.Policy()
+	for i := uint64(0); i < count; i++ {
+		var key uint64
+		var size int64
+		if err := get(&key); err != nil {
+			return res, fmt.Errorf("snapshot: resident %d/%d: %w", i, count, err)
+		}
+		if err := get(&size); err != nil {
+			return res, fmt.Errorf("snapshot: resident %d/%d: %w", i, count, err)
+		}
+		if size <= 0 {
+			return res, fmt.Errorf("snapshot: resident %d has size %d", i, size)
+		}
+		policy.Admit(key, size, 0)
+		res.Residents++
+		res.ResidentBytes += size
+	}
+
+	adm := findAdmission(eng.Filter())
+
+	var hasTable uint8
+	if err := get(&hasTable); err != nil {
+		return res, err
+	}
+	if hasTable == 1 {
+		if err := get(&count); err != nil {
+			return res, err
+		}
+		var table interface{ Insert(key uint64, tick int) }
+		if adm != nil && adm.Table() != nil {
+			table = adm.Table()
+		}
+		for i := uint64(0); i < count; i++ {
+			var key uint64
+			var etick int64
+			if err := get(&key); err != nil {
+				return res, fmt.Errorf("snapshot: table entry %d/%d: %w", i, count, err)
+			}
+			if err := get(&etick); err != nil {
+				return res, fmt.Errorf("snapshot: table entry %d/%d: %w", i, count, err)
+			}
+			if table != nil {
+				table.Insert(key, int(etick))
+				res.TableEntries++
+			}
+		}
+	}
+
+	var hasTree uint8
+	if err := get(&hasTree); err != nil {
+		return res, err
+	}
+	if hasTree == 1 {
+		tree, err := cart.ReadTree(br)
+		if err != nil {
+			return res, fmt.Errorf("snapshot: classifier: %w", err)
+		}
+		if adm != nil {
+			adm.SetClassifier(tree)
+			res.HasTree = true
+		}
+	}
+
+	eng.ResumeTick(tick)
+	return res, nil
+}
+
+// LoadSnapshot restores from a file. A missing file returns
+// os.ErrNotExist (cold start); any other error means the file exists
+// but could not be restored.
+func LoadSnapshot(path string, eng *engine.Engine) (SnapshotResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SnapshotResult{}, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f, eng)
+}
+
+// Snapshotter owns a snapshot file for one engine: a timer loop writes
+// periodically, WriteNow serves the admin endpoint and the final
+// SIGTERM write, and concurrent writers are serialized so two triggers
+// cannot interleave their temp files.
+type Snapshotter struct {
+	eng  *engine.Engine
+	path string
+
+	mu   sync.Mutex
+	last SnapshotResult
+}
+
+// NewSnapshotter builds a snapshotter writing to path.
+func NewSnapshotter(eng *engine.Engine, path string) *Snapshotter {
+	return &Snapshotter{eng: eng, path: path}
+}
+
+// Path returns the snapshot file path.
+func (sn *Snapshotter) Path() string { return sn.path }
+
+// WriteNow writes one snapshot atomically.
+func (sn *Snapshotter) WriteNow() (SnapshotResult, error) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	res, err := SaveSnapshot(sn.path, sn.eng)
+	if err == nil {
+		sn.last = res
+	}
+	return res, err
+}
+
+// Last returns the most recent successful write's summary.
+func (sn *Snapshotter) Last() SnapshotResult {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.last
+}
+
+// Run writes a snapshot every interval until ctx is cancelled, logging
+// one line per write (logf nil discards). It does not write a final
+// snapshot on cancellation — the daemon does that explicitly after the
+// drain completes, when the counters have settled.
+func (sn *Snapshotter) Run(ctx context.Context, interval time.Duration, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			res, err := sn.WriteNow()
+			if err != nil {
+				logf("snapshot: %v", err)
+				continue
+			}
+			logf("snapshot: %d residents (%d MB), %d table entries, tree=%v, %d bytes -> %s",
+				res.Residents, res.ResidentBytes>>20, res.TableEntries, res.HasTree,
+				res.FileBytes, sn.path)
+		}
+	}
+}
