@@ -1,0 +1,26 @@
+// Package engine is a deliberately broken fixture: its import path
+// suffix places it in detclock's and lockscope's scope, and it commits
+// one violation of each. The otalint smoke test asserts the binary
+// exits nonzero here and names both analyzers.
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+type Engine struct {
+	mu    sync.Mutex
+	ticks int64
+}
+
+func (e *Engine) Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func (e *Engine) Tick() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ticks++
+	time.Sleep(time.Millisecond)
+}

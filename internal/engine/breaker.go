@@ -75,6 +75,7 @@ func (c *BreakerConfig) normalize() {
 		c.HalfOpenProbes = 1
 	}
 	if c.Now == nil {
+		//lint:allow detclock real-clock default of the injectable Now seam
 		c.Now = time.Now
 	}
 }

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// distinctMetrics fills every field of a Metrics with a distinct
+// nonzero value derived from its index and a salt, via reflection, so
+// the test keeps covering fields added after it was written.
+func distinctMetrics(t *testing.T, salt int64) Metrics {
+	t.Helper()
+	var m Metrics
+	v := reflect.ValueOf(&m).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Int64 {
+			t.Fatalf("Metrics.%s is %s; this test assumes int64 counters — extend it",
+				v.Type().Field(i).Name, f.Kind())
+		}
+		f.SetInt(salt * int64(i+1))
+	}
+	return m
+}
+
+// TestMetricsSubCoversEveryField is the dynamic complement of the
+// metricsync analyzer: Sub must subtract every counter, or interval
+// metrics silently freeze for the forgotten field.
+func TestMetricsSubCoversEveryField(t *testing.T) {
+	cur := distinctMetrics(t, 1000)
+	prev := distinctMetrics(t, 7)
+	got := reflect.ValueOf(cur.Sub(prev))
+	typ := got.Type()
+	for i := 0; i < got.NumField(); i++ {
+		want := 1000*int64(i+1) - 7*int64(i+1)
+		if g := got.Field(i).Int(); g != want {
+			t.Errorf("Sub dropped or miscomputed field %s: got %d, want %d",
+				typ.Field(i).Name, g, want)
+		}
+	}
+}
+
+// TestMetricsJSONRoundTripsEveryField guards the /stats wire surface:
+// every Metrics field must survive a JSON round trip, so an unexported
+// or json:"-" field (invisible to scrapers) fails here.
+func TestMetricsJSONRoundTripsEveryField(t *testing.T) {
+	in := distinctMetrics(t, 13)
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Metrics
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if in != out {
+		t.Errorf("Metrics JSON round trip lost fields:\n in: %+v\nout: %+v", in, out)
+	}
+	// Every field must also appear by name in the encoding — a rename
+	// via a json tag would round-trip but break dashboards keyed on
+	// the Go field names.
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	typ := reflect.TypeOf(in)
+	for i := 0; i < typ.NumField(); i++ {
+		if _, ok := raw[typ.Field(i).Name]; !ok {
+			t.Errorf("field %s missing from JSON encoding %s", typ.Field(i).Name, data)
+		}
+	}
+}
+
+// TestEngineSnapshotCoversEveryField loads counters through the
+// engine's atomics and checks Snapshot surfaces each one: a counter
+// added to Metrics but not to Snapshot would read zero forever.
+func TestEngineSnapshotCoversEveryField(t *testing.T) {
+	var e Engine
+	e.requests.Store(1)
+	e.hits.Store(2)
+	e.hitBytes.Store(3)
+	e.misses.Store(4)
+	e.writes.Store(5)
+	e.writeBytes.Store(6)
+	e.bypassed.Store(7)
+	e.rectified.Store(8)
+	e.degraded.Store(9)
+	e.totalBytes.Store(10)
+	snap := e.Snapshot()
+	v := reflect.ValueOf(snap)
+	typ := v.Type()
+	seen := make(map[int64]string, v.NumField())
+	for i := 0; i < v.NumField(); i++ {
+		g := v.Field(i).Int()
+		if g == 0 {
+			t.Errorf("Snapshot left field %s at zero; the live counter is never read", typ.Field(i).Name)
+		}
+		if prev, dup := seen[g]; dup {
+			t.Errorf("fields %s and %s both read %d; a counter is wired to the wrong field", prev, typ.Field(i).Name, g)
+		}
+		seen[g] = typ.Field(i).Name
+	}
+}

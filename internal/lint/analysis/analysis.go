@@ -1,0 +1,55 @@
+// Package analysis is a minimal, dependency-free re-statement of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The repo's lint suite (cmd/otalint) cannot depend on x/tools — the
+// module is deliberately dependency-free — so this package mirrors the
+// subset of the upstream API the analyzers need (Analyzer, Pass,
+// Diagnostic, Reportf). An analyzer written against this package ports
+// to the upstream framework by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. Name is the identifier the
+// //lint:allow directive and the diagnostic output use.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow-directives;
+	// it must be a single word.
+	Name string
+	// Doc is the one-paragraph invariant statement shown by
+	// `otalint -help`.
+	Doc string
+	// Run inspects one package via pass and reports findings through
+	// pass.Report. A non-nil error aborts the whole otalint run (it
+	// means the analyzer itself broke, not that the code has findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding; the runner applies //lint:allow
+	// suppression before anything is printed.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,120 @@
+// Package detclock implements the determinism-clock analyzer: code in
+// simulation and core-policy packages must not read the wall clock or
+// the global math/rand generator directly. The simulator's golden
+// tests, the experiments' reproducibility, and the fault injector's
+// deterministic schedules all rest on every time and randomness source
+// being injected (a clock field, a seeded *rand.Rand, stats.RNG);
+// one stray time.Now or rand.Intn silently breaks replay equality.
+//
+// Flagged: references (calls or function values) to time.Now, Since,
+// Until, Sleep, After, Tick, AfterFunc, NewTimer, NewTicker, and to any
+// package-level function of math/rand or math/rand/v2 (the implicitly
+// seeded global generator). Methods on an explicit *rand.Rand are fine
+// — constructing one with rand.New(rand.NewSource(seed)) is exactly
+// the injected idiom this analyzer pushes code toward.
+//
+// Legitimate wall-clock sites — the default value of an injectable
+// clock seam, a ticker driving a background loop in the daemon — carry
+// a //lint:allow detclock <reason> comment.
+package detclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"otacache/internal/lint/analysis"
+)
+
+// DefaultScope lists the import-path suffixes the analyzer guards by
+// default: the packages whose behaviour must be a pure function of
+// their inputs (trace, seed, injected clock).
+var DefaultScope = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/cache",
+	"internal/tier",
+	"internal/engine",
+	"internal/server",
+	"internal/experiments",
+}
+
+// Config parameterizes the analyzer; tests narrow Scope to fixture
+// package paths.
+type Config struct {
+	// Scope is the list of import-path suffixes to check; empty checks
+	// every package.
+	Scope []string
+}
+
+// Analyzer is the default-configured instance cmd/otalint runs.
+var Analyzer = New(Config{Scope: DefaultScope})
+
+// bannedTime is the set of time functions that read or schedule off the
+// wall clock.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// New builds a detclock analyzer with the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "detclock",
+		Doc: "forbids direct wall-clock reads and global math/rand use in " +
+			"simulation and core-policy packages; inject a clock or seeded RNG",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(pass.Pkg.Path(), cfg.Scope) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				// Methods (e.g. (*rand.Rand).Intn on an injected,
+				// seeded generator) are exactly what we want.
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if bannedTime[fn.Name()] {
+						pass.Reportf(sel.Pos(),
+							"non-deterministic time.%s; inject a clock (cf. internal/faults.Clock) or justify with //lint:allow detclock <reason>",
+							fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if fn.Name() == "New" || strings.HasPrefix(fn.Name(), "NewSource") {
+						return true // building an explicit seeded generator
+					}
+					pass.Reportf(sel.Pos(),
+						"global %s.%s is unseeded and non-deterministic; use an injected seeded RNG (rand.New(rand.NewSource(seed)) or stats.NewRNG)",
+						fn.Pkg().Name(), fn.Name())
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func inScope(pkgPath string, scope []string) bool {
+	if len(scope) == 0 {
+		return true
+	}
+	for _, s := range scope {
+		if strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}

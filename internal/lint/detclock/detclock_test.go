@@ -1,0 +1,28 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"otacache/internal/lint/detclock"
+	"otacache/internal/lint/linttest"
+)
+
+func TestHitsAndAllows(t *testing.T) {
+	linttest.Run(t, detclock.New(detclock.Config{Scope: []string{"a"}}), "a")
+}
+
+func TestClean(t *testing.T) {
+	linttest.Run(t, detclock.New(detclock.Config{Scope: []string{"clean"}}), "clean")
+}
+
+// TestScope proves the analyzer keeps quiet outside its configured
+// packages: the violation-laden fixture produces nothing when the
+// scope names some other package.
+func TestScope(t *testing.T) {
+	a := detclock.New(detclock.Config{Scope: []string{"internal/not-this-package"}})
+	// The "a" fixture is full of violations and of allow-directives;
+	// out of scope, the violations disappear but directive hygiene
+	// still runs — so expectations would mismatch. Use the clean
+	// fixture, which has neither.
+	linttest.Run(t, a, "clean")
+}

@@ -1,0 +1,41 @@
+// Package a seeds detclock violations: direct wall-clock reads and
+// global math/rand use in code that must be deterministic.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+type worker struct {
+	now func() time.Time
+	rng *rand.Rand
+}
+
+func bad() time.Duration {
+	start := time.Now()          // want `non-deterministic time\.Now`
+	time.Sleep(time.Millisecond) // want `non-deterministic time\.Sleep`
+	if rand.Intn(10) > 5 {       // want `global rand\.Intn is unseeded`
+		rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle is unseeded`
+	}
+	<-time.After(time.Millisecond) // want `non-deterministic time\.After`
+	return time.Since(start)       // want `non-deterministic time\.Since`
+}
+
+// good shows the injected idiom: an explicit seeded generator and a
+// clock threaded through the worker.
+func good(seed int64, w *worker) int {
+	r := rand.New(rand.NewSource(seed))
+	_ = w.now()
+	return r.Intn(10)
+}
+
+// seam is the one legitimate wall-clock site: the injectable clock's
+// default value, justified by an allow-directive.
+func seam() *worker {
+	return &worker{
+		//lint:allow detclock wall default of the injectable clock seam
+		now: time.Now,
+		rng: rand.New(rand.NewSource(1)),
+	}
+}

@@ -1,0 +1,24 @@
+// Package clean draws every stochastic and temporal input from
+// injected sources; detclock reports nothing here.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sim struct {
+	clock func() time.Time
+	rng   *rand.Rand
+}
+
+func newSim(seed int64, clock func() time.Time) *sim {
+	return &sim{clock: clock, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *sim) step() time.Time {
+	if s.rng.Float64() < 0.5 {
+		return s.clock().Add(time.Duration(s.rng.Intn(100)))
+	}
+	return s.clock()
+}

@@ -1,0 +1,198 @@
+// Package linttest is the repo's analysistest analogue: it loads a
+// fixture package from an analyzer's testdata/src tree, runs the
+// analyzer through the same runner (and allow-directive handling) the
+// real otalint binary uses, and checks the findings against
+// expectations written in the fixture source as
+//
+//	expr // want "regexp" "another regexp"
+//
+// trailing comments. Every finding must match a want on its line and
+// every want must be matched — both surpluses fail the test, so a
+// fixture proves an analyzer catches the seeded violation and stays
+// quiet on clean and allowlisted code.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"otacache/internal/lint/analysis"
+	"otacache/internal/lint/loader"
+	"otacache/internal/lint/run"
+)
+
+// Run loads testdata/src/<pkg> (relative to the calling test's
+// directory), analyzes it with a, and checks the findings against the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files under %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	imp, err := exportImporter(fset, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	loaded, err := loader.Check(fset, imp, pkg, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	findings, err := run.Analyze([]*loader.Package{loaded}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	wants := parseWants(t, files)
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected finding: %s [%s]", f.Pos, f.Message, f.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// exportImporter resolves the fixtures' (standard library) imports to
+// gc export data compiled on demand by `go list -export`, which the
+// build cache makes cheap after the first run.
+func exportImporter(fset *token.FileSet, files []string) (types.Importer, error) {
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, im := range af.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err == nil && !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, imports...)
+		cmd := exec.Command("go", args...)
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list -export %v: %v\n%s", imports, err, errb.String())
+		}
+		dec := json.NewDecoder(&out)
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return loader.NewImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	}), nil
+}
+
+// want is one expectation: a regexp that must match a finding's
+// message on the given line.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// wantStrings pulls the quoted or backquoted segments out of a want
+// comment's payload.
+var wantStrings = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWants scans the fixture files for `// want "rx"` comments.
+func parseWants(t *testing.T, files []string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, payload, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			matches := wantStrings.FindAllString(payload, -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", file, i+1, payload)
+			}
+			for _, m := range matches {
+				var pat string
+				if m[0] == '`' {
+					pat = m[1 : len(m)-1]
+				} else if pat, err = strconv.Unquote(m); err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", file, i+1, m, err)
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", file, i+1, err)
+				}
+				wants = append(wants, &want{file: file, line: i + 1, rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// claim matches a finding against the unmatched wants on its line.
+func claim(wants []*want, f run.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && sameFile(w.file, f.Pos.Filename) && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return a == b
+	}
+	return aa == bb
+}

@@ -1,0 +1,185 @@
+// Package loader type-checks packages of this module for the lint
+// suite without depending on golang.org/x/tools/go/packages: it shells
+// out to the go tool once (`go list -deps -export`) to compile export
+// data for every dependency, then parses and type-checks each target
+// package from source with the standard library's gc-export-data
+// importer. The result carries everything an analyzer needs: syntax
+// with comments, the *types.Package, and a fully populated types.Info.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Match      []string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns relative to dir (a directory inside the module),
+// compiles export data for the dependency closure, and type-checks each
+// matched package from source. Test files are not analyzed — they are
+// free to use wall clocks and blocking calls.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if len(p.Match) > 0 {
+			if p.Error != nil {
+				return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("loader: no packages match %v", patterns)
+	}
+
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := Check(fset, imp, t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -deps -export -json` and decodes the stream.
+// -deps pulls in the whole dependency closure so every import resolves
+// to compiled export data; -export asks the go tool to (re)build that
+// data, which the build cache makes incremental.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,GoFiles,Export,Standard,Match,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewImporter returns a types.Importer that resolves import paths to gc
+// export-data files through find (path -> export file). The importer
+// caches, so one instance should be shared across all packages checked
+// against one FileSet.
+func NewImporter(fset *token.FileSet, find func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := find(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Check parses files (with comments — the allow-directive scanner needs
+// them) and type-checks them as one package.
+func Check(fset *token.FileSet, imp types.Importer, importPath string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(importPath, fset, syntax, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("loader: type-checking %s:\n  %s",
+			importPath, strings.Join(typeErrs, "\n  "))
+	}
+	return &Package{
+		ImportPath: importPath,
+		GoFiles:    files,
+		Fset:       fset,
+		Files:      syntax,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

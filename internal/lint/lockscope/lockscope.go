@@ -1,0 +1,349 @@
+// Package lockscope implements the critical-section analyzer: a
+// sync.Mutex or sync.RWMutex must not be held across a blocking
+// operation — network or file I/O, a channel operation, a select
+// without default, time.Sleep, or WaitGroup.Wait. The serving hot path
+// (engine.Lookup under a shard lock, the retrainer's Observe on every
+// request) budgets its critical sections in nanoseconds; one blocking
+// call under a lock turns a slow peer or a slow disk into a convoy
+// that stalls every goroutine behind that lock.
+//
+// The analysis is intra-procedural and syntactic over the type-checked
+// AST: it tracks Lock/RLock … Unlock/RUnlock pairs per function body
+// (defer x.Unlock() holds to the end of the function) and flags
+// blocking operations while any lock is held. Calls into same-package
+// helpers are not followed — the analyzer under-approximates rather
+// than guesses. Intentional holds (e.g. a snapshot writer serializing
+// file writes by design) carry //lint:allow lockscope <reason>.
+package lockscope
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"otacache/internal/lint/analysis"
+)
+
+// DefaultScope lists the import-path suffixes guarded by default: the
+// packages on the serving path whose locks sit under concurrent
+// traffic.
+var DefaultScope = []string{
+	"internal/engine",
+	"internal/cache",
+	"internal/core",
+	"internal/server",
+}
+
+// Config parameterizes the analyzer; tests narrow Scope to fixture
+// package paths.
+type Config struct {
+	// Scope is the list of import-path suffixes to check; empty checks
+	// every package.
+	Scope []string
+}
+
+// Analyzer is the default-configured instance cmd/otalint runs.
+var Analyzer = New(Config{Scope: DefaultScope})
+
+// blockingPkgs are packages any call into which is considered blocking
+// (I/O or process control), with per-package exceptions for cheap
+// metadata helpers.
+var blockingPkgs = map[string]map[string]bool{
+	"net":      nil,
+	"net/http": nil,
+	"os/exec":  nil,
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+		"TempDir": true, "Getpid": true, "IsNotExist": true,
+		"IsExist": true, "IsPermission": true,
+	},
+	"io": {
+		"MultiReader": true, "MultiWriter": true, "LimitReader": true,
+		"NewSectionReader": true, "TeeReader": true, "NopCloser": true,
+	},
+}
+
+// New builds a lockscope analyzer with the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "lockscope",
+		Doc: "forbids holding a sync.Mutex/RWMutex across blocking operations " +
+			"(I/O, channel ops, select, time.Sleep) in serving-path packages",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(pass.Pkg.Path(), cfg.Scope) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			// Every function body — declarations and literals — is
+			// scanned as its own frame: a closure neither inherits nor
+			// leaks lock state across the frame boundary (goroutines and
+			// deferred closures run elsewhere in time).
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						s := &scanner{pass: pass}
+						s.block(fn.Body.List, nil)
+					}
+				case *ast.FuncLit:
+					s := &scanner{pass: pass}
+					s.block(fn.Body.List, nil)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func inScope(pkgPath string, scope []string) bool {
+	if len(scope) == 0 {
+		return true
+	}
+	for _, s := range scope {
+		if strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// held is one acquired lock: the receiver expression as written
+// ("s.mu") plus the acquisition position.
+type held struct {
+	recv string
+	op   string // "Lock" or "RLock"
+}
+
+type scanner struct {
+	pass *analysis.Pass
+}
+
+// block scans a statement list in order, threading the set of held
+// locks through it, and returns the set live at the end.
+func (s *scanner) block(stmts []ast.Stmt, locks []held) []held {
+	for _, st := range stmts {
+		locks = s.stmt(st, locks)
+	}
+	return locks
+}
+
+// stmt processes one statement and returns the updated held set.
+func (s *scanner) stmt(st ast.Stmt, locks []held) []held {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := mutexOp(s.pass.TypesInfo, st.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				return append(append([]held(nil), locks...), held{recv: recv, op: op})
+			case "Unlock", "RUnlock":
+				return removeLock(locks, recv)
+			}
+			return locks // TryLock etc.: ignore
+		}
+		s.checkExpr(st.X, locks)
+	case *ast.DeferStmt:
+		if recv, op, ok := mutexOp(s.pass.TypesInfo, st.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// Held to the end of the function; nothing to do — the
+			// lock simply never leaves the set.
+			_ = recv
+			return locks
+		}
+		// Other deferred calls run at return time; their blocking
+		// behaviour is out of this frame's sequential order, skip.
+	case *ast.GoStmt:
+		// A spawned goroutine does not hold the caller's locks.
+	case *ast.SendStmt:
+		s.report(st.Pos(), locks, "channel send")
+		s.checkExpr(st.Value, locks)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.checkExpr(e, locks)
+		}
+	case *ast.DeclStmt:
+		s.checkExpr(st.Decl, locks)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.checkExpr(e, locks)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			locks = s.stmt(st.Init, locks)
+		}
+		s.checkExpr(st.Cond, locks)
+		s.block(st.Body.List, locks)
+		if st.Else != nil {
+			s.stmt(st.Else, locks)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			locks = s.stmt(st.Init, locks)
+		}
+		if st.Cond != nil {
+			s.checkExpr(st.Cond, locks)
+		}
+		s.block(st.Body.List, locks)
+	case *ast.RangeStmt:
+		s.checkExpr(st.X, locks)
+		s.block(st.Body.List, locks)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			locks = s.stmt(st.Init, locks)
+		}
+		if st.Tag != nil {
+			s.checkExpr(st.Tag, locks)
+		}
+		for _, c := range st.Body.List {
+			s.block(c.(*ast.CaseClause).Body, locks)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			s.block(c.(*ast.CaseClause).Body, locks)
+		}
+	case *ast.SelectStmt:
+		if !hasDefault(st) {
+			s.report(st.Pos(), locks, "select")
+		}
+		for _, c := range st.Body.List {
+			s.block(c.(*ast.CommClause).Body, locks)
+		}
+	case *ast.BlockStmt:
+		locks = s.block(st.List, locks)
+	case *ast.LabeledStmt:
+		locks = s.stmt(st.Stmt, locks)
+	}
+	return locks
+}
+
+// checkExpr flags blocking operations inside an expression while locks
+// are held. Function literals are separate frames and not descended.
+func (s *scanner) checkExpr(node ast.Node, locks []held) {
+	if len(locks) == 0 || node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.report(n.Pos(), locks, "channel receive")
+			}
+		case *ast.CallExpr:
+			if desc, ok := blockingCall(s.pass.TypesInfo, n); ok {
+				s.report(n.Pos(), locks, desc)
+			}
+		}
+		return true
+	})
+}
+
+func (s *scanner) report(pos token.Pos, locks []held, what string) {
+	if len(locks) == 0 {
+		return
+	}
+	l := locks[len(locks)-1]
+	s.pass.Reportf(pos,
+		"mutex %s (%s) held across blocking %s; narrow the critical section or justify with //lint:allow lockscope <reason>",
+		l.recv, strings.ToLower(l.op), what)
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func removeLock(locks []held, recv string) []held {
+	for i := len(locks) - 1; i >= 0; i-- {
+		if locks[i].recv == recv {
+			out := append([]held(nil), locks[:i]...)
+			return append(out, locks[i+1:]...)
+		}
+	}
+	return locks
+}
+
+// mutexOp recognizes a call to (R)Lock/(R)Unlock on a sync.Mutex or
+// sync.RWMutex (including one embedded in a struct) and returns the
+// receiver expression as written plus the method name.
+func mutexOp(info *types.Info, e ast.Expr) (recv, op string, ok bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	r := fn.Type().(*types.Signature).Recv()
+	if r == nil {
+		return "", "", false
+	}
+	name := recvTypeName(r.Type())
+	if name != "Mutex" && name != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// blockingCall reports whether a call blocks (I/O, sleep, wait) and
+// describes it.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	if path == "time" && name == "Sleep" {
+		return "call time.Sleep", true
+	}
+	if path == "sync" && name == "Wait" && recvTypeName(recvType(fn)) == "WaitGroup" {
+		return "call sync.WaitGroup.Wait", true
+	}
+	except, watched := blockingPkgs[path]
+	if !watched {
+		return "", false
+	}
+	if except[name] {
+		return "", false
+	}
+	return fmt.Sprintf("call into %s (%s)", path, name), true
+}
+
+func recvType(fn *types.Func) types.Type {
+	if r := fn.Type().(*types.Signature).Recv(); r != nil {
+		return r.Type()
+	}
+	return types.Typ[types.Invalid]
+}

@@ -1,0 +1,16 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"otacache/internal/lint/linttest"
+	"otacache/internal/lint/lockscope"
+)
+
+func TestHitsAndAllows(t *testing.T) {
+	linttest.Run(t, lockscope.New(lockscope.Config{Scope: []string{"a"}}), "a")
+}
+
+func TestClean(t *testing.T) {
+	linttest.Run(t, lockscope.New(lockscope.Config{Scope: []string{"clean"}}), "clean")
+}

@@ -1,0 +1,67 @@
+// Package a seeds lockscope violations: mutexes held across blocking
+// operations.
+package a
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (s *S) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `mutex s\.mu \(lock\) held across blocking call time\.Sleep`
+	s.mu.Unlock()
+}
+
+func (s *S) fileUnderDeferredLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := os.ReadFile("x") // want `mutex s\.mu \(lock\) held across blocking call into os \(ReadFile\)`
+	return err
+}
+
+func (s *S) chanUnderRLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.ch // want `mutex s\.rw \(rlock\) held across blocking channel receive`
+}
+
+func (s *S) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `mutex s\.mu \(lock\) held across blocking channel send`
+	s.mu.Unlock()
+}
+
+func (s *S) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `mutex s\.mu \(lock\) held across blocking select`
+	case v := <-s.ch:
+		_ = v
+	case <-time.After(time.Second):
+	}
+}
+
+func (s *S) httpUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := http.Get("http://example.test/") // want `mutex s\.mu \(lock\) held across blocking call into net/http \(Get\)`
+	if err == nil {
+		resp.Body.Close() // want `mutex s\.mu \(lock\) held across blocking call into io \(Close\)`
+	}
+}
+
+func (s *S) waitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want `mutex s\.mu \(lock\) held across blocking call sync\.WaitGroup\.Wait`
+	s.mu.Unlock()
+}

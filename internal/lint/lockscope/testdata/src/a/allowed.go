@@ -1,0 +1,19 @@
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+// writer serializes snapshot-style file writes by design; the hold is
+// intentional and justified.
+type writer struct {
+	mu sync.Mutex
+}
+
+func (w *writer) writeSerialized(path string, data []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	//lint:allow lockscope two writers must not interleave their temp files
+	return os.WriteFile(path, data, 0o644)
+}

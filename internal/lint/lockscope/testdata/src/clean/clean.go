@@ -1,0 +1,56 @@
+// Package clean keeps its critical sections compute-only; lockscope
+// reports nothing here.
+package clean
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type cache struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	dirt chan string
+}
+
+// narrow copies under the lock, does I/O outside it.
+func (c *cache) narrow(path string) error {
+	c.mu.Lock()
+	data := append([]byte(nil), c.m[path]...)
+	c.mu.Unlock()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	time.Sleep(time.Millisecond)
+	return nil
+}
+
+// nonBlockingSelect is fine under the lock: the default arm keeps it
+// from parking.
+func (c *cache) nonBlockingSelect(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.dirt <- path:
+	default:
+	}
+}
+
+// goroutineDoesNotHold: the spawned goroutine runs without the
+// caller's lock, so its I/O is not a hold.
+func (c *cache) goroutineDoesNotHold(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data := append([]byte(nil), c.m[path]...)
+	go func() {
+		_ = os.WriteFile(path, data, 0o644)
+	}()
+}
+
+// cheapOsCalls are metadata-only and allowed under a lock.
+func (c *cache) cheapOsCalls() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.Getenv("HOME") + os.TempDir()
+}

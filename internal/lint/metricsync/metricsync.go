@@ -1,0 +1,240 @@
+// Package metricsync implements the metrics-coverage analyzer: every
+// field of a Metrics counter struct must flow through all three legs
+// of the observability pipeline — the interval subtraction (Sub), the
+// point-in-time snapshot constructor (Snapshot), and the JSON wire
+// encoding (/stats). A counter added to the struct but forgotten in
+// Sub reports a zero interval forever; one tagged out of the JSON
+// encoding vanishes from /stats; either way the operator flying the
+// daemon loses an instrument without any test failing. (This nearly
+// happened to Degraded when the circuit breaker landed.)
+//
+// The analyzer triggers by shape, not by package: any struct type named
+// Metrics that has a `func (Metrics) Sub(Metrics) Metrics` method is
+// checked, wherever it lives, so fixture packages and future per-shard
+// metric structs get the same guarantee as engine.Metrics.
+package metricsync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"otacache/internal/lint/analysis"
+)
+
+// Config parameterizes the analyzer (method and type names; the
+// defaults match engine.Metrics).
+type Config struct {
+	// TypeName is the counter struct's name (default "Metrics").
+	TypeName string
+	// SubMethod is the interval-delta method (default "Sub").
+	SubMethod string
+	// SnapshotMethod is the constructor loading the live counters
+	// (default "Snapshot").
+	SnapshotMethod string
+}
+
+func (c *Config) normalize() {
+	if c.TypeName == "" {
+		c.TypeName = "Metrics"
+	}
+	if c.SubMethod == "" {
+		c.SubMethod = "Sub"
+	}
+	if c.SnapshotMethod == "" {
+		c.SnapshotMethod = "Snapshot"
+	}
+}
+
+// Analyzer is the default-configured instance cmd/otalint runs.
+var Analyzer = New(Config{})
+
+// New builds a metricsync analyzer with the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	cfg.normalize()
+	a := &analysis.Analyzer{
+		Name: "metricsync",
+		Doc: "every field of a Metrics struct must appear in Sub, in Snapshot, " +
+			"and in the JSON wire encoding (/stats)",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		obj := pass.Pkg.Scope().Lookup(cfg.TypeName)
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			return nil
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return nil
+		}
+		if !hasSubMethod(named, cfg.SubMethod) {
+			return nil
+		}
+
+		var fields []string
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			fields = append(fields, f.Name())
+			// JSON leg: encoding/json only emits exported, untagged-out
+			// fields; /stats embeds Metrics values wholesale, so any
+			// field invisible to encoding/json is invisible to the wire.
+			if !f.Exported() {
+				pass.Reportf(fieldPos(pass, cfg.TypeName, f.Name()),
+					"field %s of %s is unexported and thus absent from the JSON wire encoding (/stats)",
+					f.Name(), cfg.TypeName)
+			} else if name, _ := jsonTag(st.Tag(i)); name == "-" {
+				pass.Reportf(fieldPos(pass, cfg.TypeName, f.Name()),
+					"field %s of %s is tagged json:\"-\" and thus absent from the JSON wire encoding (/stats)",
+					f.Name(), cfg.TypeName)
+			}
+		}
+
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				switch fd.Name.Name {
+				case cfg.SubMethod:
+					if recvIs(pass, fd, named) {
+						checkLiterals(pass, fd, named, fields,
+							"not subtracted in "+cfg.SubMethod+" (interval metrics would report zero forever)")
+					}
+				case cfg.SnapshotMethod:
+					if returnsType(pass, fd, named) {
+						checkLiterals(pass, fd, named, fields,
+							"not loaded in "+cfg.SnapshotMethod+" (the live counter would never be read)")
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// hasSubMethod reports whether named has a method sub with signature
+// func(T) T.
+func hasSubMethod(named *types.Named, sub string) bool {
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != sub {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		return sig.Params().Len() == 1 &&
+			types.Identical(sig.Params().At(0).Type(), named) &&
+			sig.Results().Len() == 1 &&
+			types.Identical(sig.Results().At(0).Type(), named)
+	}
+	return false
+}
+
+// recvIs reports whether fd's receiver is named (or *named).
+func recvIs(pass *analysis.Pass, fd *ast.FuncDecl, named *types.Named) bool {
+	if len(fd.Recv.List) != 1 {
+		return false
+	}
+	t := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.Identical(t, named)
+}
+
+// returnsType reports whether fd returns exactly one value of type
+// named.
+func returnsType(pass *analysis.Pass, fd *ast.FuncDecl, named *types.Named) bool {
+	res := fd.Type.Results
+	if res == nil || len(res.List) != 1 {
+		return false
+	}
+	return types.Identical(pass.TypesInfo.Types[res.List[0].Type].Type, named)
+}
+
+// checkLiterals verifies that every composite literal of the metrics
+// type inside fd covers every field.
+func checkLiterals(pass *analysis.Pass, fd *ast.FuncDecl, named *types.Named, fields []string, what string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if !types.Identical(pass.TypesInfo.Types[lit].Type, named) {
+			return true
+		}
+		covered := make(map[string]bool)
+		positional := 0
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					covered[id.Name] = true
+				}
+				continue
+			}
+			positional++
+		}
+		if positional == len(fields) && positional > 0 {
+			return true // unkeyed literal with all fields
+		}
+		for _, f := range fields {
+			if !covered[f] {
+				pass.Reportf(lit.Pos(), "field %s of %s is %s", f, named.Obj().Name(), what)
+			}
+		}
+		return true
+	})
+}
+
+// fieldPos finds the declaration position of a struct field in the
+// syntax (falling back to the type name's position).
+func fieldPos(pass *analysis.Pass, typeName, field string) token.Pos {
+	return fieldNode(pass, typeName, field).Pos()
+}
+
+func fieldNode(pass *analysis.Pass, typeName, field string) ast.Node {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != typeName {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fl := range st.Fields.List {
+					for _, name := range fl.Names {
+						if name.Name == field {
+							return name
+						}
+					}
+				}
+				return ts.Name
+			}
+		}
+	}
+	return pass.Files[0]
+}
+
+// jsonTag extracts the name part of a struct tag's json key.
+func jsonTag(tag string) (name string, ok bool) {
+	v, ok := reflect.StructTag(tag).Lookup("json")
+	if !ok {
+		return "", false
+	}
+	name, _, _ = strings.Cut(v, ",")
+	return name, true
+}

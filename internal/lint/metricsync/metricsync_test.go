@@ -1,0 +1,20 @@
+package metricsync_test
+
+import (
+	"testing"
+
+	"otacache/internal/lint/linttest"
+	"otacache/internal/lint/metricsync"
+)
+
+func TestHits(t *testing.T) {
+	linttest.Run(t, metricsync.New(metricsync.Config{}), "a")
+}
+
+func TestClean(t *testing.T) {
+	linttest.Run(t, metricsync.New(metricsync.Config{}), "clean")
+}
+
+func TestAllowed(t *testing.T) {
+	linttest.Run(t, metricsync.New(metricsync.Config{}), "allowed")
+}

@@ -1,0 +1,32 @@
+// Package a seeds metricsync violations: counters that fell out of one
+// leg of the observability pipeline.
+package a
+
+// Metrics mirrors engine.Metrics' shape: a counter struct with an
+// interval Sub and a Snapshot constructor.
+type Metrics struct {
+	Requests int64
+	Hits     int64
+	dropped  int64 // want `field dropped of Metrics is unexported and thus absent from the JSON wire encoding`
+	Skipped  int64 `json:"-"` // want `field Skipped of Metrics is tagged json:"-" and thus absent from the JSON wire encoding`
+}
+
+// Sub forgets every field but Requests; each forgotten counter would
+// report a zero interval forever.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{ // want `field Hits of Metrics is not subtracted in Sub` `field dropped of Metrics is not subtracted in Sub` `field Skipped of Metrics is not subtracted in Sub`
+		Requests: m.Requests - prev.Requests,
+	}
+}
+
+type engine struct {
+	requests int64
+	hits     int64
+}
+
+// Snapshot forgets to load hits (and the rest).
+func (e *engine) Snapshot() Metrics {
+	return Metrics{ // want `field Hits of Metrics is not loaded in Snapshot` `field dropped of Metrics is not loaded in Snapshot` `field Skipped of Metrics is not loaded in Snapshot`
+		Requests: e.requests,
+	}
+}

@@ -1,0 +1,22 @@
+// Package allowed shows a justified exception: a field deliberately
+// kept out of the JSON encoding, with the reason on record.
+package allowed
+
+type Metrics struct {
+	Requests int64
+	//lint:allow metricsync scratch accumulator, deliberately kept off the wire
+	internal int64 `json:"-"`
+}
+
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		Requests: m.Requests - prev.Requests,
+		internal: m.internal - prev.internal,
+	}
+}
+
+type engine struct{ requests, internal int64 }
+
+func (e *engine) Snapshot() Metrics {
+	return Metrics{Requests: e.requests, internal: e.internal}
+}

@@ -1,0 +1,203 @@
+// Package run drives a set of analyzers over loaded packages and
+// applies the repo's suppression convention:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line, or alone on the line directly above it,
+// suppresses that analyzer's findings on that line. The reason is
+// mandatory — an allow-comment without one is itself a finding — and a
+// directive that suppresses nothing is reported as stale, so the
+// allowlist can only shrink to what the tree actually needs.
+package run
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"otacache/internal/lint/analysis"
+	"otacache/internal/lint/loader"
+)
+
+// AllowChecker is the pseudo-analyzer name under which directive
+// hygiene findings (missing reason, stale, unknown analyzer) are
+// reported. It is not suppressible.
+const AllowChecker = "allowcheck"
+
+// Finding is one post-suppression diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos      token.Position // of the comment itself
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// Analyze runs every analyzer over every package, applies allow
+// suppression, checks directive hygiene, and returns the surviving
+// findings sorted by position. The error reports an analyzer that
+// failed to run, not findings.
+func Analyze(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// file -> line -> directives covering that line.
+		dirs := parseDirectives(pkg)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if dir := lookupDirective(dirs, pos, name); dir != nil {
+					dir.used = true
+					return
+				}
+				findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		// Directive hygiene after all analyzers had their chance to
+		// consume the directives.
+		for _, byLine := range dirs {
+			for _, ds := range byLine {
+				for _, d := range ds {
+					switch {
+					case !known[d.analyzer]:
+						findings = append(findings, Finding{
+							Analyzer: AllowChecker, Pos: d.pos,
+							Message: fmt.Sprintf("allow-directive names unknown analyzer %q", d.analyzer),
+						})
+					case d.reason == "":
+						findings = append(findings, Finding{
+							Analyzer: AllowChecker, Pos: d.pos,
+							Message: fmt.Sprintf("allow-directive for %s has no reason; write //lint:allow %s <why>", d.analyzer, d.analyzer),
+						})
+					case !d.used:
+						findings = append(findings, Finding{
+							Analyzer: AllowChecker, Pos: d.pos,
+							Message: fmt.Sprintf("stale allow-directive: %s reports nothing here", d.analyzer),
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// parseDirectives scans every comment in the package for allow
+// directives, keyed by filename then by the source line the directive
+// covers (its own line for trailing comments; the line below for
+// comments that stand alone on their line).
+func parseDirectives(pkg *loader.Package) map[string]map[int][]*directive {
+	out := make(map[string]map[int][]*directive)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				// Fixture files annotate expected findings with trailing
+				// `// want "rx"` markers (see internal/lint/linttest);
+				// when one shares the directive's comment, it is not part
+				// of the reason.
+				text, _, _ = strings.Cut(text, "// want")
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				d := &directive{pos: pos}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*directive)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				// A comment alone on its line covers the next line. A
+				// trailing comment shares its line with code, which the
+				// column-1 heuristic cannot see, so decide by whether any
+				// file content precedes the comment on its line: the
+				// lexer gives us that via the comment's column versus the
+				// line start — a directive at the first non-blank column
+				// is standalone.
+				if standalone(pkg, f, c) {
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// standalone reports whether comment c is the first token on its line
+// (i.e. not trailing code). Without the raw source at hand, this checks
+// whether any of the file's declarations or statements start on the
+// same line before the comment — the ast walk is cheap and exact for
+// gofmt-ed code.
+func standalone(pkg *loader.Package, f *ast.File, c *ast.Comment) bool {
+	cpos := pkg.Fset.Position(c.Pos())
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		npos := pkg.Fset.Position(n.Pos())
+		if npos.Line == cpos.Line && npos.Column < cpos.Column {
+			found = true
+			return false
+		}
+		return true
+	})
+	return !found
+}
+
+// lookupDirective finds an unused-or-used directive for analyzer at the
+// diagnostic's line.
+func lookupDirective(dirs map[string]map[int][]*directive, pos token.Position, analyzer string) *directive {
+	byLine := dirs[pos.Filename]
+	if byLine == nil {
+		return nil
+	}
+	for _, d := range byLine[pos.Line] {
+		if d.analyzer == analyzer {
+			return d
+		}
+	}
+	return nil
+}

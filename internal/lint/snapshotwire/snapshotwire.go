@@ -1,0 +1,447 @@
+// Package snapshotwire implements the snapshot wire-format analyzer:
+// the binary encoder (WriteSnapshot) and decoder (ReadSnapshot) must
+// agree field-for-field, and the agreed layout must match a pinned
+// signature constant (snapWireSig) that embeds the format version — so
+// a layout change that forgets the decoder, or lands without a version
+// bump, fails lint instead of corrupting a daemon's warm restart.
+//
+// The analyzer symbolically executes both functions over the AST,
+// reducing each to a wire signature: the ordered sequence of scalar
+// types moved through the binary.Write/binary.Read helpers, with loops
+// rendered as bracketed groups and a "tree" token for the embedded
+// classifier stream. Branches must agree up to a prefix (a section
+// guard writes its presence byte in both arms); anything the analyzer
+// cannot type is reported rather than guessed.
+//
+// For WriteSnapshot in internal/server, the v1 signature is
+//
+//	u32 u32 i64 u64 [ u64 i64 ] u8 u64 [ u64 i64 ] u8 tree
+//
+// (magic, version, tick, resident count and records, table presence,
+// table count and records, tree presence, tree stream).
+package snapshotwire
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"otacache/internal/lint/analysis"
+)
+
+// Config parameterizes the analyzer (function and constant names; the
+// defaults match internal/server's snapshot subsystem).
+type Config struct {
+	// EncodeFunc and DecodeFunc are the encoder/decoder function names
+	// (defaults "WriteSnapshot", "ReadSnapshot").
+	EncodeFunc string
+	DecodeFunc string
+	// VersionConst is the package constant holding the format version
+	// (default "snapVersion").
+	VersionConst string
+	// PinConst is the package constant pinning "v<version> <signature>"
+	// (default "snapWireSig").
+	PinConst string
+	// TreeWriters and TreeReaders name the calls that move the opaque
+	// classifier stream (defaults "WriteTo", "ReadTree").
+	TreeWriter string
+	TreeReader string
+}
+
+func (c *Config) normalize() {
+	if c.EncodeFunc == "" {
+		c.EncodeFunc = "WriteSnapshot"
+	}
+	if c.DecodeFunc == "" {
+		c.DecodeFunc = "ReadSnapshot"
+	}
+	if c.VersionConst == "" {
+		c.VersionConst = "snapVersion"
+	}
+	if c.PinConst == "" {
+		c.PinConst = "snapWireSig"
+	}
+	if c.TreeWriter == "" {
+		c.TreeWriter = "WriteTo"
+	}
+	if c.TreeReader == "" {
+		c.TreeReader = "ReadTree"
+	}
+}
+
+// Analyzer is the default-configured instance cmd/otalint runs.
+var Analyzer = New(Config{})
+
+// New builds a snapshotwire analyzer with the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	cfg.normalize()
+	a := &analysis.Analyzer{
+		Name: "snapshotwire",
+		Doc: "snapshot encoder and decoder must move the same field sequence, " +
+			"and the layout must match the pinned, versioned snapWireSig",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		var enc, dec *ast.FuncDecl
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Body != nil {
+					switch fd.Name.Name {
+					case cfg.EncodeFunc:
+						enc = fd
+					case cfg.DecodeFunc:
+						dec = fd
+					}
+				}
+			}
+		}
+		if enc == nil || dec == nil {
+			return nil // not a snapshot package
+		}
+
+		ex := &extractor{pass: pass, cfg: cfg}
+		encSig, encOK := ex.funcSig(enc)
+		decSig, decOK := ex.funcSig(dec)
+		if !encOK || !decOK {
+			return nil // unresolvable pieces already reported
+		}
+		if encSig != decSig {
+			pass.Reportf(dec.Pos(),
+				"%s reads [%s] but %s writes [%s]; the snapshot wire format is torn",
+				cfg.DecodeFunc, decSig, cfg.EncodeFunc, encSig)
+			return nil
+		}
+
+		version, vok := intConst(pass.Pkg, cfg.VersionConst)
+		if !vok {
+			pass.Reportf(enc.Pos(), "snapshot package has no integer constant %s", cfg.VersionConst)
+			return nil
+		}
+		want := fmt.Sprintf("v%d %s", version, encSig)
+		pinObj := pass.Pkg.Scope().Lookup(cfg.PinConst)
+		pin, pok := stringConst(pinObj)
+		if !pok {
+			pass.Reportf(enc.Pos(),
+				"declare const %s = %q pinning the wire layout; bump %s on any layout change",
+				cfg.PinConst, want, cfg.VersionConst)
+			return nil
+		}
+		if pin != want {
+			pass.Reportf(constPos(pass, pinObj),
+				"snapshot wire layout is %q but %s pins %q; if the layout changed, bump %s and update the pin",
+				want, cfg.PinConst, pin, cfg.VersionConst)
+		}
+		return nil
+	}
+	return a
+}
+
+func intConst(pkg *types.Package, name string) (int64, bool) {
+	c, ok := pkg.Scope().Lookup(name).(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+	return v, ok
+}
+
+func stringConst(obj types.Object) (string, bool) {
+	c, ok := obj.(*types.Const)
+	if !ok || c.Val().Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(c.Val()), true
+}
+
+func constPos(pass *analysis.Pass, obj types.Object) token.Pos {
+	if obj != nil {
+		return obj.Pos()
+	}
+	return pass.Files[0].Pos()
+}
+
+// extractor reduces a function body to its wire signature.
+type extractor struct {
+	pass *analysis.Pass
+	cfg  Config
+	// put and get are the objects of local closures wrapping
+	// binary.Write / binary.Read.
+	put map[types.Object]bool
+	get map[types.Object]bool
+	// rangeElems maps a range-over-literal value variable to the static
+	// types of the literal's elements (the `for _, v := range []any{…}`
+	// header idiom).
+	rangeElems map[types.Object][]types.Type
+	ok         bool
+}
+
+// funcSig returns the signature string, and false if any part could
+// not be resolved (each unresolved part is reported).
+func (ex *extractor) funcSig(fd *ast.FuncDecl) (string, bool) {
+	ex.put = map[types.Object]bool{}
+	ex.get = map[types.Object]bool{}
+	ex.rangeElems = map[types.Object][]types.Type{}
+	ex.ok = true
+
+	// First pass: find `put := func(v any) error { … binary.Write … }`
+	// style helper closures.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lit, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := ex.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = ex.pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		switch binaryCallIn(ex.pass.TypesInfo, lit.Body) {
+		case "Write":
+			ex.put[obj] = true
+		case "Read":
+			ex.get[obj] = true
+		}
+		return true
+	})
+
+	sig := ex.blockSig(fd.Body.List)
+	return strings.Join(sig, " "), ex.ok
+}
+
+// binaryCallIn reports whether a body calls encoding/binary.Write or
+// .Read, returning the function name.
+func binaryCallIn(info *types.Info, body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+			return true
+		}
+		if fn.Name() == "Write" || fn.Name() == "Read" {
+			found = fn.Name()
+		}
+		return true
+	})
+	return found
+}
+
+func (ex *extractor) blockSig(stmts []ast.Stmt) []string {
+	var sig []string
+	for _, st := range stmts {
+		sig = append(sig, ex.stmtSig(st)...)
+	}
+	return sig
+}
+
+func (ex *extractor) stmtSig(st ast.Stmt) []string {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		return ex.exprSig(st.X)
+	case *ast.AssignStmt:
+		var sig []string
+		for _, e := range st.Rhs {
+			sig = append(sig, ex.exprSig(e)...)
+		}
+		return sig
+	case *ast.IfStmt:
+		var sig []string
+		if st.Init != nil {
+			sig = append(sig, ex.stmtSig(st.Init)...)
+		}
+		thenSig := ex.blockSig(st.Body.List)
+		var elseSig []string
+		if st.Else != nil {
+			elseSig = ex.stmtSig(st.Else)
+		}
+		branch, ok := mergeBranches(thenSig, elseSig)
+		if !ok {
+			ex.ok = false
+			ex.pass.Reportf(st.Pos(),
+				"wire branches diverge: one arm moves [%s], the other [%s]; sections must agree up to a prefix",
+				strings.Join(thenSig, " "), strings.Join(elseSig, " "))
+		}
+		return append(sig, branch...)
+	case *ast.BlockStmt:
+		return ex.blockSig(st.List)
+	case *ast.ForStmt:
+		body := ex.blockSig(st.Body.List)
+		if len(body) == 0 {
+			return nil
+		}
+		return bracket(body)
+	case *ast.RangeStmt:
+		// The header idiom: for _, v := range []any{a, b, c} { put(v) }
+		// moves each element exactly once, in order.
+		if lit, ok := st.X.(*ast.CompositeLit); ok {
+			if id, ok := st.Value.(*ast.Ident); ok {
+				if obj := ex.pass.TypesInfo.Defs[id]; obj != nil {
+					var elems []types.Type
+					for _, el := range lit.Elts {
+						elems = append(elems, ex.pass.TypesInfo.Types[el].Type)
+					}
+					ex.rangeElems[obj] = elems
+					return ex.blockSig(st.Body.List)
+				}
+			}
+		}
+		body := ex.blockSig(st.Body.List)
+		if len(body) == 0 {
+			return nil
+		}
+		return bracket(body)
+	case *ast.ReturnStmt:
+		var sig []string
+		for _, e := range st.Results {
+			sig = append(sig, ex.exprSig(e)...)
+		}
+		return sig
+	case *ast.DeclStmt, *ast.DeferStmt, *ast.GoStmt, *ast.BranchStmt:
+		return nil
+	}
+	return nil
+}
+
+// exprSig extracts wire movements from one expression, in source
+// order, without descending into function literals.
+func (ex *extractor) exprSig(e ast.Expr) []string {
+	var sig []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig = append(sig, ex.callSig(call)...)
+		return true
+	})
+	return sig
+}
+
+// callSig classifies one call: a put/get helper, a direct
+// binary.Write/Read, or a tree stream call.
+func (ex *extractor) callSig(call *ast.CallExpr) []string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj := ex.pass.TypesInfo.Uses[fun]
+		if ex.put[obj] || ex.get[obj] {
+			if len(call.Args) != 1 {
+				return nil
+			}
+			return ex.argSig(call.Args[0], ex.get[obj])
+		}
+		if fun.Name == ex.cfg.TreeReader {
+			return []string{"tree"}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := ex.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" &&
+			(fn.Name() == "Write" || fn.Name() == "Read") && len(call.Args) == 3 {
+			return ex.argSig(call.Args[2], fn.Name() == "Read")
+		}
+		if fn.Name() == ex.cfg.TreeWriter || fn.Name() == ex.cfg.TreeReader {
+			return []string{"tree"}
+		}
+	}
+	return nil
+}
+
+// argSig renders the wire token(s) for one put/get argument: the
+// scalar type written, the pointee type read, or — for the
+// range-over-literal header idiom — each element's type in order.
+func (ex *extractor) argSig(arg ast.Expr, read bool) []string {
+	t := ex.pass.TypesInfo.Types[arg].Type
+	if read {
+		if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			t = ex.pass.TypesInfo.Types[un.X].Type
+		} else if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+	}
+	if isAny(t) {
+		if id, ok := arg.(*ast.Ident); ok {
+			if elems, ok := ex.rangeElems[ex.pass.TypesInfo.Uses[id]]; ok {
+				var sig []string
+				for _, et := range elems {
+					sig = append(sig, ex.scalarToken(arg, et))
+				}
+				return sig
+			}
+		}
+	}
+	return []string{ex.scalarToken(arg, t)}
+}
+
+func isAny(t types.Type) bool {
+	i, ok := t.Underlying().(*types.Interface)
+	return ok && i.Empty()
+}
+
+var scalarTokens = map[types.BasicKind]string{
+	types.Uint8:   "u8",
+	types.Uint16:  "u16",
+	types.Uint32:  "u32",
+	types.Uint64:  "u64",
+	types.Int8:    "i8",
+	types.Int16:   "i16",
+	types.Int32:   "i32",
+	types.Int64:   "i64",
+	types.Float32: "f32",
+	types.Float64: "f64",
+}
+
+func (ex *extractor) scalarToken(at ast.Expr, t types.Type) string {
+	if t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok {
+			if tok, ok := scalarTokens[b.Kind()]; ok {
+				return tok
+			}
+		}
+	}
+	ex.ok = false
+	ex.pass.Reportf(at.Pos(),
+		"cannot determine the fixed-width wire type of this value; use an explicit sized integer")
+	return "?"
+}
+
+// mergeBranches reconciles an if/else pair: both arms must move the
+// same prefix; the longer arm (a section body behind its presence
+// byte) wins.
+func mergeBranches(a, b []string) ([]string, bool) {
+	short, long := a, b
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	for i := range short {
+		if short[i] != long[i] {
+			return long, false
+		}
+	}
+	return long, true
+}
+
+func bracket(body []string) []string {
+	out := []string{"["}
+	out = append(out, body...)
+	return append(out, "]")
+}

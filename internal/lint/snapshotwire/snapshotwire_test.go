@@ -1,0 +1,24 @@
+package snapshotwire_test
+
+import (
+	"testing"
+
+	"otacache/internal/lint/linttest"
+	"otacache/internal/lint/snapshotwire"
+)
+
+func TestTornFormat(t *testing.T) {
+	linttest.Run(t, snapshotwire.New(snapshotwire.Config{}), "a")
+}
+
+func TestStalePin(t *testing.T) {
+	linttest.Run(t, snapshotwire.New(snapshotwire.Config{}), "b")
+}
+
+func TestClean(t *testing.T) {
+	linttest.Run(t, snapshotwire.New(snapshotwire.Config{}), "clean")
+}
+
+func TestAllowedMissingPin(t *testing.T) {
+	linttest.Run(t, snapshotwire.New(snapshotwire.Config{}), "allowed")
+}

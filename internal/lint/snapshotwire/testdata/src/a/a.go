@@ -1,0 +1,28 @@
+// Package a seeds a torn wire format: the encoder and decoder move
+// different scalar sequences.
+package a
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const (
+	snapVersion = uint32(1)
+	snapWireSig = "v1 u32 u64"
+)
+
+func WriteSnapshot(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(7)); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, uint64(9))
+}
+
+func ReadSnapshot(r io.Reader) error { // want `ReadSnapshot reads \[u32 u32\] but WriteSnapshot writes \[u32 u64\]; the snapshot wire format is torn`
+	var a, b uint32
+	if err := binary.Read(r, binary.LittleEndian, &a); err != nil {
+		return err
+	}
+	return binary.Read(r, binary.LittleEndian, &b)
+}

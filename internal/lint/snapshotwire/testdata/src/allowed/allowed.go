@@ -1,0 +1,20 @@
+// Package allowed shows a justified exception: a format migration in
+// flight has no pin yet, and says so.
+package allowed
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const snapVersion = 1
+
+//lint:allow snapshotwire v2 migration in flight; the pin lands with the new layout
+func WriteSnapshot(w io.Writer) error {
+	return binary.Write(w, binary.LittleEndian, uint32(1))
+}
+
+func ReadSnapshot(r io.Reader) error {
+	var m uint32
+	return binary.Read(r, binary.LittleEndian, &m)
+}

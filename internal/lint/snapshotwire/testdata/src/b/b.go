@@ -1,0 +1,29 @@
+// Package b seeds a layout change without a pin update: encoder and
+// decoder agree, but the pinned signature describes the old format.
+package b
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const snapVersion = 3
+
+const snapWireSig = "v3 u32" // want `snapshot wire layout is "v3 u32 i64" but snapWireSig pins "v3 u32"; if the layout changed, bump snapVersion and update the pin`
+
+func WriteSnapshot(w io.Writer, tick int64) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(1)); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, tick)
+}
+
+func ReadSnapshot(r io.Reader) (int64, error) {
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return 0, err
+	}
+	var tick int64
+	err := binary.Read(r, binary.LittleEndian, &tick)
+	return tick, err
+}

@@ -1,0 +1,108 @@
+// Package clean replicates the real snapshot subsystem's shape — put/
+// get helper closures, a range-over-literal header, per-record loops,
+// presence bytes, and an opaque tree stream — with a correct pin;
+// snapshotwire reports nothing here.
+package clean
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+const (
+	snapMagic   = uint32(0xabc)
+	snapVersion = uint32(2)
+	snapWireSig = "v2 u32 u32 i64 u64 [ u64 i64 ] u8 tree"
+)
+
+type tree struct{}
+
+func (t *tree) WriteTo(w io.Writer) (int64, error) { return 0, nil }
+
+// ReadTree mirrors cart.ReadTree's role as the opaque stream reader.
+func ReadTree(r io.Reader) (*tree, error) { return &tree{}, nil }
+
+type state struct {
+	tick  int64
+	keys  []uint64
+	sizes []int64
+	t     *tree
+}
+
+func WriteSnapshot(w io.Writer, s *state) error {
+	bw := bufio.NewWriter(w)
+	put := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	for _, v := range []any{snapMagic, snapVersion, s.tick} {
+		if err := put(v); err != nil {
+			return err
+		}
+	}
+	if err := put(uint64(len(s.keys))); err != nil {
+		return err
+	}
+	for i, k := range s.keys {
+		if err := put(k); err != nil {
+			return err
+		}
+		if err := put(s.sizes[i]); err != nil {
+			return err
+		}
+	}
+	if s.t == nil {
+		if err := put(uint8(0)); err != nil {
+			return err
+		}
+	} else {
+		if err := put(uint8(1)); err != nil {
+			return err
+		}
+		if _, err := s.t.WriteTo(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func ReadSnapshot(r io.Reader, s *state) error {
+	br := bufio.NewReader(r)
+	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var magic, version uint32
+	if err := get(&magic); err != nil {
+		return err
+	}
+	if err := get(&version); err != nil {
+		return err
+	}
+	if err := get(&s.tick); err != nil {
+		return err
+	}
+	var n uint64
+	if err := get(&n); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		var k uint64
+		var sz int64
+		if err := get(&k); err != nil {
+			return err
+		}
+		if err := get(&sz); err != nil {
+			return err
+		}
+		s.keys = append(s.keys, k)
+		s.sizes = append(s.sizes, sz)
+	}
+	var hasTree uint8
+	if err := get(&hasTree); err != nil {
+		return err
+	}
+	if hasTree == 1 {
+		t, err := ReadTree(br)
+		if err != nil {
+			return err
+		}
+		s.t = t
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package lint assembles the repo's analyzer suite. cmd/otalint and the
+// lint tests share this list so the binary, the fixtures, and `make
+// lint` cannot drift apart.
+package lint
+
+import (
+	"otacache/internal/lint/analysis"
+	"otacache/internal/lint/detclock"
+	"otacache/internal/lint/lockscope"
+	"otacache/internal/lint/metricsync"
+	"otacache/internal/lint/snapshotwire"
+)
+
+// Suite returns the four repo-specific analyzers with their default
+// configurations:
+//
+//   - lockscope: no mutex held across blocking calls in the hot paths
+//   - detclock: no wall clocks or global RNGs in deterministic packages
+//   - metricsync: engine.Metrics stays in sync with Sub/Snapshot//stats
+//   - snapshotwire: snapshot encoder and decoder agree, layout is pinned
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockscope.New(lockscope.Config{Scope: lockscope.DefaultScope}),
+		detclock.New(detclock.Config{Scope: detclock.DefaultScope}),
+		metricsync.New(metricsync.Config{}),
+		snapshotwire.New(snapshotwire.Config{}),
+	}
+}

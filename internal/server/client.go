@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"otacache/internal/faults"
 	"otacache/internal/ml/cart"
 )
 
@@ -65,6 +66,9 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	retry RetryConfig
+	// clock paces backoff, readiness polling, and replay (latency
+	// measurement and QPS pacing); tests substitute a faults.FakeClock.
+	clock faults.Clock
 
 	// rng drives backoff jitter (guarded: workers share the client).
 	rngMu sync.Mutex
@@ -87,8 +91,9 @@ func NewClient(base string, workers int) *Client {
 		IdleConnTimeout:     30 * time.Second,
 	}
 	c := &Client{
-		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Transport: tr, Timeout: 30 * time.Second},
+		base:  strings.TrimRight(base, "/"),
+		hc:    &http.Client{Transport: tr, Timeout: 30 * time.Second},
+		clock: faults.WallClock{},
 	}
 	c.SetRetry(RetryConfig{})
 	return c
@@ -106,6 +111,10 @@ func (c *Client) SetRetry(cfg RetryConfig) {
 // fault injector (internal/faults.Transport) wraps in tests. Configure
 // before use.
 func (c *Client) SetTransport(rt http.RoundTripper) { c.hc.Transport = rt }
+
+// SetClock replaces the client's clock — a faults.FakeClock turns
+// backoff and pacing delays into no-ops in tests. Configure before use.
+func (c *Client) SetClock(clk faults.Clock) { c.clock = clk }
 
 // RetriesUsed returns how many retries (attempts beyond each request's
 // first) this client has spent.
@@ -131,7 +140,7 @@ func (c *Client) backoff(a int) {
 	c.rngMu.Lock()
 	f := c.rng.Float64()
 	c.rngMu.Unlock()
-	time.Sleep(time.Duration((0.1 + 0.9*f) * float64(d)))
+	c.clock.Sleep(time.Duration((0.1 + 0.9*f) * float64(d)))
 }
 
 // connectionError reports an error that occurred before the request
@@ -309,9 +318,21 @@ func (c *Client) WaitReady(ctx context.Context, poll time.Duration) error {
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("daemon not ready: %w (last probe: %v)", ctx.Err(), lastErr)
-		case <-time.After(poll):
+		case <-c.afterCh(poll):
 		}
 	}
+}
+
+// afterCh is time.After through the client's clock: the returned
+// channel fires once clock.Sleep(d) returns (immediately, under a
+// FakeClock). The goroutine exits after at most d of real time.
+func (c *Client) afterCh(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	go func() {
+		c.clock.Sleep(d)
+		ch <- c.clock.Now()
+	}()
+	return ch
 }
 
 func (c *Client) probe(path string) error {

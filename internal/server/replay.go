@@ -159,9 +159,9 @@ func (c *Client) Replay(tr *trace.Trace, opt ReplayOptions) (*ReplayReport, erro
 			defer wg.Done()
 			lat := make([]float64, 0, limit/workers+1)
 			for j := range jobs {
-				start := time.Now()
+				start := c.clock.Now()
 				res, err := c.Lookup(j.key, j.size, j.feat)
-				lat = append(lat, float64(time.Since(start).Microseconds()))
+				lat = append(lat, float64(c.clock.Now().Sub(start).Microseconds()))
 				if err != nil {
 					errs.Add(1)
 					firstErr.CompareAndSwap(nil, err)
@@ -185,7 +185,7 @@ func (c *Client) Replay(tr *trace.Trace, opt ReplayOptions) (*ReplayReport, erro
 		}
 	}
 	var full [features.NumFeatures]float64
-	start := time.Now()
+	start := c.clock.Now()
 	for i := 0; i < limit; i++ {
 		req := &tr.Requests[i]
 		job := replayJob{
@@ -202,8 +202,8 @@ func (c *Client) Replay(tr *trace.Trace, opt ReplayOptions) (*ReplayReport, erro
 		}
 		if opt.TargetQPS > 0 {
 			due := start.Add(time.Duration(float64(i) * float64(time.Second) / opt.TargetQPS))
-			if d := time.Until(due); d > time.Millisecond {
-				time.Sleep(d)
+			if d := due.Sub(c.clock.Now()); d > time.Millisecond {
+				c.clock.Sleep(d)
 			}
 		}
 		jobs <- job
@@ -213,7 +213,7 @@ func (c *Client) Replay(tr *trace.Trace, opt ReplayOptions) (*ReplayReport, erro
 	}
 	close(jobs)
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := c.clock.Now().Sub(start)
 
 	after, err := c.Stats()
 	if err != nil {

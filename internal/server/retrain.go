@@ -94,7 +94,8 @@ func NewRetrainer(adm *core.ClassifierAdmission, cfg RetrainerConfig) *Retrainer
 		// the pending stage.
 		matured:   core.NewSampleBuffer(1<<30, cfg.HorizonSec),
 		curMinute: -1 << 62,
-		now:       time.Now,
+		//lint:allow detclock real-clock default of the injectable now seam
+		now: time.Now,
 	}
 }
 
@@ -282,6 +283,7 @@ func (rt *Retrainer) RunDaily(ctx context.Context, hour int, logf func(format st
 		if !next.After(now) {
 			next = next.Add(24 * time.Hour)
 		}
+		//lint:allow detclock the daily schedule fires on wall time by design; the rt.now seam covers tests
 		timer := time.NewTimer(next.Sub(now))
 		select {
 		case <-ctx.Done():

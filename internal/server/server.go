@@ -63,6 +63,7 @@ import (
 
 	"otacache/internal/core"
 	"otacache/internal/engine"
+	"otacache/internal/faults"
 	"otacache/internal/ml/cart"
 )
 
@@ -101,7 +102,10 @@ type Server struct {
 	retrainer *Retrainer
 	snap      *Snapshotter
 	httpSrv   *http.Server
-	started   time.Time
+	// clock supplies the server's notion of time (uptime accounting);
+	// tests substitute a faults.FakeClock.
+	clock   faults.Clock
+	started time.Time
 
 	// notReady carries the reason the daemon is not ready to serve
 	// (restoring a snapshot, draining on SIGTERM); empty means ready.
@@ -124,7 +128,8 @@ type Server struct {
 // use SetNotReady around snapshot restoration.
 func New(eng *engine.Engine, cfg Config) *Server {
 	cfg.normalize()
-	s := &Server{eng: eng, cfg: cfg, started: time.Now()}
+	s := &Server{eng: eng, cfg: cfg, clock: faults.WallClock{}}
+	s.started = s.clock.Now()
 	s.notReady.Store("")
 	s.breaker, _ = eng.Filter().(*engine.Breaker)
 	s.admission = findAdmission(eng.Filter())
@@ -395,7 +400,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := Stats{
 		Policy:          s.eng.Policy().Name(),
 		Filter:          s.eng.Filter().Name(),
-		UptimeSec:       time.Since(s.started).Seconds(),
+		UptimeSec:       s.clock.Now().Sub(s.started).Seconds(),
 		Ready:           s.Ready(),
 		PanicsRecovered: s.panics.Load(),
 		Residents:       s.eng.Policy().Len(),

@@ -55,6 +55,14 @@ import (
 const (
 	snapMagic   = uint32(0x0ca27510)
 	snapVersion = uint32(1)
+	// snapWireSig pins the wire layout as a sequence of scalar moves:
+	// magic, version, tick, resident count + [key, size] records, a
+	// history-table presence count + [key, tick] records, a classifier
+	// presence byte, and the opaque cart.Tree stream. The snapshotwire
+	// analyzer derives the same signature from WriteSnapshot and
+	// ReadSnapshot and fails the build if either drifts from this pin;
+	// any deliberate layout change must bump snapVersion and update it.
+	snapWireSig = "v1 u32 u32 i64 u64 [ u64 i64 ] u8 u64 [ u64 i64 ] u8 tree"
 )
 
 // SnapshotResult summarizes one written snapshot.
@@ -375,6 +383,7 @@ func (sn *Snapshotter) Run(ctx context.Context, interval time.Duration, logf fun
 	if interval <= 0 {
 		interval = 5 * time.Minute
 	}
+	//lint:allow detclock the periodic snapshot loop runs on wall time by design; tests drive WriteNow directly
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
