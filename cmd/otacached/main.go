@@ -14,14 +14,23 @@
 //	otacached -mode proposal -trace t.bin -bytes 500000000 -retrain-hour 5
 //	otacached -mode original -photos 30000          # traditional cache
 //	otacached -mode proposal -snapshot state.snap   # crash-safe restarts
+//	otacached -mode proposal -engine-shards 8       # ring of 8 engines
 //
-// In proposal mode a circuit breaker guards the classifier: errors,
-// panics, and over-budget decisions degrade admission to the
-// -breaker-fallback filter instead of failing requests, and the breaker
-// self-heals once the classifier recovers. With -snapshot, warm state
-// (residency, history table, classifier) is restored at startup behind
-// the /readyz gate, persisted every -snapshot-interval, and written one
-// final time after a clean drain.
+// With -engine-shards N > 1, the daemon serves N fully independent
+// engines behind a consistent-hash ring: each shard owns 1/N of the
+// capacity with its own policy, admission filter, history table, and
+// circuit breaker, so classifier degradation and lock contention stay
+// isolated per shard. /stats reports a per-shard breakdown, the admin
+// endpoints (classifier swap, retrain) apply to every shard, and
+// snapshots reshard on restore if N changes between runs.
+//
+// In proposal mode a circuit breaker guards each shard's classifier:
+// errors, panics, and over-budget decisions degrade that shard's
+// admission to the -breaker-fallback filter instead of failing
+// requests, and the breaker self-heals once the classifier recovers.
+// With -snapshot, warm state (residency, history tables, classifier) is
+// restored at startup behind the /readyz gate, persisted every
+// -snapshot-interval, and written one final time after a clean drain.
 //
 // SIGINT/SIGTERM drain in-flight requests (bounded by -drain-timeout)
 // and exit 0.
@@ -61,6 +70,7 @@ func main() {
 		bytesCap  = flag.Int64("bytes", 0, "cache capacity in bytes")
 		frac      = flag.Float64("frac", 0.15, "cache capacity as a fraction of the trace footprint (used when -bytes is 0)")
 		shards    = flag.Int("shards", 0, "policy shard count (0 = 2x GOMAXPROCS)")
+		engShards = flag.Int("engine-shards", 1, "independent engine shards behind a consistent-hash ring, each with its own policy, filter, history table, and breaker (1 = single engine)")
 		costV     = flag.Float64("v", 0, "cost-matrix v (0 = Table 4 rule)")
 		samples   = flag.Int("samples", 100, "training samples per minute (bootstrap and live retraining)")
 		noTable   = flag.Bool("no-history-table", false, "disable the rectification table")
@@ -118,6 +128,9 @@ func main() {
 	if nshards <= 0 {
 		nshards = 2 * runtime.GOMAXPROCS(0)
 	}
+	if *engShards < 1 {
+		fail(fmt.Errorf("-engine-shards must be >= 1, got %d", *engShards))
+	}
 
 	log.Printf("bootstrap: %d requests over %d photos; capacity %d MB (%.1f%% of footprint)",
 		len(tr.Requests), len(tr.Photos), capacity>>20, 100*float64(capacity)/float64(tr.TotalBytes()))
@@ -128,10 +141,11 @@ func main() {
 		Seed:                *seed,
 		DisableHistoryTable: *noTable,
 	}, tier.LayerConfig{
-		Policy:     *policy,
-		CacheBytes: capacity,
-		Filter:     kind,
-		Shards:     nshards,
+		Policy:       *policy,
+		CacheBytes:   capacity,
+		Filter:       kind,
+		Shards:       nshards,
+		EngineShards: *engShards,
 	})
 	if err != nil {
 		fail(err)
@@ -140,46 +154,61 @@ func main() {
 		log.Printf("criteria: %s", layer.Criteria)
 	}
 
-	// adm is the classifier admission behind any breaker wrapping below;
-	// the model and retraining paths target it directly.
-	adm, _ := layer.Engine.Filter().(*core.ClassifierAdmission)
-
-	// In proposal mode a circuit breaker stands between the engine and
-	// the classifier: a failing model degrades admission, never requests.
-	eng := layer.Engine
+	// In proposal mode a circuit breaker stands between each engine
+	// shard and its classifier: a failing model degrades that shard's
+	// admission, never requests — and never the other shards.
+	eng := layer.Server
 	if kind == tier.Classifier && *brFallback != "off" {
-		var fallback core.Filter
-		switch *brFallback {
-		case "admit-all":
-			// NewBreaker's default.
-		case "doorkeeper":
-			width := int(capacity / tr.MeanPhotoSize())
-			if width < 1024 {
-				width = 1024
+		shardEngines := eng.Shards()
+		wrapped := make([]*engine.Engine, len(shardEngines))
+		for i, sh := range shardEngines {
+			var fallback core.Filter
+			switch *brFallback {
+			case "admit-all":
+				// NewBreaker's default.
+			case "doorkeeper":
+				// The fallback doorkeeper is sized to the shard's slice
+				// of the capacity, like the shard's own filter would be.
+				width := int(capacity / int64(len(shardEngines)) / tr.MeanPhotoSize())
+				if width < 1024 {
+					width = 1024
+				}
+				fallback, err = core.NewFrequencyAdmission(width, 1)
+				if err != nil {
+					fail(err)
+				}
+			default:
+				fail(fmt.Errorf("unknown -breaker-fallback %q", *brFallback))
 			}
-			fallback, err = core.NewFrequencyAdmission(width, 1)
+			breaker, err := engine.NewBreaker(sh.Filter(), engine.BreakerConfig{
+				Fallback:         fallback,
+				LatencyBudget:    *brLatency,
+				FailureThreshold: *brThreshold,
+				Cooldown:         *brCooldown,
+			})
 			if err != nil {
 				fail(err)
 			}
-		default:
-			fail(fmt.Errorf("unknown -breaker-fallback %q", *brFallback))
+			wrapped[i], err = engine.New(sh.Policy(), breaker)
+			if err != nil {
+				fail(err)
+			}
 		}
-		breaker, err := engine.NewBreaker(eng.Filter(), engine.BreakerConfig{
-			Fallback:         fallback,
-			LatencyBudget:    *brLatency,
-			FailureThreshold: *brThreshold,
-			Cooldown:         *brCooldown,
-		})
-		if err != nil {
-			fail(err)
+		if len(wrapped) == 1 {
+			eng = wrapped[0]
+		} else {
+			eng, err = engine.NewShardedEngine(wrapped, *seed)
+			if err != nil {
+				fail(err)
+			}
 		}
-		eng, err = engine.New(eng.Policy(), breaker)
-		if err != nil {
-			fail(err)
-		}
-		log.Printf("breaker: fallback=%s threshold=%d cooldown=%s latency-budget=%s",
-			*brFallback, *brThreshold, *brCooldown, *brLatency)
+		log.Printf("breaker: fallback=%s threshold=%d cooldown=%s latency-budget=%s (per shard x%d)",
+			*brFallback, *brThreshold, *brCooldown, *brLatency, len(wrapped))
 	}
+
+	// adms are the per-shard classifier admissions behind any breaker
+	// wrapping above; the model and retraining paths install into all.
+	adms := server.Admissions(eng)
 
 	srv := server.New(eng, server.Config{
 		MaxConns:       *maxConns,
@@ -188,26 +217,28 @@ func main() {
 	})
 
 	if *modelPath != "" {
-		if adm == nil {
+		if len(adms) == 0 {
 			fail(fmt.Errorf("-model requires -mode proposal"))
 		}
 		tree, err := cart.Load(*modelPath)
 		if err != nil {
 			fail(err)
 		}
-		adm.SetClassifier(tree)
-		log.Printf("model: installed %s (%d splits)", *modelPath, tree.NumSplits())
+		for _, adm := range adms {
+			adm.SetClassifier(tree)
+		}
+		log.Printf("model: installed %s (%d splits) into %d shard(s)", *modelPath, tree.NumSplits(), len(adms))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	if adm != nil && retrainHour >= 0 {
+	if len(adms) > 0 && retrainHour >= 0 {
 		v := *costV
 		if v <= 0 {
 			v = core.CostV(capacity)
 		}
-		rt := server.NewRetrainer(adm, server.RetrainerConfig{
+		rt := server.NewRetrainer(adms, server.RetrainerConfig{
 			M:                layer.Criteria.M,
 			CostV:            v,
 			SamplesPerMinute: *samples,
@@ -231,8 +262,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	log.Printf("serving policy=%s filter=%s on %s (shards=%d, max-conns=%d, timeout=%s)",
-		eng.Policy().Name(), eng.Filter().Name(), ln.Addr(), nshards, *maxConns, *reqTO)
+	first := eng.Shards()[0]
+	log.Printf("serving policy=%s filter=%s on %s (engine-shards=%d, shards=%d, max-conns=%d, timeout=%s)",
+		first.Policy().Name(), first.Filter().Name(), ln.Addr(), len(eng.Shards()), nshards, *maxConns, *reqTO)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()

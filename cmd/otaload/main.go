@@ -92,8 +92,13 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown -features %q (auto|on|off)", *featFlag))
 	}
-	log.Printf("daemon: policy=%s filter=%s uptime=%.0fs; replaying %d requests (workers=%d qps=%g features=%v)",
-		st.Policy, st.Filter, st.UptimeSec, len(tr.Requests), *workers, *qps, sendFeatures)
+	log.Printf("daemon: policy=%s filter=%s engine-shards=%d uptime=%.0fs; replaying %d requests (workers=%d qps=%g features=%v)",
+		st.Policy, st.Filter, st.EngineShards, st.UptimeSec, len(tr.Requests), *workers, *qps, sendFeatures)
+	if len(st.Shards) > 1 {
+		for _, sh := range st.Shards {
+			log.Printf("daemon: shard %d: residents=%d bytes=%d", sh.Shard, sh.Residents, sh.ResidentBytes)
+		}
+	}
 
 	rep, err := c.Replay(tr, server.ReplayOptions{
 		Workers:     *workers,

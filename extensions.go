@@ -30,6 +30,13 @@ type (
 	// EngineMetrics is a point-in-time snapshot of an Engine's
 	// counters, with the paper's hit/write-rate accessors.
 	EngineMetrics = engine.Metrics
+	// EngineServer is the serving interface both a single Engine and a
+	// ShardedEngine satisfy — everything downstream (daemon, snapshots,
+	// replay) programs against it.
+	EngineServer = engine.Server
+	// ShardedEngine routes keys over a consistent-hash ring to fully
+	// independent Engines, one per shard, under one global tick stream.
+	ShardedEngine = engine.ShardedEngine
 	// ServingLayer is one assembled cache layer: an Engine plus the
 	// criteria it was solved for — the unit a tiered deployment runs
 	// per OC/DC node.
@@ -47,9 +54,19 @@ func NewEngine(policy Policy, filter Filter) (*Engine, error) {
 
 // BuildServingLayer assembles one serving-ready cache layer from a
 // trace: policy, per-layer criteria, admission filter, and the Engine
-// composing them (next is the trace's next-access index).
+// composing them (next is the trace's next-access index). Set
+// lc.EngineShards > 1 to get a sharded layer (Layer.Server carries the
+// resulting ShardedEngine; Layer.Engine is nil in that case).
 func BuildServingLayer(t *Trace, next []int, cfg TierConfig, lc TierLayer) (*ServingLayer, error) {
 	return tier.BuildLayer(t, next, cfg, lc)
+}
+
+// NewShardedEngine composes already-built engines into a shard-routed
+// server: each engine owns its policy, admission filter, and history;
+// keys are routed by consistent hashing seeded with ringSeed. A
+// one-shard ShardedEngine behaves exactly like its single Engine.
+func NewShardedEngine(shards []*Engine, ringSeed uint64) (*ShardedEngine, error) {
+	return engine.NewShardedEngine(shards, ringSeed)
 }
 
 // Two-tier hierarchy (OC -> DC -> backend).
@@ -110,10 +127,26 @@ type (
 	LiveRetrainer = server.Retrainer
 )
 
-// NewCacheServer wraps an Engine in the HTTP daemon. The Engine's
-// policy must be thread-safe (NewShardedPolicy).
-func NewCacheServer(eng *Engine, cfg CacheServerConfig) *CacheServer {
+// NewCacheServer wraps a serving engine — a single *Engine or a
+// *ShardedEngine — in the HTTP daemon. Each engine's policy must be
+// thread-safe (NewShardedPolicy).
+func NewCacheServer(eng EngineServer, cfg CacheServerConfig) *CacheServer {
 	return server.New(eng, cfg)
+}
+
+// BuildShardedServer assembles a shard-routed daemon from a trace in
+// one step: it builds a serving layer with lc.EngineShards independent
+// engine shards (criteria and bootstrap model solved once, capacity
+// split evenly) and wraps the result in the HTTP server.
+func BuildShardedServer(t *Trace, next []int, cfg TierConfig, lc TierLayer, serverCfg CacheServerConfig) (*CacheServer, *ServingLayer, error) {
+	if lc.EngineShards < 1 {
+		lc.EngineShards = 1
+	}
+	layer, err := tier.BuildLayer(t, next, cfg, lc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return server.New(layer.Server, serverCfg), layer, nil
 }
 
 // NewCacheClient builds a client for a daemon at base (e.g.

@@ -74,14 +74,25 @@ func keyHash(key uint64) uint64 {
 }
 
 // Server returns the server owning key: the first ring point clockwise
-// from the key's hash.
+// from the key's hash. The binary search is hand-rolled — this sits on
+// the serving hot path of every sharded lookup, and sort.Search pays a
+// closure call per probe.
 func (r *Ring) Server(key uint64) int {
 	h := keyHash(key)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0
+	pts := r.points
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return int(r.points[i].server)
+	if lo == len(pts) {
+		lo = 0
+	}
+	return int(pts[lo].server)
 }
 
 // WithoutServer returns a new ring with server s's points removed
@@ -102,6 +113,19 @@ func (r *Ring) WithoutServer(s int) (*Ring, error) {
 		}
 	}
 	return nr, nil
+}
+
+// WithServer returns a new ring grown by one server (id = Servers()),
+// simulating fleet growth. Existing servers keep their virtual points —
+// each server's points derive from its own RNG stream — so only the
+// ~1/(n+1) share of the keyspace that the new server takes over remaps.
+func (r *Ring) WithServer() *Ring {
+	nr := &Ring{servers: r.servers + 1, vnodes: r.vnodes, seed: r.seed}
+	nr.points = make([]ringPoint, len(r.points), len(r.points)+r.vnodes)
+	copy(nr.points, r.points)
+	nr.addPoints(int32(r.servers))
+	sort.Slice(nr.points, func(a, b int) bool { return nr.points[a].hash < nr.points[b].hash })
+	return nr
 }
 
 // Cluster is a fleet of independent cache servers behind a ring.

@@ -77,6 +77,42 @@ func TestRingMinimalRemapping(t *testing.T) {
 	}
 }
 
+func TestRingGrowthMinimalRemapping(t *testing.T) {
+	// Adding an (n+1)-th server must pull ~1/(n+1) of the keys onto the
+	// new server and move NOTHING between the existing servers.
+	r, _ := NewRing(10, 128, 7)
+	bigger := r.WithServer()
+	if bigger.Servers() != 11 {
+		t.Fatalf("servers = %d after growth", bigger.Servers())
+	}
+	const keys = 50000
+	gained := 0
+	for key := uint64(0); key < keys; key++ {
+		before := r.Server(key)
+		after := bigger.Server(key)
+		if after == 10 {
+			gained++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %d moved between surviving servers (%d -> %d)", key, before, after)
+		}
+	}
+	frac := float64(gained) / keys
+	if frac < 0.04 || frac > 0.18 {
+		t.Fatalf("new server took %.3f of keys, want ~%.3f", frac, 1.0/11)
+	}
+
+	// Growth is the inverse of removal: the grown ring must route
+	// identically to a fresh ring of the same size and seed.
+	fresh, _ := NewRing(11, 128, 7)
+	for key := uint64(0); key < keys; key++ {
+		if bigger.Server(key) != fresh.Server(key) {
+			t.Fatalf("key %d: grown ring diverges from fresh ring", key)
+		}
+	}
+}
+
 func TestWithoutServerErrors(t *testing.T) {
 	r, _ := NewRing(2, 16, 1)
 	if _, err := r.WithoutServer(5); err == nil {

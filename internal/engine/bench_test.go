@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -53,9 +54,41 @@ func benchAdmission(b *testing.B) *core.ClassifierAdmission {
 	return adm
 }
 
+// benchSharded splits the benchEngine composition into n independent
+// engine shards behind a ring: total capacity and inner cache shards
+// are divided so every variant manages the same aggregate cache.
+func benchSharded(b *testing.B, n int, classified bool) *ShardedEngine {
+	b.Helper()
+	inner := 16 / n
+	if inner < 1 {
+		inner = 1
+	}
+	shards := make([]*Engine, n)
+	for i := range shards {
+		policy, err := cache.NewSharded((512<<20)/int64(n), inner,
+			func(c int64) cache.Policy { return cache.NewLRU(c) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		var filter core.Filter
+		if classified {
+			filter = benchAdmission(b)
+		}
+		shards[i], err = New(policy, filter)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	se, err := NewShardedEngine(shards, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return se
+}
+
 // benchLookup drives Lookup from b.RunParallel over a Zipf-ish key
 // space — the concurrency profile of the network daemon's hot path.
-func benchLookup(b *testing.B, eng *Engine, withFeat bool) {
+func benchLookup(b *testing.B, eng Server, withFeat bool) {
 	b.Helper()
 	var seed atomic.Int64
 	b.ReportAllocs()
@@ -97,4 +130,27 @@ func BenchmarkLookupAdmitAll(b *testing.B) {
 // rectification on every miss.
 func BenchmarkLookupClassifier(b *testing.B) {
 	benchLookup(b, benchEngine(b, benchAdmission(b)), true)
+}
+
+// BenchmarkLookupShardedAdmitAll measures ring routing over N
+// independent admit-all engines; shards=1 prices the routing layer
+// itself against BenchmarkLookupAdmitAll.
+func BenchmarkLookupShardedAdmitAll(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			benchLookup(b, benchSharded(b, n, false), false)
+		})
+	}
+}
+
+// BenchmarkLookupShardedClassifier measures the contended case sharding
+// exists for: every miss walks a CART and takes its shard's history
+// table lock, so independent per-shard admission state should scale
+// where the single shared table serializes.
+func BenchmarkLookupShardedClassifier(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			benchLookup(b, benchSharded(b, n, true), true)
+		})
+	}
 }

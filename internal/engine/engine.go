@@ -124,6 +124,25 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	}
 }
 
+// Add returns the field-wise sum m + other. ShardedEngine.Snapshot
+// folds its shards' snapshots through Add, so — like Sub — the method
+// must name every field: a counter missing here would silently vanish
+// from every aggregated metric (the metricsync analyzer enforces this).
+func (m Metrics) Add(other Metrics) Metrics {
+	return Metrics{
+		Requests:   m.Requests + other.Requests,
+		Hits:       m.Hits + other.Hits,
+		HitBytes:   m.HitBytes + other.HitBytes,
+		Misses:     m.Misses + other.Misses,
+		Writes:     m.Writes + other.Writes,
+		WriteBytes: m.WriteBytes + other.WriteBytes,
+		Bypassed:   m.Bypassed + other.Bypassed,
+		Rectified:  m.Rectified + other.Rectified,
+		Degraded:   m.Degraded + other.Degraded,
+		TotalBytes: m.TotalBytes + other.TotalBytes,
+	}
+}
+
 // New assembles an Engine. filter == nil means admit every miss
 // (core.AdmitAll, the paper's "Original" behaviour).
 func New(policy cache.Policy, filter core.Filter) (*Engine, error) {
@@ -146,7 +165,22 @@ func (e *Engine) Filter() core.Filter { return e.filter }
 // callers pass their own request index instead; a live server that has
 // no global request ordering uses this counter for the history table's
 // reaccess distances.
-func (e *Engine) NextTick() int { return int(e.tick.Add(1) - 1) }
+func (e *Engine) NextTick() int { return nextTick(&e.tick) }
+
+// nextTick draws the next tick from c and converts it to the int the
+// rest of the pipeline speaks. The conversion is guarded: on a 32-bit
+// platform a counter past MaxInt32 would otherwise wrap silently and
+// corrupt every reaccess distance downstream, so overflowing int is a
+// hard fault rather than quiet data corruption. (At 100k req/s that is
+// ~6 hours of 32-bit uptime — reachable in production, unreachable by
+// accident in tests.)
+func nextTick(c *atomic.Int64) int {
+	t := c.Add(1) - 1
+	if int64(int(t)) != t {
+		panic(fmt.Sprintf("engine: tick %d overflows int on this platform", t))
+	}
+	return int(t)
+}
 
 // Tick returns the next tick NextTick would hand out, without
 // consuming it — the value a snapshot persists.

@@ -41,6 +41,23 @@ func TestMetricsSubCoversEveryField(t *testing.T) {
 	}
 }
 
+// TestMetricsAddCoversEveryField is Sub's mirror for the sharded
+// aggregation path: Add must sum every counter, or ShardedEngine's
+// Snapshot silently drops the forgotten field from every shard.
+func TestMetricsAddCoversEveryField(t *testing.T) {
+	a := distinctMetrics(t, 1000)
+	b := distinctMetrics(t, 7)
+	got := reflect.ValueOf(a.Add(b))
+	typ := got.Type()
+	for i := 0; i < got.NumField(); i++ {
+		want := 1007 * int64(i+1)
+		if g := got.Field(i).Int(); g != want {
+			t.Errorf("Add dropped or miscomputed field %s: got %d, want %d",
+				typ.Field(i).Name, g, want)
+		}
+	}
+}
+
 // TestMetricsJSONRoundTripsEveryField guards the /stats wire surface:
 // every Metrics field must survive a JSON round trip, so an unexported
 // or json:"-" field (invisible to scrapers) fails here.

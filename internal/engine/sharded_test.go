@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"otacache/internal/cache"
+)
+
+// newTestSharded builds an n-shard engine over admit-all LRUs, each
+// shard with its own perShard-byte thread-safe policy (concurrent use
+// requires every shard engine to be concurrency-safe, as in the
+// daemon's composition).
+func newTestSharded(t *testing.T, n int, perShard int64) *ShardedEngine {
+	t.Helper()
+	shards := make([]*Engine, n)
+	for i := range shards {
+		policy, err := cache.NewSharded(perShard, 1, func(c int64) cache.Policy { return cache.NewLRU(c) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(policy, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = eng
+	}
+	se, err := NewShardedEngine(shards, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se
+}
+
+func TestNewShardedEngineValidation(t *testing.T) {
+	if _, err := NewShardedEngine(nil, 1); err == nil {
+		t.Fatal("empty shard list must error")
+	}
+	eng, err := New(cache.NewLRU(1024), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedEngine([]*Engine{eng, nil}, 1); err == nil {
+		t.Fatal("nil shard must error")
+	}
+}
+
+// TestShardedEngineRouting pins the routing contract: ShardFor is
+// deterministic, Lookup lands on exactly the shard ShardFor names, and
+// a realistic key space spreads over every shard.
+func TestShardedEngineRouting(t *testing.T) {
+	se := newTestSharded(t, 4, 1<<20)
+	used := make([]int, 4)
+	for key := uint64(0); key < 4096; key++ {
+		dest := se.ShardFor(key)
+		if dest < 0 || dest >= 4 {
+			t.Fatalf("ShardFor(%d) = %d, out of range", key, dest)
+		}
+		if again := se.ShardFor(key); again != dest {
+			t.Fatalf("ShardFor(%d) unstable: %d then %d", key, dest, again)
+		}
+		se.Lookup(key, 64, se.NextTick(), nil)
+		for i, sh := range se.Shards() {
+			if sh.Policy().Contains(key) != (i == dest) {
+				t.Fatalf("key %d routed to shard %d, found on shard %d", key, dest, i)
+			}
+		}
+		used[dest]++
+	}
+	for i, n := range used {
+		if n == 0 {
+			t.Fatalf("shard %d received no keys out of 4096", i)
+		}
+	}
+}
+
+// TestShardedEngineGlobalTick pins the one-counter contract: ticks are
+// unique across shards and ResumeTick fast-forwards the shared stream.
+func TestShardedEngineGlobalTick(t *testing.T) {
+	se := newTestSharded(t, 3, 1<<20)
+	for i := 0; i < 10; i++ {
+		if got := se.NextTick(); got != i {
+			t.Fatalf("tick %d, want %d", got, i)
+		}
+	}
+	if se.Tick() != 10 {
+		t.Fatalf("Tick() = %d, want 10", se.Tick())
+	}
+	se.ResumeTick(1000)
+	if got := se.NextTick(); got != 1000 {
+		t.Fatalf("resumed tick %d, want 1000", got)
+	}
+	// Per-shard engines must not have been handing out ticks of their
+	// own: the shard counters stay untouched by routed traffic.
+	se.Lookup(42, 64, se.NextTick(), nil)
+	for i, sh := range se.Shards() {
+		if sh.Tick() != 0 {
+			t.Fatalf("shard %d grew a private tick counter (%d)", i, sh.Tick())
+		}
+	}
+}
+
+// TestShardedEngineOneShardMatchesEngine is the golden-equivalence
+// anchor: a one-shard ShardedEngine must reproduce a bare Engine's
+// outcomes and counters exactly, request for request.
+func TestShardedEngineOneShardMatchesEngine(t *testing.T) {
+	bare, err := New(cache.NewLRU(1<<12), oddBypass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := New(cache.NewLRU(1<<12), oddBypass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewShardedEngine([]*Engine{inner}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		key := uint64(i*i%257 + i%17)
+		size := int64(32 + key%128)
+		a := bare.Lookup(key, size, bare.NextTick(), nil)
+		b := se.Lookup(key, size, se.NextTick(), nil)
+		if a != b {
+			t.Fatalf("request %d diverged: bare %+v, sharded %+v", i, a, b)
+		}
+	}
+	if am, bm := bare.Snapshot(), se.Snapshot(); am != bm {
+		t.Fatalf("counters diverged:\n  bare: %+v\nsharded: %+v", am, bm)
+	}
+	if se.ShardFor(12345) != 0 {
+		t.Fatal("one-shard engine must own every key")
+	}
+}
+
+// TestShardedEngineSnapshotSumsEveryField loads distinct values into
+// every shard's atomic counters and checks, by reflection over the
+// Metrics fields, that the sharded Snapshot is the exact field-wise sum
+// of the shard snapshots — so a counter added to Metrics but skipped by
+// Add can never ship.
+func TestShardedEngineSnapshotSumsEveryField(t *testing.T) {
+	se := newTestSharded(t, 3, 1<<20)
+	for si, sh := range se.Shards() {
+		salt := int64(si+1) * 1000
+		sh.requests.Store(salt + 1)
+		sh.hits.Store(salt + 2)
+		sh.hitBytes.Store(salt + 3)
+		sh.misses.Store(salt + 4)
+		sh.writes.Store(salt + 5)
+		sh.writeBytes.Store(salt + 6)
+		sh.bypassed.Store(salt + 7)
+		sh.rectified.Store(salt + 8)
+		sh.degraded.Store(salt + 9)
+		sh.totalBytes.Store(salt + 10)
+	}
+	var want Metrics
+	wv := reflect.ValueOf(&want).Elem()
+	for _, sh := range se.Shards() {
+		sv := reflect.ValueOf(sh.Snapshot())
+		for i := 0; i < sv.NumField(); i++ {
+			wv.Field(i).SetInt(wv.Field(i).Int() + sv.Field(i).Int())
+		}
+	}
+	got := se.Snapshot()
+	if got != want {
+		t.Fatalf("Snapshot is not the field-wise shard sum:\n got: %+v\nwant: %+v", got, want)
+	}
+	gv := reflect.ValueOf(got)
+	for i := 0; i < gv.NumField(); i++ {
+		if gv.Field(i).Int() == 0 {
+			t.Fatalf("field %s summed to zero; a counter is not aggregated",
+				gv.Type().Field(i).Name)
+		}
+	}
+}
+
+// TestShardedEngineConcurrentStress hammers a 4-shard engine from many
+// goroutines; under -race this is the ShardedEngine thread-safety
+// proof, and the exact request count catches lost routing.
+func TestShardedEngineConcurrentStress(t *testing.T) {
+	se := newTestSharded(t, 4, 1<<16)
+	const goroutines, opsPer = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := uint64((g*opsPer + i) % 1024)
+				se.Lookup(key, int64(1+key%64), se.NextTick(), nil)
+				if i%512 == 0 {
+					_ = se.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	m := se.Snapshot()
+	if total := int64(goroutines * opsPer); m.Requests != total {
+		t.Fatalf("requests = %d, want %d", m.Requests, total)
+	}
+	if m.Hits+m.Misses != m.Requests {
+		t.Fatalf("hits %d + misses %d != requests %d", m.Hits, m.Misses, m.Requests)
+	}
+	if se.Tick() != int64(goroutines*opsPer) {
+		t.Fatalf("global tick = %d, want %d", se.Tick(), goroutines*opsPer)
+	}
+}

@@ -1,12 +1,14 @@
 // Package metricsync implements the metrics-coverage analyzer: every
-// field of a Metrics counter struct must flow through all three legs
-// of the observability pipeline — the interval subtraction (Sub), the
+// field of a Metrics counter struct must flow through all legs of the
+// observability pipeline — the interval subtraction (Sub), the
+// cross-shard aggregation (Add, when the type defines one), the
 // point-in-time snapshot constructor (Snapshot), and the JSON wire
 // encoding (/stats). A counter added to the struct but forgotten in
-// Sub reports a zero interval forever; one tagged out of the JSON
-// encoding vanishes from /stats; either way the operator flying the
-// daemon loses an instrument without any test failing. (This nearly
-// happened to Degraded when the circuit breaker landed.)
+// Sub reports a zero interval forever; one skipped in Add vanishes
+// from every sharded aggregate; one tagged out of the JSON encoding
+// vanishes from /stats; either way the operator flying the daemon
+// loses an instrument without any test failing. (This nearly happened
+// to Degraded when the circuit breaker landed.)
 //
 // The analyzer triggers by shape, not by package: any struct type named
 // Metrics that has a `func (Metrics) Sub(Metrics) Metrics` method is
@@ -31,6 +33,9 @@ type Config struct {
 	TypeName string
 	// SubMethod is the interval-delta method (default "Sub").
 	SubMethod string
+	// AddMethod is the cross-shard aggregation method (default "Add");
+	// checked when the type defines it with the same func(T) T shape.
+	AddMethod string
 	// SnapshotMethod is the constructor loading the live counters
 	// (default "Snapshot").
 	SnapshotMethod string
@@ -42,6 +47,9 @@ func (c *Config) normalize() {
 	}
 	if c.SubMethod == "" {
 		c.SubMethod = "Sub"
+	}
+	if c.AddMethod == "" {
+		c.AddMethod = "Add"
 	}
 	if c.SnapshotMethod == "" {
 		c.SnapshotMethod = "Snapshot"
@@ -56,7 +64,7 @@ func New(cfg Config) *analysis.Analyzer {
 	cfg.normalize()
 	a := &analysis.Analyzer{
 		Name: "metricsync",
-		Doc: "every field of a Metrics struct must appear in Sub, in Snapshot, " +
+		Doc: "every field of a Metrics struct must appear in Sub, in Add, in Snapshot, " +
 			"and in the JSON wire encoding (/stats)",
 	}
 	a.Run = func(pass *analysis.Pass) error {
@@ -106,6 +114,11 @@ func New(cfg Config) *analysis.Analyzer {
 					if recvIs(pass, fd, named) {
 						checkLiterals(pass, fd, named, fields,
 							"not subtracted in "+cfg.SubMethod+" (interval metrics would report zero forever)")
+					}
+				case cfg.AddMethod:
+					if recvIs(pass, fd, named) && hasSubMethod(named, cfg.AddMethod) {
+						checkLiterals(pass, fd, named, fields,
+							"not summed in "+cfg.AddMethod+" (sharded aggregates would drop the counter)")
 					}
 				case cfg.SnapshotMethod:
 					if returnsType(pass, fd, named) {

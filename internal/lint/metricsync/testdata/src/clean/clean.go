@@ -1,5 +1,5 @@
-// Package clean keeps every counter in all three legs; metricsync
-// reports nothing here.
+// Package clean keeps every counter in every leg; metricsync reports
+// nothing here.
 package clean
 
 type Metrics struct {
@@ -13,6 +13,14 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		Requests: m.Requests - prev.Requests,
 		Hits:     m.Hits - prev.Hits,
 		Misses:   m.Misses - prev.Misses,
+	}
+}
+
+func (m Metrics) Add(o Metrics) Metrics {
+	return Metrics{
+		Requests: m.Requests + o.Requests,
+		Hits:     m.Hits + o.Hits,
+		Misses:   m.Misses + o.Misses,
 	}
 }
 

@@ -23,9 +23,14 @@ import (
 // Observe sits on the serving path under one mutex; it does map work
 // only, never training. Training happens in RetrainNow, which snapshots
 // the matured set under the lock and trains outside it.
+//
+// A sharded engine has one admission system per shard but one
+// retrainer: samples are drawn from the global request stream (ticks
+// are global, so reaccess distances stay well-defined across shards)
+// and each fresh tree is installed into every shard's admission.
 type Retrainer struct {
-	adm *core.ClassifierAdmission
-	cfg RetrainerConfig
+	adms []*core.ClassifierAdmission
+	cfg  RetrainerConfig
 
 	mu      sync.Mutex
 	pending []liveSample
@@ -79,14 +84,17 @@ type liveSample struct {
 	labeled bool // reaccessed within M -> known not one-time
 }
 
-// NewRetrainer builds a retrainer feeding the given admission system.
-func NewRetrainer(adm *core.ClassifierAdmission, cfg RetrainerConfig) *Retrainer {
+// NewRetrainer builds a retrainer feeding the given admission systems —
+// one per engine shard (a single-engine daemon passes a slice of one).
+// Every installed tree goes to all of them. At least one admission is
+// required when cfg.M is unset, since M defaults from the criteria.
+func NewRetrainer(adms []*core.ClassifierAdmission, cfg RetrainerConfig) *Retrainer {
 	cfg.normalize()
 	if cfg.M <= 0 {
-		cfg.M = adm.M()
+		cfg.M = adms[0].M()
 	}
 	return &Retrainer{
-		adm:   adm,
+		adms:  adms,
 		cfg:   cfg,
 		byKey: make(map[uint64][]int),
 		// The matured buffer only enforces the retention horizon; the
@@ -260,7 +268,9 @@ func (rt *Retrainer) retrain() RetrainResult {
 		res.Err = err.Error()
 		return res
 	}
-	rt.adm.SetClassifier(tree)
+	for _, adm := range rt.adms {
+		adm.SetClassifier(tree)
+	}
 	rt.mu.Lock()
 	rt.retrainings++
 	rt.mu.Unlock()

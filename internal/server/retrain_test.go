@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"otacache/internal/core"
 	"otacache/internal/mlcore"
 )
 
@@ -22,7 +23,7 @@ func fakeClock() func() time.Time {
 // reaccessed matures as one-time once its window passes.
 func TestRetrainerLabelsByReaccess(t *testing.T) {
 	adm := trainThresholdTree(t, 0.5, false)
-	rt := NewRetrainer(adm, RetrainerConfig{M: 10, SamplesPerMinute: 1 << 20, MinSamples: 1})
+	rt := NewRetrainer([]*core.ClassifierAdmission{adm}, RetrainerConfig{M: 10, SamplesPerMinute: 1 << 20, MinSamples: 1})
 	rt.now = fakeClock()
 
 	feat := []float64{0.1, 0, 0, 0, 0}
@@ -48,7 +49,7 @@ func TestRetrainerLabelsByReaccess(t *testing.T) {
 func TestRetrainerRetrainsAndSwaps(t *testing.T) {
 	adm := trainThresholdTree(t, 0.5, false)
 	before := adm.Classifier()
-	rt := NewRetrainer(adm, RetrainerConfig{M: 4, CostV: 1, SamplesPerMinute: 1 << 20, MinSamples: 50})
+	rt := NewRetrainer([]*core.ClassifierAdmission{adm}, RetrainerConfig{M: 4, CostV: 1, SamplesPerMinute: 1 << 20, MinSamples: 50})
 	rt.now = fakeClock()
 
 	// Interleave reaccessed keys (even, not one-time) with one-shot keys
@@ -97,7 +98,7 @@ func TestRetrainerRetrainsAndSwaps(t *testing.T) {
 func TestRetrainerKeepsModelOnDegenerateWindow(t *testing.T) {
 	adm := trainThresholdTree(t, 0.5, false)
 	before := adm.Classifier()
-	rt := NewRetrainer(adm, RetrainerConfig{M: 2, SamplesPerMinute: 1 << 20, MinSamples: 10})
+	rt := NewRetrainer([]*core.ClassifierAdmission{adm}, RetrainerConfig{M: 2, SamplesPerMinute: 1 << 20, MinSamples: 10})
 	rt.now = fakeClock()
 
 	if res := rt.RetrainNow(); res.Retrained || res.Err == "" {
@@ -121,7 +122,7 @@ func TestRetrainerKeepsModelOnDegenerateWindow(t *testing.T) {
 // growth while unsampled requests still mature and label.
 func TestRetrainerSamplingBudget(t *testing.T) {
 	adm := trainThresholdTree(t, 0.5, false)
-	rt := NewRetrainer(adm, RetrainerConfig{M: 5, SamplesPerMinute: 3, MinSamples: 1})
+	rt := NewRetrainer([]*core.ClassifierAdmission{adm}, RetrainerConfig{M: 5, SamplesPerMinute: 3, MinSamples: 1})
 	// Freeze the clock inside one minute.
 	rt.now = func() time.Time { return time.Unix(90, 0) }
 

@@ -1,10 +1,12 @@
 // Package server puts the serving engine on the network: an HTTP cache
-// daemon (otacached) exposing engine.Engine — the sharded replacement
-// policy plus the paper's classification-system admission — to remote
-// clients, with the operational surface a production cache node needs:
-// interval and cumulative metrics, classifier hot-swap (the wire-level
-// analogue of the §4.4.3 daily retrain), live retraining from served
-// traffic, per-request timeouts, a connection cap, and graceful drain.
+// daemon (otacached) exposing an engine.Server — a single engine.Engine
+// or an engine.ShardedEngine routing keys over a consistent-hash ring
+// to independent engine shards — to remote clients, with the
+// operational surface a production cache node needs: interval,
+// cumulative, and per-shard metrics, classifier hot-swap across all
+// shards (the wire-level analogue of the §4.4.3 daily retrain), live
+// retraining from served traffic, per-request timeouts, a connection
+// cap, and graceful drain.
 //
 // # Wire protocol
 //
@@ -29,7 +31,9 @@
 // Control plane:
 //
 //	GET /stats             cumulative and interval engine.Metrics as
-//	                       JSON. The interval window is since the
+//	                       JSON, plus a per-shard breakdown (counters,
+//	                       occupancy, breaker state for each engine
+//	                       shard). The interval window is since the
 //	                       previous /stats scrape (one scraper assumed).
 //	GET /healthz           liveness probe.
 //	GET /readyz            readiness probe: 503 while a snapshot is
@@ -37,7 +41,9 @@
 //	                       once object traffic will be served.
 //	PUT /admin/classifier  hot-swap: body is a cart.Tree binary stream
 //	                       (cart.(*Tree).WriteTo / cmd/trainer -save);
-//	                       subsequent admissions use the new model.
+//	                       the model is installed into every engine
+//	                       shard under one swap lock, so concurrent
+//	                       swaps cannot leave shards on mixed models.
 //	POST /admin/retrain    train a fresh tree from the attached
 //	                       retrainer's matured live samples and install
 //	                       it (the on-demand form of the daily retrain).
@@ -85,20 +91,30 @@ func (c *Config) normalize() {
 	}
 }
 
-// Server serves one engine.Engine over HTTP. The composed policy and
-// filter must be safe for concurrent use (a cache.Sharded policy and
-// any of the lock-protected filters), since every request runs on its
-// own connection goroutine.
+// Server serves one engine.Server over HTTP — a plain engine.Engine or
+// a ShardedEngine. Every shard's composed policy and filter must be
+// safe for concurrent use (a cache.Sharded policy and any of the
+// lock-protected filters), since every request runs on its own
+// connection goroutine.
 type Server struct {
-	eng *engine.Engine
+	eng engine.Server
 	cfg Config
-	// admission is the engine's admission system when one is composed
-	// (possibly behind a circuit breaker), enabling the hot-swap and
-	// retrain endpoints.
-	admission *core.ClassifierAdmission
-	// breaker is the engine's circuit breaker when one wraps the filter,
-	// surfaced through /stats.
-	breaker   *engine.Breaker
+	// shards caches eng.Shards(); the slices below are indexed by shard.
+	shards []*engine.Engine
+	// admissions holds each shard's admission system when one is
+	// composed (possibly behind a circuit breaker), enabling the
+	// hot-swap and retrain endpoints; nil entries mean that shard has
+	// none.
+	admissions []*core.ClassifierAdmission
+	// classified reports that at least one shard runs the classifier,
+	// so object requests must carry features.
+	classified bool
+	// breakers holds each shard's circuit breaker when one wraps its
+	// filter (nil entries otherwise), surfaced through /stats.
+	breakers []*engine.Breaker
+	// swapMu serializes classifier installs across shards: a swap is
+	// atomic with respect to other swaps, never half-applied.
+	swapMu    sync.Mutex
 	retrainer *Retrainer
 	snap      *Snapshotter
 	httpSrv   *http.Server
@@ -122,17 +138,25 @@ type Server struct {
 	testHookRequest func()
 }
 
-// New wraps an engine for serving. The classifier admin endpoints are
-// enabled automatically when the engine's filter is the classification
-// system, directly or behind a circuit breaker. A new server is ready;
-// use SetNotReady around snapshot restoration.
-func New(eng *engine.Engine, cfg Config) *Server {
+// New wraps an engine (single or sharded) for serving. The classifier
+// admin endpoints are enabled automatically when the shard filters are
+// the classification system, directly or behind a circuit breaker. A
+// new server is ready; use SetNotReady around snapshot restoration.
+func New(eng engine.Server, cfg Config) *Server {
 	cfg.normalize()
 	s := &Server{eng: eng, cfg: cfg, clock: faults.WallClock{}}
 	s.started = s.clock.Now()
 	s.notReady.Store("")
-	s.breaker, _ = eng.Filter().(*engine.Breaker)
-	s.admission = findAdmission(eng.Filter())
+	s.shards = eng.Shards()
+	s.admissions = make([]*core.ClassifierAdmission, len(s.shards))
+	s.breakers = make([]*engine.Breaker, len(s.shards))
+	for i, sh := range s.shards {
+		s.breakers[i], _ = sh.Filter().(*engine.Breaker)
+		s.admissions[i] = findAdmission(sh.Filter())
+		if s.admissions[i] != nil {
+			s.classified = true
+		}
+	}
 	s.httpSrv = &http.Server{
 		Handler:           http.TimeoutHandler(s.recoverPanics(s.mux()), cfg.RequestTimeout, "request timeout\n"),
 		ReadHeaderTimeout: cfg.RequestTimeout,
@@ -199,8 +223,22 @@ func (s *Server) SetReady() { s.notReady.Store("") }
 // Ready reports whether the daemon currently serves /readyz with 200.
 func (s *Server) Ready() bool { return s.notReady.Load().(string) == "" }
 
-// Engine returns the served engine.
-func (s *Server) Engine() *engine.Engine { return s.eng }
+// Engine returns the served engine (single or sharded).
+func (s *Server) Engine() engine.Server { return s.eng }
+
+// Admissions returns the per-shard admission systems behind eng's
+// filters (unwrapping circuit breakers), in shard order, dropping
+// shards that run without one. The daemon uses it to point the
+// retrainer and the -model install at every shard.
+func Admissions(eng engine.Server) []*core.ClassifierAdmission {
+	var out []*core.ClassifierAdmission
+	for _, sh := range eng.Shards() {
+		if adm := findAdmission(sh.Filter()); adm != nil {
+			out = append(out, adm)
+		}
+	}
+	return out
+}
 
 // AttachRetrainer wires a live retrainer into the serving path: every
 // object request is observed for sampling and labeling, and the
@@ -294,7 +332,7 @@ func (s *Server) parseObject(r *http.Request) (key uint64, size int64, feat []fl
 	if s.cfg.NumFeatures > 0 && feat != nil && len(feat) != s.cfg.NumFeatures {
 		return 0, 0, nil, fmt.Errorf("X-Ota-Feat has %d features, want %d", len(feat), s.cfg.NumFeatures)
 	}
-	if s.admission != nil && feat == nil {
+	if s.classified && feat == nil {
 		return 0, 0, nil, fmt.Errorf("classifier admission requires X-Ota-Feat")
 	}
 	return key, size, feat, nil
@@ -365,16 +403,36 @@ type Stats struct {
 	Ready bool
 	// PanicsRecovered counts handler panics the middleware absorbed.
 	PanicsRecovered int64
-	// Breaker reports the admission circuit breaker (nil when the
-	// engine runs without one).
+	// Breaker reports the admission circuit breaker of a single-shard
+	// engine (nil without one). A sharded engine has one breaker per
+	// shard — see Shards.
 	Breaker *BreakerStats `json:",omitempty"`
-	// Residents and ResidentBytes are the policy's current occupancy —
-	// nonzero right after a snapshot restore even though the counters
-	// start at zero.
+	// Residents and ResidentBytes are the policies' current occupancy,
+	// summed across shards — nonzero right after a snapshot restore
+	// even though the counters start at zero.
 	Residents     int
 	ResidentBytes int64
 	Cumulative    engine.Metrics
 	Interval      engine.Metrics
+	// EngineShards is the number of independent engine shards behind
+	// the ring (1 for a plain Engine).
+	EngineShards int
+	// Shards breaks the aggregate down per engine shard, in shard
+	// order; Cumulative above is their field-wise sum.
+	Shards []ShardStats
+}
+
+// ShardStats is one engine shard's slice of the /stats payload.
+type ShardStats struct {
+	// Shard is the index into the ring's shard list.
+	Shard int
+	// Residents and ResidentBytes are this shard's policy occupancy.
+	Residents     int
+	ResidentBytes int64
+	// Breaker reports this shard's circuit breaker (nil without one).
+	Breaker *BreakerStats `json:",omitempty"`
+	// Cumulative is this shard's counters since boot.
+	Cumulative engine.Metrics
 }
 
 // BreakerStats is the admission breaker's observable state.
@@ -398,34 +456,54 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.lastScan = cur
 	s.statsMu.Unlock()
 	st := Stats{
-		Policy:          s.eng.Policy().Name(),
-		Filter:          s.eng.Filter().Name(),
+		Policy:          s.shards[0].Policy().Name(),
+		Filter:          s.shards[0].Filter().Name(),
 		UptimeSec:       s.clock.Now().Sub(s.started).Seconds(),
 		Ready:           s.Ready(),
 		PanicsRecovered: s.panics.Load(),
-		Residents:       s.eng.Policy().Len(),
-		ResidentBytes:   s.eng.Policy().Used(),
 		Cumulative:      cur,
 		Interval:        interval,
+		EngineShards:    len(s.shards),
+		Shards:          make([]ShardStats, len(s.shards)),
 	}
-	if s.breaker != nil {
-		bs := &BreakerStats{
-			State:    s.breaker.State().String(),
-			Opens:    s.breaker.Opens(),
-			Failures: s.breaker.Failures(),
-			Fallback: s.breaker.Fallback().Name(),
+	for i, sh := range s.shards {
+		ss := ShardStats{
+			Shard:         i,
+			Residents:     sh.Policy().Len(),
+			ResidentBytes: sh.Policy().Used(),
+			Breaker:       breakerStats(s.breakers[i]),
+			Cumulative:    sh.Snapshot(),
 		}
-		if err := s.breaker.LastError(); err != nil {
-			bs.LastError = err.Error()
-		}
-		st.Breaker = bs
+		st.Residents += ss.Residents
+		st.ResidentBytes += ss.ResidentBytes
+		st.Shards[i] = ss
+	}
+	if len(s.shards) == 1 {
+		st.Breaker = st.Shards[0].Breaker
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
 }
 
+// breakerStats renders one shard's breaker state (nil in, nil out).
+func breakerStats(br *engine.Breaker) *BreakerStats {
+	if br == nil {
+		return nil
+	}
+	bs := &BreakerStats{
+		State:    br.State().String(),
+		Opens:    br.Opens(),
+		Failures: br.Failures(),
+		Fallback: br.Fallback().Name(),
+	}
+	if err := br.LastError(); err != nil {
+		bs.LastError = err.Error()
+	}
+	return bs
+}
+
 func (s *Server) handleSwapClassifier(w http.ResponseWriter, r *http.Request) {
-	if s.admission == nil {
+	if !s.classified {
 		http.Error(w, "engine has no classifier admission", http.StatusConflict)
 		return
 	}
@@ -439,11 +517,23 @@ func (s *Server) handleSwapClassifier(w http.ResponseWriter, r *http.Request) {
 			tree.MaxFeature(), s.cfg.NumFeatures), http.StatusBadRequest)
 		return
 	}
-	s.admission.SetClassifier(tree)
+	// One lock around the whole install: concurrent swap requests are
+	// serialized, so every shard always ends on the same (last) model
+	// instead of an interleaved mix.
+	s.swapMu.Lock()
+	installed := 0
+	for _, adm := range s.admissions {
+		if adm != nil {
+			adm.SetClassifier(tree)
+			installed++
+		}
+	}
+	s.swapMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]int{
 		"splits": tree.NumSplits(),
 		"height": tree.Height(),
+		"shards": installed,
 	})
 }
 

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"otacache/internal/cache"
+	"otacache/internal/engine"
+	"otacache/internal/features"
+	"otacache/internal/mlcore"
+	"otacache/internal/tier"
+	"otacache/internal/trace"
+)
+
+// buildShardedE2ELayer is buildE2ELayer with N independent engine
+// shards: criteria and bootstrap model solved once, capacity split.
+func buildShardedE2ELayer(t *testing.T, tr *trace.Trace, next []int, nshards int) *tier.Layer {
+	t.Helper()
+	layer, err := tier.BuildLayer(tr, next, tier.Config{
+		SamplesPerMinute: 100,
+		Seed:             7,
+	}, tier.LayerConfig{
+		Policy:       "lru",
+		CacheBytes:   int64(float64(tr.TotalBytes()) * 0.10),
+		Filter:       tier.Classifier,
+		Shards:       4,
+		EngineShards: nshards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layer
+}
+
+// newShardedTestEngine assembles n admit-all engine shards behind a
+// ring, each with its own thread-safe policy.
+func newShardedTestEngine(t testing.TB, n int) *engine.ShardedEngine {
+	t.Helper()
+	shards := make([]*engine.Engine, n)
+	for i := range shards {
+		policy, err := cache.NewSharded(1<<20, 2, func(c int64) cache.Policy { return cache.NewLRU(c) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i], err = engine.New(policy, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	se, err := engine.NewShardedEngine(shards, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se
+}
+
+// TestE2EShardedServerMatchesInProcess extends the wire-equivalence
+// criterion to the sharded core: a 4-shard daemon replayed sequentially
+// over HTTP must reproduce, counter for counter, the same trace driven
+// through an identically built 4-shard engine in-process.
+func TestE2EShardedServerMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two sharded classifier layers from an 8k-photo trace")
+	}
+	tr, err := trace.Generate(trace.DefaultConfig(7, 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := trace.BuildNextAccess(tr)
+	cols := features.PaperSelected()
+
+	ref := buildShardedE2ELayer(t, tr, next, 4)
+	if ref.Engine != nil {
+		t.Fatal("sharded layer must not expose a single Engine")
+	}
+	newTraceWalker(tr).replayRange(0, len(tr.Requests), ref)
+	want := ref.Server.Snapshot()
+	if want.Requests != int64(len(tr.Requests)) || want.Hits == 0 || want.Bypassed == 0 {
+		t.Fatalf("degenerate reference run: %+v", want)
+	}
+
+	layer := buildShardedE2ELayer(t, tr, next, 4)
+	srv := New(layer.Server, Config{NumFeatures: len(cols)})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	c := NewClient(hs.URL, 1)
+	rep, err := c.Replay(tr, ReplayOptions{Workers: 1, Features: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d of %d requests failed", rep.Errors, rep.Requests)
+	}
+	if rep.Delta != want {
+		t.Errorf("sharded server counters diverge from in-process run:\n  server:     %+v\n  in-process: %+v", rep.Delta, want)
+	}
+}
+
+// TestShardedGoldenOneShardEquivalence pins the refactor's golden
+// anchor at the layer level: a layer built with EngineShards=1 must
+// replay a full classifier trace with exactly the counters of the
+// pre-refactor single-engine build.
+func TestShardedGoldenOneShardEquivalence(t *testing.T) {
+	tr, err := trace.Generate(trace.DefaultConfig(11, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := trace.BuildNextAccess(tr)
+
+	single := buildE2ELayer(t, tr, next)
+	wrapped := buildE2ELayer(t, tr, next)
+	se, err := engine.NewShardedEngine([]*engine.Engine{wrapped.Engine}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped.Server = se
+
+	w := newTraceWalker(tr)
+	w.replayRange(0, len(tr.Requests), single, wrapped)
+	sm, wm := single.Server.Snapshot(), wrapped.Server.Snapshot()
+	if sm != wm {
+		t.Fatalf("one-shard ShardedEngine diverged from single Engine:\n single: %+v\nsharded: %+v", sm, wm)
+	}
+	if sm.Hits == 0 || sm.Bypassed == 0 {
+		t.Fatalf("degenerate replay: %+v", sm)
+	}
+}
+
+// TestShardedStatsPerShard pins the /stats breakdown: EngineShards,
+// one ShardStats entry per shard, and aggregate counters and occupancy
+// equal to the field-wise shard sums.
+func TestShardedStatsPerShard(t *testing.T) {
+	se := newShardedTestEngine(t, 3)
+	s := New(se, Config{})
+	_, c := startTestServer(t, s)
+
+	for i := 0; i < 300; i++ {
+		if _, err := c.Lookup(uint64(i%100), 1000, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EngineShards != 3 || len(st.Shards) != 3 {
+		t.Fatalf("EngineShards=%d len(Shards)=%d, want 3/3", st.EngineShards, len(st.Shards))
+	}
+	if st.Breaker != nil {
+		t.Fatal("multi-shard top-level Breaker must be omitted")
+	}
+	var reqs int64
+	var residents int
+	var bytes int64
+	for i, ss := range st.Shards {
+		if ss.Shard != i {
+			t.Fatalf("shard %d reports index %d", i, ss.Shard)
+		}
+		if ss.Cumulative.Requests == 0 {
+			t.Fatalf("shard %d saw no traffic; routing is not spreading", i)
+		}
+		reqs += ss.Cumulative.Requests
+		residents += ss.Residents
+		bytes += ss.ResidentBytes
+	}
+	if reqs != st.Cumulative.Requests || st.Cumulative.Requests != 300 {
+		t.Fatalf("shard requests sum to %d, aggregate %d, want 300", reqs, st.Cumulative.Requests)
+	}
+	if residents != st.Residents || bytes != st.ResidentBytes {
+		t.Fatalf("occupancy sums %d/%d diverge from aggregate %d/%d",
+			residents, bytes, st.Residents, st.ResidentBytes)
+	}
+}
+
+// TestShardedSwapClassifierAllShards pins the atomic hot-swap: one
+// /admin/classifier upload must land the same model in every shard's
+// admission system.
+func TestShardedSwapClassifierAllShards(t *testing.T) {
+	shards := make([]*engine.Engine, 3)
+	for i := range shards {
+		policy, err := cache.NewSharded(1<<20, 2, func(c int64) cache.Policy { return cache.NewLRU(c) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i], err = engine.New(policy, trainThresholdTree(t, 0.5, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	se, err := engine.NewShardedEngine(shards, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adms := Admissions(se)
+	if len(adms) != 3 {
+		t.Fatalf("found %d admissions, want 3", len(adms))
+	}
+	before := make([]mlcore.Classifier, len(adms))
+	for i, adm := range adms {
+		before[i] = adm.Classifier()
+	}
+
+	s := New(se, Config{NumFeatures: 5})
+	_, c := startTestServer(t, s)
+	inv := trainTree(t, 0.5, true)
+	if err := c.SwapClassifier(inv); err != nil {
+		t.Fatal(err)
+	}
+	oneTimey := []float64{0.9, 0, 0, 0, 0}
+	for i, adm := range adms {
+		if adm.Classifier() == before[i] {
+			t.Fatalf("shard %d kept its old classifier after swap", i)
+		}
+		if adm.Classifier().Predict(oneTimey) == before[i].Predict(oneTimey) {
+			t.Fatalf("shard %d classifier did not change behaviour", i)
+		}
+	}
+}
+
+// TestSnapshotReshardKillAndRestart is the resharding acceptance
+// criterion: a snapshot written by a 4-shard daemon restores into a
+// freshly built 2-shard daemon — residents and history rerouted by the
+// new ring — and the restored node's tail hit rate lands within one
+// percentage point of an uninterrupted 2-shard run, with no
+// re-admission write burst.
+func TestSnapshotReshardKillAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds four sharded classifier layers from an 8k-photo trace")
+	}
+	tr, err := trace.Generate(trace.DefaultConfig(7, 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := trace.BuildNextAccess(tr)
+	half := len(tr.Requests) / 2
+
+	// The node that will crash ran 4 engine shards...
+	crashing := buildShardedE2ELayer(t, tr, next, 4)
+	// ...its replacement and the uninterrupted control run 2.
+	uninterrupted := buildShardedE2ELayer(t, tr, next, 2)
+	w := newTraceWalker(tr)
+	w.replayRange(0, half, crashing, uninterrupted)
+
+	var buf bytes.Buffer
+	wres, err := WriteSnapshot(&buf, crashing.Server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Shards != 4 || wres.Residents == 0 || wres.TableEntries == 0 {
+		t.Fatalf("degenerate 4-shard snapshot: %+v", wres)
+	}
+
+	restored := buildShardedE2ELayer(t, tr, next, 2)
+	rres, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), restored.Server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Shards != 4 || !rres.HasTree {
+		t.Fatalf("reshard restore: %+v", rres)
+	}
+	if restored.Server.Tick() != crashing.Server.Tick() {
+		t.Fatalf("restored tick %d, want %d", restored.Server.Tick(), crashing.Server.Tick())
+	}
+	// Every restored resident must live on exactly the shard the new
+	// ring routes it to, or post-restore lookups would miss warm state.
+	shards := restored.Server.Shards()
+	checked := 0
+	for i := range tr.Photos {
+		key := uint64(i)
+		home := restored.Server.ShardFor(key)
+		for si, sh := range shards {
+			if si != home && sh.Policy().Contains(key) {
+				t.Fatalf("key %d restored onto shard %d, ring owner is %d", key, si, home)
+			}
+		}
+		if shards[home].Policy().Contains(key) {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no residents survived the reshard restore")
+	}
+
+	cold := buildShardedE2ELayer(t, tr, next, 2)
+	u0, r0, c0 := uninterrupted.Server.Snapshot(), restored.Server.Snapshot(), cold.Server.Snapshot()
+	w.replayRange(half, len(tr.Requests), uninterrupted, restored, cold)
+	du := uninterrupted.Server.Snapshot().Sub(u0)
+	dr := restored.Server.Snapshot().Sub(r0)
+	dc := cold.Server.Snapshot().Sub(c0)
+
+	if du.Hits == 0 || du.Writes == 0 {
+		t.Fatalf("degenerate uninterrupted tail: %+v", du)
+	}
+	if gap := dr.HitRate() - du.HitRate(); gap > 0.01 || gap < -0.01 {
+		t.Errorf("resharded tail hit rate %.4f vs uninterrupted %.4f (gap %.4f, want within 0.01)",
+			dr.HitRate(), du.HitRate(), gap)
+	}
+	if dr.Writes > du.Writes+du.Writes/10+16 {
+		t.Errorf("resharded tail wrote %d objects vs uninterrupted %d: re-admission burst", dr.Writes, du.Writes)
+	}
+	if dc.Writes <= dr.Writes {
+		t.Errorf("cold restart wrote %d <= resharded %d; contrast lost, test is vacuous", dc.Writes, dr.Writes)
+	}
+}

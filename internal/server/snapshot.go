@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"otacache/internal/cache"
+	"otacache/internal/core"
 	"otacache/internal/engine"
 	"otacache/internal/ml/cart"
 )
@@ -23,54 +24,69 @@ import (
 // reaccesses lose their second chance. A snapshot therefore persists
 // the three pieces of state that make admission decisions stateful:
 //
-//   - the policy's resident set, in cold-to-hot order (cache.Ranger),
-//     so re-admission rebuilds the eviction order;
-//   - the history table's live records, in FIFO order;
+//   - each shard policy's resident set, in cold-to-hot order
+//     (cache.Ranger), so re-admission rebuilds the eviction order;
+//   - each shard history table's live records, in FIFO order;
 //   - the current CART tree (which may be newer than any file on disk
 //     after live retraining or a hot-swap);
 //
-// plus the engine's tick counter, so restored reaccess distances stay
+// plus the global tick counter, so restored reaccess distances stay
 // meaningful under the resumed numbering.
 //
-// # File format (version 1)
+// # File format (version 2)
 //
 // Little-endian throughout:
 //
 //	magic   uint32  0x0ca27510 ("OTA snapshot")
-//	version uint32  1
+//	version uint32  2
 //	tick    int64   next tick the engine will assign
-//	resCnt  uint64  resident count, then resCnt x (key uint64, size int64)
-//	hasTab  uint8   1 if a history table section follows
-//	tabCnt  uint64  live entries, then tabCnt x (key uint64, tick int64)
-//	hasTree uint8   1 if a cart.Tree stream (cart.(*Tree).WriteTo) follows
+//	shards  uint32  shard-section count, then per shard:
+//	  resCnt  uint64  resident count, then resCnt x (key uint64, size int64)
+//	  hasTab  uint8   1 if a history table section follows
+//	  tabCnt  uint64  live entries, then tabCnt x (key uint64, tick int64)
+//	  hasTree uint8   1 if a cart.Tree stream (cart.(*Tree).WriteTo) follows
+//
+// Restoring does NOT require the stored and configured shard counts to
+// match: every record routes through the restoring engine's own ring
+// (engine.Server.ShardFor), so a 4-shard snapshot reshards cleanly into
+// a 2-shard daemon and vice versa. Shard sections are collected in
+// parallel on write and applied in parallel on restore (one worker per
+// target shard, which also keeps each shard's re-admission order
+// deterministic).
 //
 // Compatibility: the version is bumped on any layout change and
 // ReadSnapshot rejects versions it does not know — a daemon never
-// guesses at state. A missing or corrupt snapshot is a cold start, not
-// a crash: callers should log and serve cold. Snapshots do not record
-// the policy/filter configuration; restoring into a differently
-// configured engine is allowed (keys re-admit under the new policy,
-// oversized sections are skipped), which is also what makes the format
-// forward-useful for capacity changes.
+// guesses at state (version-1 files from older builds read as a cold
+// start). A missing or corrupt snapshot is a cold start, not a crash:
+// callers should log and serve cold. Snapshots do not record the
+// policy/filter configuration; restoring into a differently configured
+// engine is allowed (keys re-admit under the new policy, oversized
+// sections are skipped), which is also what makes the format
+// forward-useful for capacity and shard-count changes.
 const (
 	snapMagic   = uint32(0x0ca27510)
-	snapVersion = uint32(1)
+	snapVersion = uint32(2)
 	// snapWireSig pins the wire layout as a sequence of scalar moves:
-	// magic, version, tick, resident count + [key, size] records, a
-	// history-table presence count + [key, tick] records, a classifier
-	// presence byte, and the opaque cart.Tree stream. The snapshotwire
-	// analyzer derives the same signature from WriteSnapshot and
-	// ReadSnapshot and fails the build if either drifts from this pin;
-	// any deliberate layout change must bump snapVersion and update it.
-	snapWireSig = "v1 u32 u32 i64 u64 [ u64 i64 ] u8 u64 [ u64 i64 ] u8 tree"
+	// magic, version, tick, shard count, then per shard a resident
+	// count + [key, size] records, a history-table presence count +
+	// [key, tick] records, a classifier presence byte, and the opaque
+	// cart.Tree stream. The snapshotwire analyzer derives the same
+	// signature from WriteSnapshot and ReadSnapshot and fails the build
+	// if either drifts from this pin; any deliberate layout change must
+	// bump snapVersion and update it.
+	snapWireSig = "v2 u32 u32 i64 u32 [ u64 [ u64 i64 ] u8 u64 [ u64 i64 ] u8 tree ]"
 )
 
 // SnapshotResult summarizes one written snapshot.
 type SnapshotResult struct {
-	// Residents and ResidentBytes describe the persisted resident set.
+	// Shards is the number of shard sections in the snapshot.
+	Shards int
+	// Residents and ResidentBytes describe the persisted resident set,
+	// summed across shards.
 	Residents     int
 	ResidentBytes int64
-	// TableEntries is the number of history-table records persisted.
+	// TableEntries is the number of history-table records persisted,
+	// summed across shards.
 	TableEntries int
 	// HasTree reports whether the current classifier was persisted.
 	HasTree bool
@@ -81,99 +97,133 @@ type SnapshotResult struct {
 	FileBytes int64
 }
 
-// WriteSnapshot serializes the engine's warm state to w. The engine may
-// be serving concurrently: each section is internally consistent (the
-// policy is walked shard by shard under the shard locks, the table
-// under its own), though the sections are not one atomic cut — the same
-// property engine.Snapshot has, and sufficient for a warm restart.
-func WriteSnapshot(w io.Writer, eng *engine.Engine) (SnapshotResult, error) {
+// shardState is one shard's collected warm state, gathered before any
+// byte is written so the shard walks can run in parallel.
+type shardState struct {
+	residents []snapResident
+	bytes     int64
+	hasTable  bool
+	entries   []core.TableEntry
+	tree      *cart.Tree
+}
+
+type snapResident struct {
+	key  uint64
+	size int64
+}
+
+// WriteSnapshot serializes the engine's warm state to w, one section
+// per shard. The engine may be serving concurrently: each section is
+// internally consistent (a policy is walked under its own locks, a
+// table under its own), though the sections are not one atomic cut —
+// the same property engine.Snapshot has, and sufficient for a warm
+// restart. Shard states are collected by one goroutine per shard, so a
+// wide daemon is not serialized on its coldest shard's walk.
+func WriteSnapshot(w io.Writer, srv engine.Server) (SnapshotResult, error) {
 	var res SnapshotResult
-	ranger, ok := eng.Policy().(cache.Ranger)
-	if !ok {
-		return res, fmt.Errorf("snapshot: policy %s cannot enumerate residents", eng.Policy().Name())
+	shards := srv.Shards()
+	rangers := make([]cache.Ranger, len(shards))
+	for i, sh := range shards {
+		ranger, ok := sh.Policy().(cache.Ranger)
+		if !ok {
+			return res, fmt.Errorf("snapshot: shard %d policy %s cannot enumerate residents", i, sh.Policy().Name())
+		}
+		rangers[i] = ranger
 	}
+
+	states := make([]shardState, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &states[i]
+			// Resident set, cold to hot. Collected so the count can be
+			// written before the records.
+			rangers[i].Range(func(key uint64, size int64) bool {
+				st.residents = append(st.residents, snapResident{key, size})
+				st.bytes += size
+				return true
+			})
+			if adm := findAdmission(shards[i].Filter()); adm != nil {
+				if adm.Table() != nil {
+					st.hasTable = true
+					st.entries = adm.Table().Entries()
+				}
+				// Classifier: only a cart.Tree has a serial form; other
+				// classifier types restart from their bootstrap model.
+				st.tree, _ = adm.Classifier().(*cart.Tree)
+			}
+		}(i)
+	}
+	wg.Wait()
 
 	bw := bufio.NewWriter(w)
 	put := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
 
-	res.Tick = eng.Tick()
-	for _, v := range []any{snapMagic, snapVersion, res.Tick} {
+	res.Tick = srv.Tick()
+	res.Shards = len(shards)
+	for _, v := range []any{snapMagic, snapVersion, res.Tick, uint32(len(shards))} {
 		if err := put(v); err != nil {
 			return res, err
 		}
 	}
 
-	// Resident set, cold to hot. Collected first so the count can be
-	// written before the records.
-	type resident struct {
-		key  uint64
-		size int64
-	}
-	var residents []resident
-	ranger.Range(func(key uint64, size int64) bool {
-		residents = append(residents, resident{key, size})
-		res.ResidentBytes += size
-		return true
-	})
-	res.Residents = len(residents)
-	if err := put(uint64(len(residents))); err != nil {
-		return res, err
-	}
-	for _, r := range residents {
-		if err := put(r.key); err != nil {
+	for si := range states {
+		st := &states[si]
+		res.Residents += len(st.residents)
+		res.ResidentBytes += st.bytes
+		if err := put(uint64(len(st.residents))); err != nil {
 			return res, err
 		}
-		if err := put(r.size); err != nil {
-			return res, err
-		}
-	}
-
-	// History table.
-	adm := findAdmission(eng.Filter())
-	if adm == nil || adm.Table() == nil {
-		if err := put(uint8(0)); err != nil {
-			return res, err
-		}
-	} else {
-		if err := put(uint8(1)); err != nil {
-			return res, err
-		}
-		entries := adm.Table().Entries()
-		res.TableEntries = len(entries)
-		if err := put(uint64(len(entries))); err != nil {
-			return res, err
-		}
-		for _, e := range entries {
-			if err := put(e.Key); err != nil {
+		for _, r := range st.residents {
+			if err := put(r.key); err != nil {
 				return res, err
 			}
-			if err := put(int64(e.Tick)); err != nil {
+			if err := put(r.size); err != nil {
 				return res, err
 			}
 		}
-	}
 
-	// Classifier: only a cart.Tree has a serial form; other classifier
-	// types simply restart from their bootstrap model.
-	var tree *cart.Tree
-	if adm != nil {
-		tree, _ = adm.Classifier().(*cart.Tree)
-	}
-	if tree == nil {
-		if err := put(uint8(0)); err != nil {
-			return res, err
+		// History table.
+		if !st.hasTable {
+			if err := put(uint8(0)); err != nil {
+				return res, err
+			}
+		} else {
+			if err := put(uint8(1)); err != nil {
+				return res, err
+			}
+			res.TableEntries += len(st.entries)
+			if err := put(uint64(len(st.entries))); err != nil {
+				return res, err
+			}
+			for _, e := range st.entries {
+				if err := put(e.Key); err != nil {
+					return res, err
+				}
+				if err := put(int64(e.Tick)); err != nil {
+					return res, err
+				}
+			}
 		}
-	} else {
-		if err := put(uint8(1)); err != nil {
-			return res, err
+
+		if st.tree == nil {
+			if err := put(uint8(0)); err != nil {
+				return res, err
+			}
+		} else {
+			if err := put(uint8(1)); err != nil {
+				return res, err
+			}
+			if err := bw.Flush(); err != nil {
+				return res, err
+			}
+			if _, err := st.tree.WriteTo(bw); err != nil {
+				return res, err
+			}
+			res.HasTree = true
 		}
-		if err := bw.Flush(); err != nil {
-			return res, err
-		}
-		if _, err := tree.WriteTo(bw); err != nil {
-			return res, err
-		}
-		res.HasTree = true
 	}
 	return res, bw.Flush()
 }
@@ -182,13 +232,13 @@ func WriteSnapshot(w io.Writer, eng *engine.Engine) (SnapshotResult, error) {
 // in path+".tmp", are fsynced, and replace path with a rename, so a
 // crash mid-write leaves the previous snapshot intact and a reader
 // never observes a torn file.
-func SaveSnapshot(path string, eng *engine.Engine) (SnapshotResult, error) {
+func SaveSnapshot(path string, srv engine.Server) (SnapshotResult, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return SnapshotResult{}, err
 	}
-	res, err := WriteSnapshot(f, eng)
+	res, err := WriteSnapshot(f, srv)
 	if err == nil {
 		err = f.Sync()
 	}
@@ -214,17 +264,31 @@ func SaveSnapshot(path string, eng *engine.Engine) (SnapshotResult, error) {
 	return res, nil
 }
 
+// restoreRec is one decoded snapshot record routed to a target shard's
+// apply worker: a resident (val = size) or a table entry (val = tick).
+type restoreRec struct {
+	key   uint64
+	val   int64
+	table bool
+}
+
 // ReadSnapshot restores warm state from r into a freshly built engine
-// (empty policy, bootstrap classifier): the tick counter resumes, each
-// snapshotted resident is re-admitted in cold-to-hot order, history
-// records are re-inserted in FIFO order, and the persisted tree (if
-// any) replaces the bootstrap classifier. Restore before serving —
-// ideally behind a readiness gate.
+// (empty policies, bootstrap classifier): the tick counter resumes,
+// each snapshotted resident is re-admitted in cold-to-hot order,
+// history records are re-inserted in FIFO order, and the persisted
+// tree (if any) replaces the bootstrap classifier in every shard.
+// Restore before serving — ideally behind a readiness gate.
+//
+// The stored shard count need not match srv's: every record is routed
+// through srv's own ring (ShardFor), so restoring reshards. Application
+// is parallel — one worker per target shard — while per-shard order
+// stays the decoded order, keeping each shard's eviction order
+// deterministic.
 //
 // State that does not fit the engine is skipped, not fatal: a smaller
 // cache simply evicts during re-admission, an admit-all engine ignores
 // the table and tree sections.
-func ReadSnapshot(r io.Reader, eng *engine.Engine) (SnapshotResult, error) {
+func ReadSnapshot(r io.Reader, srv engine.Server) (SnapshotResult, error) {
 	var res SnapshotResult
 	br := bufio.NewReader(r)
 	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
@@ -250,88 +314,154 @@ func ReadSnapshot(r io.Reader, eng *engine.Engine) (SnapshotResult, error) {
 		return res, fmt.Errorf("snapshot: negative tick %d", tick)
 	}
 	res.Tick = tick
-
-	var count uint64
-	if err := get(&count); err != nil {
+	var storedShards uint32
+	if err := get(&storedShards); err != nil {
 		return res, err
 	}
-	policy := eng.Policy()
-	for i := uint64(0); i < count; i++ {
-		var key uint64
-		var size int64
-		if err := get(&key); err != nil {
-			return res, fmt.Errorf("snapshot: resident %d/%d: %w", i, count, err)
-		}
-		if err := get(&size); err != nil {
-			return res, fmt.Errorf("snapshot: resident %d/%d: %w", i, count, err)
-		}
-		if size <= 0 {
-			return res, fmt.Errorf("snapshot: resident %d has size %d", i, size)
-		}
-		policy.Admit(key, size, 0)
-		res.Residents++
-		res.ResidentBytes += size
+	if storedShards == 0 || storedShards > 1<<16 {
+		return res, fmt.Errorf("snapshot: implausible shard count %d", storedShards)
+	}
+	res.Shards = int(storedShards)
+
+	shards := srv.Shards()
+	admissions := make([]*core.ClassifierAdmission, len(shards))
+	hasDest := make([]bool, len(shards))
+	for i, sh := range shards {
+		admissions[i] = findAdmission(sh.Filter())
+		hasDest[i] = admissions[i] != nil && admissions[i].Table() != nil
 	}
 
-	adm := findAdmission(eng.Filter())
-
-	var hasTable uint8
-	if err := get(&hasTable); err != nil {
-		return res, err
+	// One apply worker per target shard: the decode loop below routes
+	// each record to its owner, the worker applies in arrival order.
+	// With a single worker per shard even bare (unsynchronized) policies
+	// are safe, and the per-shard re-admission order is deterministic.
+	chans := make([]chan restoreRec, len(shards))
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan restoreRec, 512)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			policy := shards[i].Policy()
+			var table interface{ Insert(key uint64, tick int) }
+			if hasDest[i] {
+				table = admissions[i].Table()
+			}
+			for rec := range chans[i] {
+				if rec.table {
+					table.Insert(rec.key, int(rec.val))
+				} else {
+					policy.Admit(rec.key, rec.val, 0)
+				}
+			}
+		}(i)
 	}
-	if hasTable == 1 {
+	drained := false
+	drain := func() {
+		if drained {
+			return
+		}
+		drained = true
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+	}
+	defer drain()
+
+	var tree *cart.Tree
+	for si := uint32(0); si < storedShards; si++ {
+		var count uint64
 		if err := get(&count); err != nil {
 			return res, err
 		}
-		var table interface{ Insert(key uint64, tick int) }
-		if adm != nil && adm.Table() != nil {
-			table = adm.Table()
-		}
 		for i := uint64(0); i < count; i++ {
 			var key uint64
-			var etick int64
+			var size int64
 			if err := get(&key); err != nil {
-				return res, fmt.Errorf("snapshot: table entry %d/%d: %w", i, count, err)
+				return res, fmt.Errorf("snapshot: shard %d resident %d/%d: %w", si, i, count, err)
 			}
-			if err := get(&etick); err != nil {
-				return res, fmt.Errorf("snapshot: table entry %d/%d: %w", i, count, err)
+			if err := get(&size); err != nil {
+				return res, fmt.Errorf("snapshot: shard %d resident %d/%d: %w", si, i, count, err)
 			}
-			if table != nil {
-				table.Insert(key, int(etick))
-				res.TableEntries++
+			if size <= 0 {
+				return res, fmt.Errorf("snapshot: resident %d has size %d", i, size)
+			}
+			dest := srv.ShardFor(key)
+			chans[dest] <- restoreRec{key: key, val: size}
+			res.Residents++
+			res.ResidentBytes += size
+		}
+
+		var hasTable uint8
+		if err := get(&hasTable); err != nil {
+			return res, err
+		}
+		if hasTable == 1 {
+			if err := get(&count); err != nil {
+				return res, err
+			}
+			for i := uint64(0); i < count; i++ {
+				var key uint64
+				var etick int64
+				if err := get(&key); err != nil {
+					return res, fmt.Errorf("snapshot: shard %d table entry %d/%d: %w", si, i, count, err)
+				}
+				if err := get(&etick); err != nil {
+					return res, fmt.Errorf("snapshot: shard %d table entry %d/%d: %w", si, i, count, err)
+				}
+				dest := srv.ShardFor(key)
+				if hasDest[dest] {
+					chans[dest] <- restoreRec{key: key, val: etick, table: true}
+					res.TableEntries++
+				}
+			}
+		}
+
+		var hasTree uint8
+		if err := get(&hasTree); err != nil {
+			return res, err
+		}
+		if hasTree == 1 {
+			// Every stored section carries the (shared) classifier; the
+			// first decoded tree is installed into every target shard,
+			// the rest only advance the stream.
+			shardTree, err := cart.ReadTree(br)
+			if err != nil {
+				return res, fmt.Errorf("snapshot: classifier: %w", err)
+			}
+			if tree == nil {
+				tree = shardTree
 			}
 		}
 	}
 
-	var hasTree uint8
-	if err := get(&hasTree); err != nil {
-		return res, err
-	}
-	if hasTree == 1 {
-		tree, err := cart.ReadTree(br)
-		if err != nil {
-			return res, fmt.Errorf("snapshot: classifier: %w", err)
-		}
-		if adm != nil {
-			adm.SetClassifier(tree)
-			res.HasTree = true
+	// Wait for every shard's apply queue to empty before installing the
+	// tree and resuming the tick: the caller may start serving the
+	// moment we return.
+	drain()
+	if tree != nil {
+		for _, adm := range admissions {
+			if adm != nil {
+				adm.SetClassifier(tree)
+				res.HasTree = true
+			}
 		}
 	}
-
-	eng.ResumeTick(tick)
+	srv.ResumeTick(tick)
 	return res, nil
 }
 
 // LoadSnapshot restores from a file. A missing file returns
 // os.ErrNotExist (cold start); any other error means the file exists
 // but could not be restored.
-func LoadSnapshot(path string, eng *engine.Engine) (SnapshotResult, error) {
+func LoadSnapshot(path string, srv engine.Server) (SnapshotResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return SnapshotResult{}, err
 	}
 	defer f.Close()
-	return ReadSnapshot(f, eng)
+	return ReadSnapshot(f, srv)
 }
 
 // Snapshotter owns a snapshot file for one engine: a timer loop writes
@@ -339,7 +469,7 @@ func LoadSnapshot(path string, eng *engine.Engine) (SnapshotResult, error) {
 // SIGTERM write, and concurrent writers are serialized so two triggers
 // cannot interleave their temp files.
 type Snapshotter struct {
-	eng  *engine.Engine
+	eng  engine.Server
 	path string
 
 	mu   sync.Mutex
@@ -347,7 +477,7 @@ type Snapshotter struct {
 }
 
 // NewSnapshotter builds a snapshotter writing to path.
-func NewSnapshotter(eng *engine.Engine, path string) *Snapshotter {
+func NewSnapshotter(eng engine.Server, path string) *Snapshotter {
 	return &Snapshotter{eng: eng, path: path}
 }
 

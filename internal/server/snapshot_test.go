@@ -35,8 +35,8 @@ func (w *traceWalker) replayRange(lo, hi int, layers ...*tier.Layer) {
 			for j, col := range w.cols {
 				proj[j] = w.full[col]
 			}
-			layer.Engine.Lookup(uint64(req.Photo), w.tr.Photos[req.Photo].Size,
-				layer.Engine.NextTick(), proj)
+			layer.Server.Lookup(uint64(req.Photo), w.tr.Photos[req.Photo].Size,
+				layer.Server.NextTick(), proj)
 		}
 	}
 }

@@ -69,6 +69,15 @@ type LayerConfig struct {
 	// concurrent Lookup — the configuration a network cache server
 	// deploys. 0 or 1 keeps the bare single-threaded policy.
 	Shards int
+	// EngineShards, when > 1, builds that many fully independent
+	// engines — each owning 1/N of the capacity with its own policy,
+	// admission filter, and history table — behind a consistent-hash
+	// ring (engine.ShardedEngine, exposed as Layer.Server). The layer's
+	// Shards cache-shard budget is split across them, but every engine
+	// shard's policy is lock-protected regardless, since requests for
+	// different keys land on the same engine shard concurrently. 0 or 1
+	// builds the classic single Engine.
+	EngineShards int
 }
 
 // Latency models the three-hop read path in microseconds.
@@ -163,8 +172,12 @@ func frac(a, b int64) float64 {
 // admission filter + counters) plus the criteria it was solved for.
 // It is the unit a cache server deploys — Simulate drives two of them.
 type Layer struct {
-	// Engine is the layer's admission pipeline.
+	// Engine is the layer's admission pipeline when EngineShards <= 1;
+	// nil for an engine-sharded layer (use Server, which is always set).
 	Engine *engine.Engine
+	// Server is the layer's serving interface: the Engine itself, or
+	// the ShardedEngine routing over the engine shards.
+	Server engine.Server
 	// Criteria is the layer's solved one-time-access criteria (zero
 	// value for AdmitAll layers, which solve none).
 	Criteria labeling.Criteria
@@ -281,73 +294,136 @@ func project(full []float64) []float64 {
 
 // BuildLayer assembles one serving-ready layer from a trace: the
 // replacement policy, the layer's solved criteria, its admission
-// filter, and the Engine composing them. Exported so a cache server
-// can deploy a single layer without running the two-tier simulation.
+// filter, and the Engine (or, with EngineShards > 1, the ring of
+// independent engines) composing them. Exported so a cache server can
+// deploy a single layer without running the two-tier simulation.
+//
+// The criteria and the bootstrap classifier are solved ONCE, from the
+// layer's total capacity: M is a property of the whole layer's request
+// stream and cache size, so every engine shard filters under the same
+// criteria and (initially) the same tree, while owning its own history
+// table and policy.
 func BuildLayer(tr *trace.Trace, next []int, cfg Config, lc LayerConfig) (*Layer, error) {
-	p, err := buildPolicy(lc, next)
-	if err != nil {
-		return nil, err
+	nshards := lc.EngineShards
+	if nshards < 1 {
+		nshards = 1
 	}
 	l := &Layer{Kind: lc.Filter}
-	var filter core.Filter
+
+	var crit labeling.Criteria
+	var clf mlcore.Classifier
 	switch lc.Filter {
-	case AdmitAll:
-		// nothing to prepare
-	case Doorkeeper:
-		width := int(lc.CacheBytes / tr.MeanPhotoSize())
-		if width < 1024 {
-			width = 1024
-		}
-		filter, err = core.NewFrequencyAdmission(width, 1)
-		if err != nil {
-			return nil, err
-		}
-	default:
+	case AdmitAll, Doorkeeper:
+		// nothing to solve
+	case Oracle, Classifier:
 		h := cfg.HitRateEstimate
 		if h <= 0 {
 			h = labeling.EstimateHitRate(tr, lc.CacheBytes, 200000)
 		}
-		crit := labeling.Solve(tr, next, lc.CacheBytes, h, 3)
+		crit = labeling.Solve(tr, next, lc.CacheBytes, h, 3)
 		crit = crit.ForPolicy(lc.Policy, cache.DefaultLIRRatio)
 		l.Criteria = crit
-
-		switch lc.Filter {
-		case Oracle:
-			filter = core.NewOracle(next, crit)
-		case Classifier:
-			clf, err := bootstrapTree(tr, next, cfg, crit)
+		if lc.Filter == Classifier {
+			var err error
+			clf, err = bootstrapTree(tr, next, cfg, crit)
 			if err != nil {
 				return nil, err
 			}
+		}
+	default:
+		return nil, fmt.Errorf("tier: unknown filter kind %d", lc.Filter)
+	}
+
+	// buildShard assembles one engine at the given slice of the layer's
+	// capacity and table budget. Shared inputs (criteria, bootstrap
+	// tree, next-access index) come from the closure; per-shard state
+	// (policy, filter, history table) is constructed fresh each call.
+	buildShard := func(capacity int64, cacheShards int, tableCap int, locked bool) (*engine.Engine, error) {
+		p, err := buildPolicy(lc.Policy, capacity, cacheShards, next, locked)
+		if err != nil {
+			return nil, err
+		}
+		var filter core.Filter
+		switch lc.Filter {
+		case AdmitAll:
+			// nothing to prepare
+		case Doorkeeper:
+			width := int(capacity / tr.MeanPhotoSize())
+			if width < 1024 {
+				width = 1024
+			}
+			filter, err = core.NewFrequencyAdmission(width, 1)
+			if err != nil {
+				return nil, err
+			}
+		case Oracle:
+			filter = core.NewOracle(next, crit)
+		case Classifier:
 			var table *core.HistoryTable
 			if !cfg.DisableHistoryTable {
-				table = core.NewHistoryTable(core.TableCapacity(crit))
+				table = core.NewHistoryTable(tableCap)
 			}
 			adm, err := core.NewClassifierAdmission(clf, table, crit)
 			if err != nil {
 				return nil, err
 			}
 			filter = adm
-		default:
-			return nil, fmt.Errorf("tier: unknown filter kind %d", lc.Filter)
+		}
+		return engine.New(p, filter)
+	}
+
+	if nshards == 1 {
+		eng, err := buildShard(lc.CacheBytes, lc.Shards, core.TableCapacity(crit), false)
+		if err != nil {
+			return nil, err
+		}
+		l.Engine, l.Server = eng, eng
+		return l, nil
+	}
+
+	// Engine-sharded: the capacity, inner cache-shard budget, and
+	// history-table budget split evenly; the ring seed is the layer
+	// seed, so an identically configured restart routes identically.
+	per := lc.CacheBytes / int64(nshards)
+	if per < 1 {
+		per = 1
+	}
+	inner := lc.Shards / nshards
+	if inner < 1 {
+		inner = 1
+	}
+	tableCap := core.TableCapacity(crit) / nshards
+	if tableCap < 1 {
+		tableCap = 1
+	}
+	shards := make([]*engine.Engine, nshards)
+	for i := range shards {
+		var err error
+		shards[i], err = buildShard(per, inner, tableCap, true)
+		if err != nil {
+			return nil, err
 		}
 	}
-	l.Engine, err = engine.New(p, filter)
+	se, err := engine.NewShardedEngine(shards, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
+	l.Server = se
 	return l, nil
 }
 
-// buildPolicy constructs the layer's replacement policy, wrapping it in
-// the lock-per-shard concurrent front when Shards asks for one.
-func buildPolicy(lc LayerConfig, next []int) (cache.Policy, error) {
-	if lc.Shards <= 1 {
-		return cache.New(lc.Policy, lc.CacheBytes, next)
+// buildPolicy constructs one replacement policy, wrapping it in the
+// lock-per-shard concurrent front when cacheShards asks for one.
+// locked forces the wrap even at one cache shard — engine shards serve
+// concurrent requests, so their policies need the lock no matter how
+// the shard budget divided.
+func buildPolicy(policy string, capacity int64, cacheShards int, next []int, locked bool) (cache.Policy, error) {
+	if cacheShards <= 1 && !locked {
+		return cache.New(policy, capacity, next)
 	}
 	var shardErr error
-	p, err := cache.NewSharded(lc.CacheBytes, lc.Shards, func(shardCapacity int64) cache.Policy {
-		sp, err := cache.New(lc.Policy, shardCapacity, next)
+	p, err := cache.NewSharded(capacity, cacheShards, func(shardCapacity int64) cache.Policy {
+		sp, err := cache.New(policy, shardCapacity, next)
 		if err != nil {
 			shardErr = err
 			return nil
