@@ -45,9 +45,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Serving-path benchmarks, captured as JSON for cross-commit diffing.
+# Serving-path and flash-device benchmarks, captured as JSON for
+# cross-commit diffing. The flash lines carry measured WAF and erase
+# rate as custom units (see cmd/benchjson's extra map).
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkLookup -benchmem ./internal/engine \
+	{ $(GO) test -run '^$$' -bench BenchmarkLookup -benchmem ./internal/engine; \
+	  $(GO) test -run '^$$' -bench BenchmarkFlash -benchmem ./internal/flash; } \
 		| $(GO) run ./cmd/benchjson > BENCH_serve.json
 	@cat BENCH_serve.json
 

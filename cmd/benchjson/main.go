@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench BenchmarkLookup -benchmem ./internal/engine | \
+//	{ go test -run '^$' -bench BenchmarkLookup -benchmem ./internal/engine; \
+//	  go test -run '^$' -bench BenchmarkFlash -benchmem ./internal/flash; } | \
 //	    go run ./cmd/benchjson > BENCH_serve.json
 package main
 
@@ -17,29 +18,36 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Extra carries the custom
+// b.ReportMetric units the fixed fields don't know — the flash
+// benchmarks report "waf" and "erases/op" this way — keyed by the unit
+// string exactly as the bench line prints it.
 type Result struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the whole document: the run's environment header plus every
-// benchmark line, in input order.
+// benchmark line, in input order. With several packages streamed in one
+// run (make bench concatenates engine and flash), each package's header
+// retags the results that follow it, so Pkg lives on the Result.
 type Report struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
 func main() {
 	rep := Report{Benchmarks: []Result{}}
+	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -50,11 +58,12 @@ func main() {
 		case strings.HasPrefix(line, "goarch:"):
 			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			if r, ok := parseBench(line); ok {
+				r.Pkg = pkg
 				rep.Benchmarks = append(rep.Benchmarks, r)
 			}
 		}
@@ -102,7 +111,7 @@ func parseBench(line string) (Result, bool) {
 		if err != nil {
 			continue
 		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 		case "B/op":
@@ -111,6 +120,13 @@ func parseBench(line string) (Result, bool) {
 			r.AllocsPerOp = int64(v)
 		case "MB/s":
 			r.MBPerSec = v
+		default:
+			// A b.ReportMetric unit the schema doesn't know ("waf",
+			// "erases/op", ...): keep it rather than drop it.
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
 		}
 	}
 	return r, r.NsPerOp > 0

@@ -15,6 +15,7 @@
 //	otacached -mode original -photos 30000          # traditional cache
 //	otacached -mode proposal -snapshot state.snap   # crash-safe restarts
 //	otacached -mode proposal -engine-shards 8       # ring of 8 engines
+//	otacached -mode proposal -flash-segment-size 4194304  # device WAF in /stats
 //
 // With -engine-shards N > 1, the daemon serves N fully independent
 // engines behind a consistent-hash ring: each shard owns 1/N of the
@@ -83,6 +84,9 @@ func main() {
 
 		snapPath  = flag.String("snapshot", "", "crash-safe state file: restored at startup, written periodically and after drain")
 		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot cadence (with -snapshot)")
+
+		flashSeg = flag.Int64("flash-segment-size", 0, "model the cache device as a log-structured flash store with this erase-block size in bytes; /stats grows a Flash block with measured WAF and lifetime (0 = off)")
+		flashOP  = flag.Float64("flash-overprovision", 1.15, "flash device capacity as a multiple of each shard's policy capacity, > 1 (with -flash-segment-size)")
 
 		brFallback  = flag.String("breaker-fallback", "admit-all", "degraded admission when the classifier fails (admit-all|doorkeeper|off)")
 		brLatency   = flag.Duration("breaker-latency", 0, "classifier latency budget; slower decisions count as breaker failures (0 = none)")
@@ -204,6 +208,18 @@ func main() {
 		}
 		log.Printf("breaker: fallback=%s threshold=%d cooldown=%s latency-budget=%s (per shard x%d)",
 			*brFallback, *brThreshold, *brCooldown, *brLatency, len(wrapped))
+	}
+
+	// The flash device model attaches after the final engine assembly —
+	// the breaker re-wrap above builds fresh engines around the shard
+	// policies — and before any snapshot restore below, so the restore's
+	// residency rebuild finds the stores already wired in.
+	if *flashSeg > 0 {
+		if err := engine.AttachFlash(eng, *flashSeg, *flashOP); err != nil {
+			fail(err)
+		}
+		log.Printf("flash: log-structured store per shard, segment=%d KB overprovision=%.2f (x%d)",
+			*flashSeg>>10, *flashOP, len(eng.Shards()))
 	}
 
 	// adms are the per-shard classifier admissions behind any breaker

@@ -112,6 +112,22 @@ func main() {
 		fail(err)
 	}
 	fmt.Print(rep)
+
+	// When the daemon models its device (-flash-segment-size), fold the
+	// device-level outcome into the report: the measured write
+	// amplification and the lifetime the run's write rate implies. This
+	// is the paper's endpoint — fewer writes only matter if they reach
+	// the flash as longer life.
+	if after, err := c.Stats(); err == nil && after.Flash != nil {
+		f := after.Flash
+		fmt.Printf("flash: host %d MB, GC %d MB, WAF %.4f, %d erases",
+			f.HostBytes>>20, f.GCBytes>>20, f.WAF, f.Erases)
+		if f.LifetimeDays > 0 {
+			fmt.Printf(", est. lifetime %.1f days at this rate", f.LifetimeDays)
+		}
+		fmt.Println()
+	}
+
 	if pct := 100 * rep.ErrorRate(); pct > *maxErrPct {
 		fail(fmt.Errorf("error rate %.2f%% exceeds -max-error-rate %.2f%% (first error: %s)",
 			pct, *maxErrPct, rep.FirstError))

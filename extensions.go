@@ -10,6 +10,7 @@ import (
 	"otacache/internal/cluster"
 	"otacache/internal/core"
 	"otacache/internal/engine"
+	"otacache/internal/flash"
 	"otacache/internal/ml/cart"
 	"otacache/internal/server"
 	"otacache/internal/ssd"
@@ -164,7 +165,32 @@ type (
 )
 
 // DefaultTLC returns a typical TLC cache-device endurance profile.
+// Override its guessed WAF with Endurance.WithMeasuredWAF when a flash
+// store (AttachFlashStore) has measured the real one.
 func DefaultTLC(capacityBytes int64) Endurance { return ssd.DefaultTLC(capacityBytes) }
+
+// Flash device model (measured write amplification).
+type (
+	// FlashStore is a log-structured flash store: cached payloads in
+	// erase-block segments with greedy GC, reporting measured WAF and
+	// per-block erase counts.
+	FlashStore = flash.Store
+	// FlashStats is one store's wear accounting (host vs GC bytes,
+	// erases, live bytes); FlashStats.WAF() is the measured
+	// amplification to feed Endurance.WithMeasuredWAF.
+	FlashStats = flash.Stats
+)
+
+// AttachFlashStore models the cache device under a serving engine: one
+// log-structured store per shard, sized to the shard's policy capacity
+// times overprovision (> 1), with erase blocks of segmentSize bytes.
+// Every admitted miss is appended to the owning shard's log, evictions
+// invalidate lazily at GC time, and EngineMetrics grows the Flash*
+// wear counters. Call it after the engine is fully assembled and
+// before restoring any snapshot.
+func AttachFlashStore(srv EngineServer, segmentSize int64, overprovision float64) error {
+	return engine.AttachFlash(srv, segmentSize, overprovision)
+}
 
 // LifetimeExtension converts a write-rate change into a lifetime
 // factor (the paper's 79% write cut is ~4.8x).

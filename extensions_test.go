@@ -85,10 +85,18 @@ func TestExtensionsFacade(t *testing.T) {
 		t.Fatalf("online score %v", s)
 	}
 
-	// Serving engine over the sharded policy.
+	// Serving engine over the sharded policy, with the flash device
+	// model underneath: admitted misses append to the log, and the
+	// measured WAF feeds back into the endurance profile.
 	eng, err := NewEngine(sharded, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if err := AttachFlashStore(eng, 1<<16, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachFlashStore(eng, 1<<16, 0.5); err == nil {
+		t.Fatal("overprovision <= 1 must error")
 	}
 	if out := eng.Lookup(1, 100, eng.NextTick(), nil); !out.Hit {
 		t.Fatal("engine missed the resident key")
@@ -98,6 +106,13 @@ func TestExtensionsFacade(t *testing.T) {
 	}
 	if m := eng.Snapshot(); m.Requests != 2 || m.Hits != 1 || m.Writes != 1 {
 		t.Fatalf("engine metrics: %+v", m)
+	}
+	if m := eng.Snapshot(); m.FlashHostBytes != 100 || m.FlashWAF() != 1 {
+		t.Fatalf("flash wear unaccounted: %+v", m)
+	}
+	var st FlashStats = eng.Flash().Stats()
+	if _, err := dev.WithMeasuredWAF(st.WAF()); err != nil {
+		t.Fatal(err)
 	}
 
 	// A standalone serving layer built from the tier configuration.

@@ -31,6 +31,7 @@ import (
 
 	"otacache/internal/cache"
 	"otacache/internal/core"
+	"otacache/internal/flash"
 )
 
 // Engine is the admission pipeline: Get consults the policy, Offer runs
@@ -41,6 +42,12 @@ type Engine struct {
 	policy cache.Policy
 	filter core.Filter
 	tick   atomic.Int64
+	// flash is the optional log-structured device layer under this
+	// shard's policy: admitted writes land in it, so the snapshot
+	// carries device-measured write amplification instead of a profile
+	// constant. An atomic pointer because SetFlash may race Lookup
+	// traffic (the daemon attaches after assembly).
+	flash atomic.Pointer[flash.Store]
 
 	requests   atomic.Int64
 	hits       atomic.Int64
@@ -84,6 +91,13 @@ type Metrics struct {
 	// rather than the primary filter — see Breaker.
 	Degraded   int64
 	TotalBytes int64
+	// FlashHostBytes, FlashGCBytes, and FlashErases mirror the attached
+	// flash store's wear counters (zero when no store is attached):
+	// host-written bytes, GC-relocated bytes, and block erasures. The
+	// measured device WAF is (host + gc) / host — see FlashWAF.
+	FlashHostBytes int64
+	FlashGCBytes   int64
+	FlashErases    int64
 }
 
 // HitRate returns Hits / Requests.
@@ -97,6 +111,16 @@ func (m Metrics) WriteRate() float64 { return ratio(m.Writes, m.Requests) }
 
 // ByteWriteRate returns SSD bytes written / requested bytes (§5.3.4).
 func (m Metrics) ByteWriteRate() float64 { return ratio(m.WriteBytes, m.TotalBytes) }
+
+// FlashWAF returns the device-measured write amplification factor,
+// (FlashHostBytes + FlashGCBytes) / FlashHostBytes, or 1 when no flash
+// writes have been observed (the log-structured floor).
+func (m Metrics) FlashWAF() float64 {
+	if m.FlashHostBytes == 0 {
+		return 1
+	}
+	return float64(m.FlashHostBytes+m.FlashGCBytes) / float64(m.FlashHostBytes)
+}
 
 func ratio(a, b int64) float64 {
 	if b == 0 {
@@ -121,6 +145,10 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		Rectified:  m.Rectified - prev.Rectified,
 		Degraded:   m.Degraded - prev.Degraded,
 		TotalBytes: m.TotalBytes - prev.TotalBytes,
+
+		FlashHostBytes: m.FlashHostBytes - prev.FlashHostBytes,
+		FlashGCBytes:   m.FlashGCBytes - prev.FlashGCBytes,
+		FlashErases:    m.FlashErases - prev.FlashErases,
 	}
 }
 
@@ -140,6 +168,10 @@ func (m Metrics) Add(other Metrics) Metrics {
 		Rectified:  m.Rectified + other.Rectified,
 		Degraded:   m.Degraded + other.Degraded,
 		TotalBytes: m.TotalBytes + other.TotalBytes,
+
+		FlashHostBytes: m.FlashHostBytes + other.FlashHostBytes,
+		FlashGCBytes:   m.FlashGCBytes + other.FlashGCBytes,
+		FlashErases:    m.FlashErases + other.FlashErases,
 	}
 }
 
@@ -229,6 +261,12 @@ func (e *Engine) Offer(key uint64, size int64, tick int, feat []float64) Outcome
 		out.Written = true
 		e.writes.Add(1)
 		e.writeBytes.Add(size)
+		// An accepted admission is a device write: land the extent in the
+		// attached flash store so its collector measures the real
+		// amplification of this admission stream.
+		if fs := e.flash.Load(); fs != nil {
+			fs.Write(key, size, nil)
+		}
 	}
 	return out
 }
@@ -244,6 +282,10 @@ func (e *Engine) Lookup(key uint64, size int64, tick int, feat []float64) Outcom
 
 // Snapshot returns the current counters.
 func (e *Engine) Snapshot() Metrics {
+	var fst flash.Stats
+	if fs := e.flash.Load(); fs != nil {
+		fst = fs.Stats()
+	}
 	return Metrics{
 		Requests:   e.requests.Load(),
 		Hits:       e.hits.Load(),
@@ -255,5 +297,9 @@ func (e *Engine) Snapshot() Metrics {
 		Rectified:  e.rectified.Load(),
 		Degraded:   e.degraded.Load(),
 		TotalBytes: e.totalBytes.Load(),
+
+		FlashHostBytes: fst.HostBytes,
+		FlashGCBytes:   fst.GCBytes,
+		FlashErases:    fst.Erases,
 	}
 }

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"fmt"
+
+	"otacache/internal/cache"
+	"otacache/internal/flash"
+)
+
+// SetFlash attaches a flash store under this engine's policy (nil
+// detaches). Admitted writes land in the store from then on; Snapshot
+// mirrors its wear counters into the Flash* metrics.
+func (e *Engine) SetFlash(s *flash.Store) { e.flash.Store(s) }
+
+// Flash returns the attached flash store, or nil.
+func (e *Engine) Flash() *flash.Store { return e.flash.Load() }
+
+// AttachFlash builds and attaches one flash store per shard of srv.
+// Each store is sized at the shard policy's capacity times
+// overprovision (> 1; the slack is the collector's working room — real
+// devices ship 7–28% [1.07–1.28]) and consults the shard policy's
+// Contains as its liveness oracle, so policy evictions invalidate
+// extents lazily at collection time with no callback threaded through
+// the policies.
+//
+// Lock ordering: the store calls Contains while holding its own mutex,
+// and the engine calls flash.Write only after the policy's Admit has
+// returned — flash → policy is the only nesting, so the pair cannot
+// deadlock.
+func AttachFlash(srv Server, segmentSize int64, overprovision float64) error {
+	if srv == nil {
+		return fmt.Errorf("engine: AttachFlash on nil server")
+	}
+	if overprovision <= 1 {
+		return fmt.Errorf("engine: flash overprovision must exceed 1 (got %g); the collector needs slack beyond the policy's capacity", overprovision)
+	}
+	for i, sh := range srv.Shards() {
+		pol := sh.Policy()
+		st, err := flash.New(flash.Config{
+			SegmentSize: segmentSize,
+			Capacity:    int64(float64(pol.Cap()) * overprovision),
+			Live:        pol.Contains,
+		})
+		if err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		sh.SetFlash(st)
+	}
+	return nil
+}
+
+// RebuildFlash re-materializes every shard's flash store from its
+// policy's current resident set: the restart path. The device a
+// restarted daemon boots with is empty (payload extents are not
+// persisted), so each store is Reset and the restored residency is
+// re-appended via Restore — uncharged writes, because the device paid
+// for them in its previous life and counting them again would pollute
+// the measured WAF with a restore burst. Shards without a store or
+// whose policy cannot enumerate residents are skipped.
+//
+// The caller must not run traffic concurrently (the snapshot restore
+// path is drained); residency is buffered outside the policy lock
+// because Range holds it and a Restore-triggered collection consults
+// policy.Contains.
+func RebuildFlash(srv Server) {
+	for _, sh := range srv.Shards() {
+		fs := sh.Flash()
+		if fs == nil {
+			continue
+		}
+		r, ok := sh.Policy().(cache.Ranger)
+		if !ok {
+			continue
+		}
+		type resident struct {
+			key  uint64
+			size int64
+		}
+		var residents []resident
+		r.Range(func(key uint64, size int64) bool {
+			residents = append(residents, resident{key, size})
+			return true
+		})
+		fs.Reset()
+		for _, res := range residents {
+			fs.Restore(res.key, res.size)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"reflect"
 	"testing"
+
+	"otacache/internal/flash"
 )
 
 // distinctMetrics fills every field of a Metrics with a distinct
@@ -104,6 +106,19 @@ func TestEngineSnapshotCoversEveryField(t *testing.T) {
 	e.rectified.Store(8)
 	e.degraded.Store(9)
 	e.totalBytes.Store(10)
+	// The Flash* fields read through the attached store, not an atomic:
+	// churn a small store until host, GC, and erase counters hold
+	// distinct nonzero values (the write sequence is deterministic).
+	fs, err := flash.New(flash.Config{SegmentSize: 256, Capacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := uint64(1)
+	for round := 0; round < 120; round++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		fs.Write((rng>>33)%7, 64, nil)
+	}
+	e.SetFlash(fs)
 	snap := e.Snapshot()
 	v := reflect.ValueOf(snap)
 	typ := v.Type()

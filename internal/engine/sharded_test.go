@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"otacache/internal/cache"
+	"otacache/internal/flash"
 )
 
 // newTestSharded builds an n-shard engine over admit-all LRUs, each
@@ -134,6 +135,35 @@ func TestShardedEngineOneShardMatchesEngine(t *testing.T) {
 	}
 }
 
+// TestShardForOneShardFastPath is the regression guard for the route
+// ShardFor takes when the ring shrinks to one shard: the fast path must
+// return shard 0 for every key — bit-identical to what the ring walk
+// would say and to a bare Engine — because snapshots written by an
+// N-shard fleet rehome every record through the target's ShardFor on
+// restore, and a stray nonzero route would panic the resharding.
+func TestShardForOneShardFastPath(t *testing.T) {
+	inner, err := New(cache.NewLRU(1<<10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewShardedEngine([]*Engine{inner}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := inner
+	rng := uint64(1)
+	for i := 0; i < 50000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		key := rng
+		if se.ShardFor(key) != 0 {
+			t.Fatalf("one-shard ShardFor(%d) != 0", key)
+		}
+		if se.ShardFor(key) != bare.ShardFor(key) {
+			t.Fatalf("one-shard ShardFor(%d) diverged from bare Engine", key)
+		}
+	}
+}
+
 // TestShardedEngineSnapshotSumsEveryField loads distinct values into
 // every shard's atomic counters and checks, by reflection over the
 // Metrics fields, that the sharded Snapshot is the exact field-wise sum
@@ -153,6 +183,23 @@ func TestShardedEngineSnapshotSumsEveryField(t *testing.T) {
 		sh.rectified.Store(salt + 8)
 		sh.degraded.Store(salt + 9)
 		sh.totalBytes.Store(salt + 10)
+		// The Flash* fields mirror an attached store's wear counters, so
+		// they cannot be Store()d directly: give each shard a small store
+		// and churn it (distinct per-shard round counts) until host, GC,
+		// and erase counters are all nonzero.
+		fs, err := flash.New(flash.Config{SegmentSize: 256, Capacity: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := uint64(si + 1)
+		for round := 0; round < 120+10*si; round++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			fs.Write((rng>>33)%7, 64, nil)
+		}
+		if st := fs.Stats(); st.HostBytes == 0 || st.GCBytes == 0 || st.Erases == 0 {
+			t.Fatalf("shard %d churn left a wear counter zero: %+v", si, st)
+		}
+		sh.SetFlash(fs)
 	}
 	var want Metrics
 	wv := reflect.ValueOf(&want).Elem()

@@ -1,0 +1,509 @@
+// Package flash implements a log-structured flash store: the device
+// layer under the serving engine that actually holds cached object
+// payloads and pays real erase-block costs, instead of assuming a
+// hand-picked write amplification factor.
+//
+// The layout is the one production SSD caches use (Flashield, RIPQ):
+// the store's capacity is divided into fixed-size segments mapped onto
+// erase blocks. Writes append to the head segment of a log; an object
+// index maps key -> (segment, offset, length). An object dies when it
+// is overwritten, explicitly invalidated, or — lazily — when the
+// composed replacement policy no longer considers it resident (the
+// Live callback). Dead space is reclaimed by a greedy garbage
+// collector: when the free-segment pool runs low it picks the sealed
+// segment with the fewest live bytes, relocates the survivors to the
+// log head, and erases the block. Those relocations are exactly where
+// GC-induced write amplification comes from, so the store measures it
+// instead of guessing:
+//
+//	WAF = (host bytes + relocated bytes) / host bytes
+//
+// plus erase counts per block, which ssd.Endurance turns into a live
+// lifetime estimate (Endurance.WithMeasuredWAF).
+//
+// A Store is safe for concurrent use; the serving stack runs one store
+// per engine shard, so the single mutex shards with the engines.
+package flash
+
+import (
+	"fmt"
+	"sync"
+)
+
+// minSegments is the smallest segment count a store operates with: the
+// active head plus at least three more so the collector has sealed
+// segments to choose between.
+const minSegments = 4
+
+// Config sizes one store.
+type Config struct {
+	// SegmentSize is the erase-block size in bytes. Objects larger than
+	// one segment are not stored (see Stats.Oversize).
+	SegmentSize int64
+	// Capacity is the device capacity in bytes, rounded up to whole
+	// segments (at least minSegments). Size it above the composed
+	// policy's capacity — the overprovisioned slack is what gives the
+	// collector dead space to reclaim; a store whose live bytes approach
+	// its capacity grinds into relocation storms exactly like a real
+	// device at 100% utilization.
+	Capacity int64
+	// Live reports whether a key is still logically live — the composed
+	// replacement policy's Contains. The collector consults it before
+	// relocating, so policy evictions invalidate lazily without an
+	// eviction callback threaded through every policy. nil means objects
+	// stay live until overwritten or explicitly invalidated.
+	Live func(key uint64) bool
+}
+
+// Stats is a point-in-time snapshot of the store's wear counters.
+type Stats struct {
+	// SegmentSize and Segments describe the fixed layout.
+	SegmentSize int64
+	Segments    int
+	// FreeSegments counts erased segments ready to become the log head.
+	FreeSegments int
+	// HostBytes counts bytes the caller wrote (admissions); relocations
+	// are excluded — they are the amplification, not the cause.
+	HostBytes int64
+	// GCBytes counts bytes the collector relocated to salvage live
+	// objects out of victim segments.
+	GCBytes int64
+	// Erases counts segment erasures across all blocks.
+	Erases int64
+	// MinSegmentErases and MaxSegmentErases bound the per-block erase
+	// distribution (wear leveling inspection).
+	MinSegmentErases int64
+	MaxSegmentErases int64
+	// LiveBytes is the store's live-byte estimate: exact with respect to
+	// overwrites and explicit invalidation, an upper bound with respect
+	// to lazy policy evictions (those are discovered at collection).
+	LiveBytes int64
+	// Relocations counts objects the collector moved.
+	Relocations int64
+	// Oversize counts writes rejected for exceeding one segment.
+	Oversize int64
+	// Dropped counts writes abandoned because collection could free no
+	// segment — a store sized with sane overprovisioning never increments
+	// this.
+	Dropped int64
+}
+
+// WAF returns the measured write amplification factor,
+// (host + relocated) / host. An unwritten store reports 1 (the floor:
+// a log-structured device never amplifies below the host stream).
+func (s Stats) WAF() float64 {
+	if s.HostBytes == 0 {
+		return 1
+	}
+	return float64(s.HostBytes+s.GCBytes) / float64(s.HostBytes)
+}
+
+// loc addresses one live object: a segment and a slot in its append
+// order.
+type loc struct {
+	seg  int
+	slot int
+}
+
+// obj is one appended extent inside a segment.
+type obj struct {
+	key  uint64
+	off  int64
+	size int64
+	// hasData marks extents whose payload bytes live in the segment
+	// buffer; extent-only objects track size and placement alone.
+	hasData bool
+	dead    bool
+}
+
+// segment is one erase block.
+type segment struct {
+	objs   []obj
+	used   int64 // write head (includes dead extents until erase)
+	live   int64 // live-byte estimate, see Stats.LiveBytes
+	sealed bool
+	erases int64
+	// buf holds payload bytes, allocated on the first data-carrying
+	// write; extent-only callers (the engine, which tracks sizes) never
+	// pay for it.
+	buf []byte
+}
+
+// Store is a log-structured flash store. Safe for concurrent use.
+type Store struct {
+	segSize int64
+	live    func(key uint64) bool
+
+	mu     sync.Mutex
+	segs   []*segment
+	free   []int // erased segment ids, LIFO
+	active int   // log head segment id
+	index  map[uint64]loc
+
+	hostBytes   int64
+	gcBytes     int64
+	erases      int64
+	relocations int64
+	oversize    int64
+	dropped     int64
+}
+
+// New builds a store. Capacity is rounded up to whole segments and to
+// the minimum segment count the collector needs.
+func New(cfg Config) (*Store, error) {
+	if cfg.SegmentSize <= 0 {
+		return nil, fmt.Errorf("flash: segment size must be positive, got %d", cfg.SegmentSize)
+	}
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("flash: capacity must be positive, got %d", cfg.Capacity)
+	}
+	n := int((cfg.Capacity + cfg.SegmentSize - 1) / cfg.SegmentSize)
+	if n < minSegments {
+		n = minSegments
+	}
+	s := &Store{
+		segSize: cfg.SegmentSize,
+		live:    cfg.Live,
+		segs:    make([]*segment, n),
+		index:   make(map[uint64]loc),
+	}
+	for i := range s.segs {
+		s.segs[i] = &segment{}
+	}
+	// Segment 0 opens the log; the rest are free (NAND ships erased).
+	s.active = 0
+	for i := n - 1; i >= 1; i-- {
+		s.free = append(s.free, i)
+	}
+	return s, nil
+}
+
+// SegmentSize returns the erase-block size.
+func (s *Store) SegmentSize() int64 { return s.segSize }
+
+// Capacity returns the store capacity (whole segments).
+func (s *Store) Capacity() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.segs)) * s.segSize
+}
+
+// Write appends one host object, invalidating any previous extent for
+// the same key. data may be nil for extent-only callers; when present
+// its length must equal size. It reports false — with no state change
+// beyond invalidating the stale extent — for non-positive or oversize
+// objects, or if the collector cannot free a segment.
+func (s *Store) Write(key uint64, size int64, data []byte) bool {
+	return s.write(key, size, data, true)
+}
+
+// Restore appends one object without charging the host-write counters:
+// the rebuild path after a snapshot restore re-materializes residency
+// the device already paid for in its previous life, so counting it
+// would distort the measured WAF with a phantom write burst.
+func (s *Store) Restore(key uint64, size int64) bool {
+	return s.write(key, size, nil, false)
+}
+
+func (s *Store) write(key uint64, size int64, data []byte, host bool) bool {
+	if data != nil && int64(len(data)) != size {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.index[key]; ok {
+		s.markDead(l)
+		delete(s.index, key)
+	}
+	if size <= 0 || size > s.segSize {
+		s.oversize++
+		return false
+	}
+	if !s.appendObj(key, size, data, true) {
+		s.dropped++
+		return false
+	}
+	if host {
+		s.hostBytes += size
+	}
+	return true
+}
+
+// appendObj lands one extent at the log head, rolling the head to a
+// fresh segment when the object does not fit. gc allows the roll to
+// run the collector; the collector's own relocations pass false and
+// draw on the reserve instead — collection must never reenter itself.
+// Caller holds mu.
+func (s *Store) appendObj(key uint64, size int64, data []byte, gc bool) bool {
+	head := s.segs[s.active]
+	if head.used+size > s.segSize {
+		next, ok := s.allocSegment(gc)
+		if !ok {
+			return false
+		}
+		// Seal the head by its current id, not the head pointer captured
+		// above: collection inside allocSegment relocates survivors, and
+		// those relocations may themselves roll the log head.
+		s.segs[s.active].sealed = true
+		s.active = next
+		head = s.segs[s.active]
+	}
+	if data != nil {
+		if head.buf == nil {
+			head.buf = make([]byte, s.segSize)
+		}
+		copy(head.buf[head.used:], data)
+	}
+	head.objs = append(head.objs, obj{key: key, off: head.used, size: size, hasData: data != nil})
+	s.index[key] = loc{seg: s.active, slot: len(head.objs) - 1}
+	head.used += size
+	head.live += size
+	return true
+}
+
+// allocSegment returns a free segment id, running the collector when
+// the pool is empty (gc false skips collection — the relocation path,
+// which lands in the segment its own collection just erased). Caller
+// holds mu.
+func (s *Store) allocSegment(gc bool) (int, bool) {
+	// Collect until a segment is free, bounded by the segment count so a
+	// store with nothing reclaimable cannot spin. Each round nets the
+	// victim's dead bytes; the loop runs more than once only when the
+	// victim was nearly full of survivors.
+	for tries := 0; gc && len(s.free) == 0 && tries < len(s.segs); tries++ {
+		before := s.erases
+		s.collect()
+		if s.erases == before {
+			break // no victim; fall through to the failure path
+		}
+	}
+	if len(s.free) == 0 {
+		return 0, false
+	}
+	id := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	seg := s.segs[id]
+	seg.sealed = false
+	seg.objs = seg.objs[:0]
+	seg.used, seg.live = 0, 0
+	return id, true
+}
+
+// collect runs one greedy collection: refresh liveness against the
+// policy, pick the sealed segment with the fewest live bytes, stash
+// the survivors, erase the block, and re-append the survivors to the
+// log head — which may be the block just erased, so collection makes
+// forward progress with zero standing free segments. Caller holds mu.
+func (s *Store) collect() {
+	victim := -1
+	var victimLive int64
+	for id, seg := range s.segs {
+		if id == s.active || !seg.sealed {
+			continue
+		}
+		s.refreshLiveness(id)
+		if victim == -1 || seg.live < victimLive {
+			victim, victimLive = id, seg.live
+		}
+	}
+	if victim == -1 {
+		return
+	}
+	seg := s.segs[victim]
+	type stashed struct {
+		key  uint64
+		size int64
+		data []byte
+	}
+	var keep []stashed
+	for slot := range seg.objs {
+		o := &seg.objs[slot]
+		if o.dead {
+			continue
+		}
+		st := stashed{key: o.key, size: o.size}
+		if o.hasData {
+			st.data = append([]byte(nil), seg.buf[o.off:o.off+o.size]...)
+		}
+		keep = append(keep, st)
+		// The survivor's index entry dangles once the block is erased;
+		// the re-append below rebuilds it.
+		delete(s.index, o.key)
+	}
+	s.eraseSegment(victim)
+	for _, st := range keep {
+		// Relocation rides the same append path as host writes — that is
+		// the amplification — but lands in gcBytes, not hostBytes, and
+		// must not reenter the collector (the erased victim is free for
+		// it to roll onto).
+		if s.appendObj(st.key, st.size, st.data, false) {
+			s.gcBytes += st.size
+			s.relocations++
+		} else {
+			// No room anywhere: the object is lost from flash (the cache
+			// above re-fetches on demand). Sized stores never hit this.
+			s.dropped++
+		}
+	}
+}
+
+// refreshLiveness reconciles one segment's extents with the policy:
+// objects the policy evicted since their append are marked dead so the
+// victim choice and the relocation pass see true liveness. Caller
+// holds mu.
+func (s *Store) refreshLiveness(id int) {
+	if s.live == nil {
+		return
+	}
+	seg := s.segs[id]
+	for slot := range seg.objs {
+		o := &seg.objs[slot]
+		if o.dead {
+			continue
+		}
+		if cur, ok := s.index[o.key]; !ok || cur != (loc{seg: id, slot: slot}) {
+			// Stale extent never marked (defensive; markDead keeps these
+			// in sync on the overwrite path).
+			o.dead = true
+			seg.live -= o.size
+			continue
+		}
+		if !s.live(o.key) {
+			o.dead = true
+			seg.live -= o.size
+			delete(s.index, o.key)
+		}
+	}
+}
+
+// eraseSegment wipes one block and returns it to the free pool,
+// charging the erase counters. Caller holds mu.
+func (s *Store) eraseSegment(id int) {
+	seg := s.segs[id]
+	seg.objs = seg.objs[:0]
+	seg.used, seg.live = 0, 0
+	seg.sealed = false
+	seg.erases++
+	s.erases++
+	s.free = append(s.free, id)
+}
+
+// markDead invalidates one extent. Caller holds mu.
+func (s *Store) markDead(l loc) {
+	seg := s.segs[l.seg]
+	o := &seg.objs[l.slot]
+	if !o.dead {
+		o.dead = true
+		seg.live -= o.size
+	}
+}
+
+// Invalidate drops key's extent (overwrite-by-delete, or an eager
+// eviction callback for callers that have one). It reports whether the
+// key was present.
+func (s *Store) Invalidate(key uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.index[key]
+	if !ok {
+		return false
+	}
+	s.markDead(l)
+	delete(s.index, key)
+	return true
+}
+
+// Contains reports whether key has a live extent.
+func (s *Store) Contains(key uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Read returns key's payload bytes (a copy) and its size. data is nil
+// for extents written without payloads.
+func (s *Store) Read(key uint64) (data []byte, size int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, found := s.index[key]
+	if !found {
+		return nil, 0, false
+	}
+	seg := s.segs[l.seg]
+	o := seg.objs[l.slot]
+	if o.hasData {
+		data = make([]byte, o.size)
+		copy(data, seg.buf[o.off:o.off+o.size])
+	}
+	return data, o.size, true
+}
+
+// Len returns the number of live extents in the index.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Reset wipes all segments and the index without charging erase
+// counters: it models the empty device a restarted daemon boots with
+// (payloads are not persisted), so the subsequent Restore rebuild
+// starts from clean blocks. Cumulative wear counters are preserved.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.index = make(map[uint64]loc)
+	s.free = s.free[:0]
+	for i := len(s.segs) - 1; i >= 1; i-- {
+		seg := s.segs[i]
+		seg.objs = seg.objs[:0]
+		seg.used, seg.live = 0, 0
+		seg.sealed = false
+		s.free = append(s.free, i)
+	}
+	head := s.segs[0]
+	head.objs = head.objs[:0]
+	head.used, head.live = 0, 0
+	head.sealed = false
+	s.active = 0
+}
+
+// Stats returns the current wear counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		SegmentSize:  s.segSize,
+		Segments:     len(s.segs),
+		FreeSegments: len(s.free),
+		HostBytes:    s.hostBytes,
+		GCBytes:      s.gcBytes,
+		Erases:       s.erases,
+		Relocations:  s.relocations,
+		Oversize:     s.oversize,
+		Dropped:      s.dropped,
+	}
+	for i, seg := range s.segs {
+		st.LiveBytes += seg.live
+		if i == 0 || seg.erases < st.MinSegmentErases {
+			st.MinSegmentErases = seg.erases
+		}
+		if seg.erases > st.MaxSegmentErases {
+			st.MaxSegmentErases = seg.erases
+		}
+	}
+	return st
+}
+
+// ErasesPerSegment returns each block's erase count, in segment order
+// — the wear-leveling histogram.
+func (s *Store) ErasesPerSegment() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.segs))
+	for i, seg := range s.segs {
+		out[i] = seg.erases
+	}
+	return out
+}

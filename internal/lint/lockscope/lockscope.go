@@ -33,6 +33,7 @@ var DefaultScope = []string{
 	"internal/engine",
 	"internal/cache",
 	"internal/core",
+	"internal/flash",
 	"internal/server",
 }
 

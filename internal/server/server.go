@@ -71,6 +71,7 @@ import (
 	"otacache/internal/engine"
 	"otacache/internal/faults"
 	"otacache/internal/ml/cart"
+	"otacache/internal/ssd"
 )
 
 // Config carries the operational knobs of one daemon.
@@ -417,6 +418,11 @@ type Stats struct {
 	// EngineShards is the number of independent engine shards behind
 	// the ring (1 for a plain Engine).
 	EngineShards int
+	// Flash aggregates the per-shard flash devices (nil when the daemon
+	// runs without a flash layer): counter sums, the WAF measured over
+	// the whole device fleet, and a lifetime estimate from the measured
+	// WAF and the host-write rate since boot.
+	Flash *FlashStats `json:",omitempty"`
 	// Shards breaks the aggregate down per engine shard, in shard
 	// order; Cumulative above is their field-wise sum.
 	Shards []ShardStats
@@ -431,8 +437,43 @@ type ShardStats struct {
 	ResidentBytes int64
 	// Breaker reports this shard's circuit breaker (nil without one).
 	Breaker *BreakerStats `json:",omitempty"`
+	// Flash is this shard's flash device (nil without one); the
+	// top-level Flash block is the field-wise sum of these.
+	Flash *FlashStats `json:",omitempty"`
 	// Cumulative is this shard's counters since boot.
 	Cumulative engine.Metrics
+}
+
+// FlashStats is the flash device block of /stats: the log-structured
+// store's layout and wear counters, the measured write amplification,
+// and — on the aggregate block — a lifetime estimate that replaces the
+// static-profile guess with the measured WAF.
+type FlashStats struct {
+	// SegmentSize is the erase-block size; CapacityBytes the device
+	// capacity (summed across shards on the aggregate block).
+	SegmentSize   int64
+	CapacityBytes int64
+	// FreeSegments counts erased blocks ready to take the log head.
+	FreeSegments int
+	// HostBytes, GCBytes, and Erases are the wear counters behind the
+	// WAF: host-written bytes, GC-relocated bytes, block erasures.
+	HostBytes int64
+	GCBytes   int64
+	Erases    int64
+	// Relocations counts objects the collectors moved; Dropped counts
+	// writes abandoned for lack of a free segment (sizing alarm).
+	Relocations int64
+	Dropped     int64
+	// LiveBytes is the stores' live-byte estimate.
+	LiveBytes int64
+	// WAF is the measured write amplification, (Host + GC) / Host.
+	WAF float64
+	// LifetimeDays estimates time to wear-out at the host-write rate
+	// observed since boot, using the TLC endurance profile at the
+	// device capacity with the measured WAF swapped in
+	// (ssd.Endurance.WithMeasuredWAF). Zero when no host writes have
+	// been observed yet. Aggregate block only.
+	LifetimeDays float64 `json:",omitempty"`
 }
 
 // BreakerStats is the admission breaker's observable state.
@@ -472,17 +513,94 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Residents:     sh.Policy().Len(),
 			ResidentBytes: sh.Policy().Used(),
 			Breaker:       breakerStats(s.breakers[i]),
+			Flash:         flashStats(sh),
 			Cumulative:    sh.Snapshot(),
 		}
 		st.Residents += ss.Residents
 		st.ResidentBytes += ss.ResidentBytes
+		st.Flash = st.Flash.add(ss.Flash)
 		st.Shards[i] = ss
+	}
+	if st.Flash != nil {
+		st.Flash.LifetimeDays = flashLifetimeDays(st.Flash, st.UptimeSec)
 	}
 	if len(s.shards) == 1 {
 		st.Breaker = st.Shards[0].Breaker
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
+}
+
+// flashStats renders one shard's flash device block (nil when the
+// shard runs without a store).
+func flashStats(sh *engine.Engine) *FlashStats {
+	fs := sh.Flash()
+	if fs == nil {
+		return nil
+	}
+	fst := fs.Stats()
+	return &FlashStats{
+		SegmentSize:   fst.SegmentSize,
+		CapacityBytes: fst.SegmentSize * int64(fst.Segments),
+		FreeSegments:  fst.FreeSegments,
+		HostBytes:     fst.HostBytes,
+		GCBytes:       fst.GCBytes,
+		Erases:        fst.Erases,
+		Relocations:   fst.Relocations,
+		Dropped:       fst.Dropped,
+		LiveBytes:     fst.LiveBytes,
+		WAF:           fst.WAF(),
+	}
+}
+
+// add folds one shard's flash block into the aggregate (either side may
+// be nil). The aggregate WAF is recomputed from the summed byte
+// counters — the byte-weighted mean over the shard devices, not a mean
+// of per-shard WAFs.
+func (f *FlashStats) add(o *FlashStats) *FlashStats {
+	if o == nil {
+		return f
+	}
+	if f == nil {
+		cp := *o
+		f = &cp
+		f.WAF = flashWAF(f.HostBytes, f.GCBytes)
+		return f
+	}
+	f.CapacityBytes += o.CapacityBytes
+	f.FreeSegments += o.FreeSegments
+	f.HostBytes += o.HostBytes
+	f.GCBytes += o.GCBytes
+	f.Erases += o.Erases
+	f.Relocations += o.Relocations
+	f.Dropped += o.Dropped
+	f.LiveBytes += o.LiveBytes
+	f.WAF = flashWAF(f.HostBytes, f.GCBytes)
+	return f
+}
+
+func flashWAF(host, gc int64) float64 {
+	if host == 0 {
+		return 1
+	}
+	return float64(host+gc) / float64(host)
+}
+
+// flashLifetimeDays turns the aggregate wear counters into a
+// wear-out estimate: the TLC endurance profile at the measured device
+// capacity, the profile's guessed WAF replaced by the measured one, at
+// the host-write rate observed since boot. Zero until host writes have
+// been observed (no meaningful rate yet).
+func flashLifetimeDays(f *FlashStats, uptimeSec float64) float64 {
+	if f.HostBytes == 0 || uptimeSec <= 0 {
+		return 0
+	}
+	dev, err := ssd.DefaultTLC(f.CapacityBytes).WithMeasuredWAF(f.WAF)
+	if err != nil {
+		return 0
+	}
+	bytesPerDay := float64(f.HostBytes) / uptimeSec * 86400
+	return dev.Lifetime(bytesPerDay).Hours() / 24
 }
 
 // breakerStats renders one shard's breaker state (nil in, nil out).

@@ -448,6 +448,13 @@ func ReadSnapshot(r io.Reader, srv engine.Server) (SnapshotResult, error) {
 			}
 		}
 	}
+	// With residency fully applied, re-materialize the flash layer from
+	// the restored policies: extents are rebuilt as uncharged Restore
+	// writes (the device paid for them in its previous life), so the
+	// measured WAF picks up where the old process left off instead of
+	// absorbing a phantom write burst. No wire-format change — the store
+	// is derived state.
+	engine.RebuildFlash(srv)
 	srv.ResumeTick(tick)
 	return res, nil
 }

@@ -27,8 +27,30 @@ type Endurance struct {
 }
 
 // DefaultTLC returns a typical TLC cache device profile.
+//
+// The 2.5 WAF is a hand-picked profile constant — a stand-in for a
+// measurement the stack did not use to have. Callers with a measured
+// amplification (the log-structured store in internal/flash reports
+// one) must override it via WithMeasuredWAF; trusting the profile
+// constant when a measurement exists is deprecated and silently skews
+// every lifetime estimate by measured/2.5.
 func DefaultTLC(capacityBytes int64) Endurance {
 	return Endurance{CapacityBytes: capacityBytes, PECycles: 3000, WAF: 2.5}
+}
+
+// WithMeasuredWAF returns a copy of the profile with the WAF replaced
+// by a device-measured value — (host + GC-relocated) / host bytes from
+// the flash store's collector — so lifetime arithmetic rests on the
+// workload's actual amplification instead of the profile guess. It
+// returns an error for measurements below 1: a log-structured device
+// cannot amplify below the host stream, so such a value is a
+// measurement bug, not a great FTL.
+func (e Endurance) WithMeasuredWAF(waf float64) (Endurance, error) {
+	if waf < 1 {
+		return e, fmt.Errorf("ssd: measured WAF must be >= 1, got %g", waf)
+	}
+	e.WAF = waf
+	return e, nil
 }
 
 // Validate reports the first problem with the profile.

@@ -89,3 +89,33 @@ func TestReportString(t *testing.T) {
 		t.Fatalf("report missing capacity: %s", s)
 	}
 }
+
+func TestWithMeasuredWAF(t *testing.T) {
+	base := DefaultTLC(1 << 40)
+	m, err := base.WithMeasuredWAF(1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WAF != 1.3 {
+		t.Fatalf("WAF = %g, want 1.3", m.WAF)
+	}
+	if m.CapacityBytes != base.CapacityBytes || m.PECycles != base.PECycles {
+		t.Fatal("WithMeasuredWAF touched fields other than WAF")
+	}
+	if base.WAF != 2.5 {
+		t.Fatal("WithMeasuredWAF mutated the receiver")
+	}
+	// A lower measured WAF buys proportionally more write budget: the
+	// whole point of measuring instead of trusting the profile.
+	if got, want := m.TotalHostWriteBudget()/base.TotalHostWriteBudget(), 2.5/1.3; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("budget ratio = %g, want %g", got, want)
+	}
+	if _, err := base.WithMeasuredWAF(0.8); err == nil {
+		t.Fatal("sub-1 measured WAF accepted; a log device cannot amplify below the host stream")
+	}
+	// The exact floor is a legal measurement (pure sequential stream,
+	// zero relocation).
+	if _, err := base.WithMeasuredWAF(1); err != nil {
+		t.Fatal(err)
+	}
+}
