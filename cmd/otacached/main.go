@@ -52,7 +52,9 @@ import (
 
 	"otacache/internal/core"
 	"otacache/internal/engine"
+	"otacache/internal/faults"
 	"otacache/internal/features"
+	"otacache/internal/flash"
 	"otacache/internal/ml/cart"
 	"otacache/internal/server"
 	"otacache/internal/sim"
@@ -85,8 +87,15 @@ func main() {
 		snapPath  = flag.String("snapshot", "", "crash-safe state file: restored at startup, written periodically and after drain")
 		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot cadence (with -snapshot)")
 
-		flashSeg = flag.Int64("flash-segment-size", 0, "model the cache device as a log-structured flash store with this erase-block size in bytes; /stats grows a Flash block with measured WAF and lifetime (0 = off)")
-		flashOP  = flag.Float64("flash-overprovision", 1.15, "flash device capacity as a multiple of each shard's policy capacity, > 1 (with -flash-segment-size)")
+		flashSeg   = flag.Int64("flash-segment-size", 0, "model the cache device as a log-structured flash store with this erase-block size in bytes; /stats grows a Flash block with measured WAF and lifetime (0 = off)")
+		flashOP    = flag.Float64("flash-overprovision", 1.15, "flash device capacity as a multiple of each shard's policy capacity, > 1 (with -flash-segment-size)")
+		flashSpare = flag.Int("flash-spare-blocks", 0, "bad-block retirement budget per shard store; 0 derives it from the overprovision slack (with -flash-segment-size)")
+		flashScrub = flag.Duration("flash-scrub-interval", 0, "background scrub cadence: every interval one sealed segment per shard is checksum-verified and corrupt extents are dropped (0 = off; with -flash-segment-size)")
+
+		drillReadEvery    = flag.Uint64("flash-fault-read-every", 0, "fault drill: make every Nth device read uncorrectable (0 = off; with -flash-segment-size)")
+		drillFlipEvery    = flag.Uint64("flash-fault-flip-every", 0, "fault drill: silently flip one bit of every Nth programmed record (0 = off; with -flash-segment-size)")
+		drillProgramEvery = flag.Uint64("flash-fault-program-every", 0, "fault drill: fail every Nth device program, retiring its block (0 = off; with -flash-segment-size)")
+		drillEraseEvery   = flag.Uint64("flash-fault-erase-every", 0, "fault drill: fail every Nth device erase, retiring its block (0 = off; with -flash-segment-size)")
 
 		brFallback  = flag.String("breaker-fallback", "admit-all", "degraded admission when the classifier fails (admit-all|doorkeeper|off)")
 		brLatency   = flag.Duration("breaker-latency", 0, "classifier latency budget; slower decisions count as breaker failures (0 = none)")
@@ -96,6 +105,33 @@ func main() {
 	flag.Parse()
 	log.SetPrefix("otacached: ")
 	log.SetFlags(log.LstdFlags)
+
+	// Validate the flash surface before the (slow) bootstrap: a typo'd
+	// geometry should fail in milliseconds with a clear message, not
+	// after the trace loads.
+	if *flashSeg < 0 {
+		fail(fmt.Errorf("-flash-segment-size must be positive, got %d (0 disables the flash layer)", *flashSeg))
+	}
+	if *flashSeg > 0 && *flashOP <= 1.0 {
+		fail(fmt.Errorf("-flash-overprovision must exceed 1.0, got %g: the slack beyond the policy's capacity is the collector's working room and the bad-block spare pool", *flashOP))
+	}
+	if *flashSpare < 0 {
+		fail(fmt.Errorf("-flash-spare-blocks must not be negative, got %d (0 derives the budget from the overprovision slack)", *flashSpare))
+	}
+	if *flashSeg == 0 {
+		for name, set := range map[string]bool{
+			"-flash-spare-blocks":        *flashSpare != 0,
+			"-flash-scrub-interval":      *flashScrub != 0,
+			"-flash-fault-read-every":    *drillReadEvery != 0,
+			"-flash-fault-flip-every":    *drillFlipEvery != 0,
+			"-flash-fault-program-every": *drillProgramEvery != 0,
+			"-flash-fault-erase-every":   *drillEraseEvery != 0,
+		} {
+			if set {
+				fail(fmt.Errorf("%s requires -flash-segment-size > 0 (the flash layer is off)", name))
+			}
+		}
+	}
 
 	var kind tier.FilterKind
 	switch *mode {
@@ -214,12 +250,47 @@ func main() {
 	// the breaker re-wrap above builds fresh engines around the shard
 	// policies — and before any snapshot restore below, so the restore's
 	// residency rebuild finds the stores already wired in.
+	var scrubber *engine.Scrubber
 	if *flashSeg > 0 {
-		if err := engine.AttachFlash(eng, *flashSeg, *flashOP); err != nil {
+		opts := engine.FlashOptions{
+			SegmentSize:   *flashSeg,
+			Overprovision: *flashOP,
+			SpareBlocks:   *flashSpare,
+		}
+		drill := *drillReadEvery != 0 || *drillFlipEvery != 0 || *drillProgramEvery != 0 || *drillEraseEvery != 0
+		if drill {
+			// The fault drill wraps each shard's device with call-indexed
+			// injectors: deterministic media faults for rehearsing the
+			// degrade-to-miss, retirement, and scrub machinery on a live
+			// daemon. Never meaningful in production — the flags exist so
+			// an operator can watch /stats FlashHealth move before trusting
+			// it during a real incident.
+			mk := func(n uint64) *faults.Injector {
+				if n == 0 {
+					return nil
+				}
+				return faults.NewInjector(faults.EveryNth(n, faults.Fault{Kind: faults.Error}), nil)
+			}
+			opts.Device = func(shard, segments int) flash.Device {
+				return faults.WrapDevice(flash.NewMemDevice(segments),
+					mk(*drillReadEvery), mk(*drillProgramEvery), mk(*drillEraseEvery), mk(*drillFlipEvery))
+			}
+			log.Printf("flash drill: injecting media faults (read-every=%d flip-every=%d program-every=%d erase-every=%d)",
+				*drillReadEvery, *drillFlipEvery, *drillProgramEvery, *drillEraseEvery)
+		}
+		if err := engine.AttachFlashOpts(eng, opts); err != nil {
 			fail(err)
 		}
-		log.Printf("flash: log-structured store per shard, segment=%d KB overprovision=%.2f (x%d)",
-			*flashSeg>>10, *flashOP, len(eng.Shards()))
+		log.Printf("flash: log-structured store per shard, segment=%d KB overprovision=%.2f spare-blocks=%d (x%d)",
+			*flashSeg>>10, *flashOP, eng.Shards()[0].Flash().Stats().SpareBlocks, len(eng.Shards()))
+		if *flashScrub > 0 {
+			scrubber, err = engine.NewScrubber(eng, *flashScrub, nil)
+			if err != nil {
+				fail(err)
+			}
+			scrubber.Start()
+			log.Printf("flash scrub: one segment per shard every %s", *flashScrub)
+		}
 	}
 
 	// adms are the per-shard classifier admissions behind any breaker
@@ -316,6 +387,11 @@ func main() {
 			os.Exit(1)
 		}
 		<-done
+		if scrubber != nil {
+			// Stop the patrol before the final snapshot so no scrub drop
+			// races the residency walk.
+			scrubber.Stop()
+		}
 		if snap != nil {
 			// One final write now that the counters have settled: the next
 			// start resumes from exactly the drained state.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"os/exec"
@@ -12,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"otacache/internal/cache"
+	"otacache/internal/engine"
 	"otacache/internal/server"
 )
 
@@ -212,5 +215,168 @@ func TestDaemonSIGTERMDrainAndSnapshotRestart(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatalf("restarted daemon did not exit within 30s\nlog:\n%s", d2.Log())
+	}
+}
+
+// TestDaemonFlashFlagValidation pins the startup validation of the
+// flash surface: a bad geometry or a drill knob without the flash layer
+// must fail fast with a message naming the flag, before the bootstrap
+// trace is even loaded.
+func TestDaemonFlashFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the real daemon")
+	}
+	bin := buildDaemon(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-flash-segment-size", "-5"}, "-flash-segment-size must be positive"},
+		{[]string{"-flash-segment-size", "4096", "-flash-overprovision", "1.0"}, "-flash-overprovision must exceed 1.0"},
+		{[]string{"-flash-segment-size", "4096", "-flash-overprovision", "0.5"}, "-flash-overprovision must exceed 1.0"},
+		{[]string{"-flash-segment-size", "4096", "-flash-spare-blocks", "-1"}, "-flash-spare-blocks must not be negative"},
+		{[]string{"-flash-scrub-interval", "1s"}, "requires -flash-segment-size"},
+		{[]string{"-flash-fault-flip-every", "10"}, "requires -flash-segment-size"},
+	}
+	for _, tc := range cases {
+		out, err := exec.Command(bin, tc.args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("otacached %v started despite invalid flags", tc.args)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("otacached %v: error does not name the problem (want %q):\n%s", tc.args, tc.want, out)
+		}
+	}
+}
+
+// TestDaemonCorruptSnapshotColdStart is the corrupted-state boot: the
+// snapshot file exists but is truncated mid-shard-section (a crash
+// during rotation, a bad disk). The daemon must log the failed restore,
+// discard the file's content, and serve cold — no crash, no half-warm
+// cache, no 5xx.
+func TestDaemonCorruptSnapshotColdStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the real daemon")
+	}
+	bin := buildDaemon(t)
+
+	// Forge a valid 2-shard snapshot in-process, then cut it mid-stream.
+	src := make([]*engine.Engine, 2)
+	for i := range src {
+		eng, err := engine.New(cache.NewLRU(1<<20), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src[i] = eng
+	}
+	se, err := engine.NewShardedEngine(src, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 400; key++ {
+		se.Lookup(key, 512, se.NextTick(), nil)
+	}
+	var buf bytes.Buffer
+	if _, err := server.WriteSnapshot(&buf, se); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	snapPath := filepath.Join(t.TempDir(), "state.snap")
+	if err := os.WriteFile(snapPath, valid[:2*len(valid)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d := startDaemon(t, bin,
+		"-addr", "127.0.0.1:0",
+		"-photos", "2000",
+		"-snapshot", snapPath,
+		"-snapshot-interval", "1h",
+	)
+	addr := d.waitLog(t, servingRe, 60*time.Second)
+	d.waitLog(t, regexp.MustCompile(`snapshot: restore failed, serving cold`), 30*time.Second)
+
+	c := server.NewClient("http://"+addr, 1)
+	c.SetRetry(server.RetryConfig{MaxAttempts: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.WaitReady(ctx, 0); err != nil {
+		t.Fatalf("daemon never became ready after failed restore: %v\nlog:\n%s", err, d.Log())
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Residents != 0 {
+		t.Fatalf("failed restore left %d residents; cold start must be exactly cold", st.Residents)
+	}
+	// The cold daemon serves: a miss then a hit, no 5xx.
+	if res, err := c.Lookup(1, 256, nil); err != nil || res.Hit {
+		t.Fatalf("first lookup after cold start: res=%+v err=%v", res, err)
+	}
+	if res, err := c.Lookup(1, 256, nil); err != nil || !res.Hit {
+		t.Fatalf("second lookup after cold start: res=%+v err=%v", res, err)
+	}
+}
+
+// TestDaemonFlashDrillAndScrub boots the daemon with the flash layer,
+// the background scrubber, and the fault drill enabled: live traffic
+// under injected bit flips must keep serving without a 5xx while the
+// /stats FlashHealth block shows the drill landing (corrupt extents
+// found and dropped) and the scrub patrol making progress.
+func TestDaemonFlashDrillAndScrub(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the real daemon")
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin,
+		"-addr", "127.0.0.1:0",
+		"-photos", "2000",
+		"-bytes", "2000000",
+		"-flash-segment-size", "4096",
+		"-flash-overprovision", "1.25",
+		"-flash-scrub-interval", "2ms",
+		"-flash-fault-flip-every", "40",
+	)
+	addr := d.waitLog(t, servingRe, 60*time.Second)
+	c := server.NewClient("http://"+addr, 2)
+	c.SetRetry(server.RetryConfig{MaxAttempts: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.WaitReady(ctx, 0); err != nil {
+		t.Fatalf("daemon never became ready: %v\nlog:\n%s", err, d.Log())
+	}
+
+	// Admit a working set (flips land on ~1/40 of the programs), then
+	// re-read it so flipped extents are discovered and degraded to
+	// misses; the scrubber catches whatever the reads do not.
+	const keys = 800
+	for pass := 0; pass < 2; pass++ {
+		for key := uint64(0); key < keys; key++ {
+			if _, err := c.Lookup(key, 1024, nil); err != nil {
+				t.Fatalf("pass %d key %d under drill: %v", pass, key, err)
+			}
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Flash == nil {
+			t.Fatal("/stats has no Flash block with -flash-segment-size set")
+		}
+		h := st.Flash.Health
+		if h.CorruptExtents > 0 && h.ScrubbedSegments > 0 {
+			if h.Exhausted || !st.Ready {
+				t.Fatalf("drill flips must not consume spares or readiness: %+v ready=%v", h, st.Ready)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drill never surfaced in FlashHealth: %+v\nlog:\n%s", h, d.Log())
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

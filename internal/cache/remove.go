@@ -1,0 +1,126 @@
+package cache
+
+// Remover is the optional removal side of Policy: policies that can
+// drop one resident object by key implement it so upper layers can
+// evict a "phantom resident" — an object the policy still counts but
+// whose backing bytes are gone (a flash extent dropped for corruption
+// or an uncorrectable read). Remove reports whether the key was
+// resident; removing an absent (or ghost-only) key is a no-op.
+//
+// Remove is an out-of-band eviction, not an access: it must not touch
+// recency/frequency state for other objects, and for the adaptive
+// policies (ARC, LIRS) the removed object leaves no ghost — the object
+// did not age out, its bytes died, so it should not steer adaptation.
+//
+// Like every other Policy method, Remove on the bare single-threaded
+// policies must not race with concurrent mutation; Sharded serializes
+// per shard.
+type Remover interface {
+	Remove(key uint64) bool
+}
+
+// Remove implements Remover.
+func (c *LRU) Remove(key uint64) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.list.remove(e)
+	delete(c.items, key)
+	return true
+}
+
+// Remove implements Remover.
+func (c *FIFO) Remove(key uint64) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.list.remove(e)
+	delete(c.items, key)
+	return true
+}
+
+// Remove implements Remover.
+func (c *SLRU) Remove(key uint64) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.segs[e.seg].remove(e)
+	delete(c.items, key)
+	return true
+}
+
+// Remove implements Remover. Only resident (T1/T2) entries are
+// removable; ghost entries are history, not residency, and stay.
+func (c *ARC) Remove(key uint64) bool {
+	e, ok := c.items[key]
+	if !ok || e.seg > arcT2 {
+		return false
+	}
+	c.listOf(e.seg).remove(e)
+	delete(c.items, key)
+	return true
+}
+
+// Remove implements Remover. A removed LIR or resident-HIR object is
+// forgotten entirely (no ghost), and the stack invariant is re-pruned.
+func (c *LIRS) Remove(key uint64) bool {
+	x, ok := c.items[key]
+	if !ok || x.state == stateHIRNonResident {
+		return false
+	}
+	switch x.state {
+	case stateLIR:
+		c.lirBytes -= x.size
+		c.stack.remove(x)
+	case stateHIRResident:
+		c.hirBytes -= x.size
+		c.queue.remove(x)
+		if x.inS {
+			c.stack.remove(x)
+		}
+	}
+	delete(c.items, key)
+	// Removing a bottom LIR object can leave HIR entries at the stack
+	// bottom; restore the invariant.
+	c.prune()
+	return true
+}
+
+// Remove implements Remover. Heap entries for the removed key go stale
+// and are discarded lazily by evictFarthest, the same way overwritten
+// priorities are.
+func (c *Belady) Remove(key uint64) bool {
+	it, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.used -= it.size
+	delete(c.items, key)
+	return true
+}
+
+// Remove implements Remover, delegating under the key's shard lock.
+// Shards whose policy does not implement Remover report false.
+func (s *Sharded) Remove(key uint64) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.p.(Remover)
+	if !ok {
+		return false
+	}
+	return r.Remove(key)
+}
+
+var (
+	_ Remover = (*LRU)(nil)
+	_ Remover = (*FIFO)(nil)
+	_ Remover = (*SLRU)(nil)
+	_ Remover = (*ARC)(nil)
+	_ Remover = (*LIRS)(nil)
+	_ Remover = (*Belady)(nil)
+	_ Remover = (*Sharded)(nil)
+)

@@ -1,0 +1,226 @@
+package cache
+
+import "testing"
+
+// removePolicies builds one instance of every online policy behind the
+// Remover interface, at the given byte capacity.
+func removePolicies(capacity int64) map[string]Policy {
+	// The sharded variant gets capacity per shard so collateral
+	// evictions cannot confound the removal assertions.
+	sharded, err := NewSharded(capacity*4, 4, func(per int64) Policy { return NewLRU(per) })
+	if err != nil {
+		panic(err)
+	}
+	return map[string]Policy{
+		"lru":     NewLRU(capacity),
+		"fifo":    NewFIFO(capacity),
+		"s3lru":   NewSLRU(capacity, 3),
+		"arc":     NewARC(capacity),
+		"lirs":    NewLIRS(capacity, DefaultLIRRatio),
+		"belady":  NewBelady(capacity, nil),
+		"sharded": sharded,
+	}
+}
+
+// TestRemoveDropsResident pins the Remover contract on every policy:
+// after Remove the key is gone from Contains, Len and Used shrink
+// accordingly, a second Remove reports false, and the policy keeps
+// operating (subsequent admissions and hits behave).
+func TestRemoveDropsResident(t *testing.T) {
+	for name, p := range removePolicies(1000) {
+		t.Run(name, func(t *testing.T) {
+			r, ok := p.(Remover)
+			if !ok {
+				t.Fatalf("%s does not implement Remover", name)
+			}
+			for k := uint64(1); k <= 5; k++ {
+				p.Admit(k, 100, int(k))
+			}
+			if !p.Contains(3) {
+				t.Fatal("setup: key 3 not resident")
+			}
+			// Some policies (SLRU's probationary segment) evict during the
+			// fill; the collateral check below covers what actually stayed.
+			var resident []uint64
+			for k := uint64(1); k <= 5; k++ {
+				if k != 3 && p.Contains(k) {
+					resident = append(resident, k)
+				}
+			}
+			lenBefore, usedBefore := p.Len(), p.Used()
+			if !r.Remove(3) {
+				t.Fatal("Remove(3) reported absent")
+			}
+			if p.Contains(3) {
+				t.Fatal("key 3 still resident after Remove")
+			}
+			if p.Len() != lenBefore-1 {
+				t.Fatalf("Len = %d, want %d", p.Len(), lenBefore-1)
+			}
+			if p.Used() != usedBefore-100 {
+				t.Fatalf("Used = %d, want %d", p.Used(), usedBefore-100)
+			}
+			if r.Remove(3) {
+				t.Fatal("second Remove(3) reported presence")
+			}
+			if r.Remove(999) {
+				t.Fatal("Remove of a never-admitted key reported presence")
+			}
+			// The policy still works: re-admit and hit.
+			p.Admit(3, 100, 10)
+			if !p.Get(3, 11) {
+				t.Fatal("re-admitted key does not hit")
+			}
+			for _, k := range resident {
+				if !p.Contains(k) {
+					t.Fatalf("key %d lost collaterally", k)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoveUnderChurn removes keys mid-workload on every policy and
+// checks accounting invariants hold through continued traffic — the
+// pattern the engine's phantom-resident eviction produces.
+func TestRemoveUnderChurn(t *testing.T) {
+	for name, p := range removePolicies(2000) {
+		t.Run(name, func(t *testing.T) {
+			r := p.(Remover)
+			rng := uint64(7)
+			for i := 0; i < 3000; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := (rng >> 33) % 40
+				switch {
+				case i%11 == 10:
+					r.Remove(k)
+				case p.Get(k, i):
+					// hit
+				default:
+					p.Admit(k, int64(50+(rng>>20)%100), i)
+				}
+			}
+			if p.Used() < 0 {
+				t.Fatalf("Used went negative: %d", p.Used())
+			}
+			if p.Used() > p.Cap() {
+				t.Fatalf("Used %d exceeds Cap %d after removals", p.Used(), p.Cap())
+			}
+			if p.Len() < 0 {
+				t.Fatalf("Len went negative: %d", p.Len())
+			}
+			// Residency agreement: every key the policy claims resident
+			// must survive a Get (no dangling internal state).
+			for k := uint64(0); k < 40; k++ {
+				if p.Contains(k) && !p.Get(k, 4000) {
+					t.Fatalf("key %d: Contains true but Get misses", k)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoveLIRSInvariants pins the delicate policy: removing LIR and
+// resident-HIR objects preserves the stack-bottom-is-LIR invariant and
+// the byte split.
+func TestRemoveLIRSInvariants(t *testing.T) {
+	c := NewLIRS(1000, DefaultLIRRatio)
+	for k := uint64(1); k <= 12; k++ {
+		c.Admit(k, 90, int(k))
+		c.Get(k, int(k)+100)
+	}
+	removed := 0
+	for k := uint64(1); k <= 12; k += 2 {
+		if c.Remove(k) {
+			removed++
+		}
+	}
+	if removed == 0 {
+		t.Fatal("no key was resident; test lost its point")
+	}
+	if !c.StackBottomIsLIR() {
+		t.Fatal("stack bottom invariant broken by Remove")
+	}
+	if c.LIRBytes()+c.HIRBytes() != c.Used() {
+		t.Fatalf("byte split inconsistent: lir %d + hir %d != used %d", c.LIRBytes(), c.HIRBytes(), c.Used())
+	}
+	// Continued traffic works.
+	for k := uint64(20); k < 30; k++ {
+		c.Admit(k, 90, int(k))
+	}
+	if c.Used() > c.Cap() {
+		t.Fatalf("Used %d exceeds Cap %d", c.Used(), c.Cap())
+	}
+}
+
+// TestRemoveARCLeavesNoGhost pins that a removed resident does not
+// enter a ghost list: its next admission is a brand-new object, not a
+// ghost hit that would steer adaptation.
+func TestRemoveARCLeavesNoGhost(t *testing.T) {
+	c := NewARC(1000)
+	c.Admit(1, 100, 0)
+	if !c.Remove(1) {
+		t.Fatal("Remove(1) reported absent")
+	}
+	b1, b2 := c.GhostBytes()
+	if b1 != 0 || b2 != 0 {
+		t.Fatalf("Remove left ghost bytes: b1=%d b2=%d", b1, b2)
+	}
+	target := c.Target()
+	c.Admit(1, 100, 1)
+	if c.Target() != target {
+		t.Fatal("re-admission after Remove moved the adaptation target (ghost hit)")
+	}
+}
+
+// TestRemoveBeladyLazyHeap pins that stale heap entries from a removed
+// key cannot evict its future reincarnation: remove, re-admit, then
+// force evictions and check accounting stays exact.
+func TestRemoveBeladyLazyHeap(t *testing.T) {
+	next := make([]int, 100)
+	for i := range next {
+		next[i] = -1
+	}
+	c := NewBelady(300, next)
+	c.Admit(1, 100, 0)
+	c.Admit(2, 100, 1)
+	c.Admit(3, 100, 2)
+	if !c.Remove(2) {
+		t.Fatal("Remove(2) reported absent")
+	}
+	if c.Used() != 200 {
+		t.Fatalf("Used = %d, want 200", c.Used())
+	}
+	c.Admit(2, 100, 3)
+	// Cache full again; admitting one more must evict exactly one.
+	c.Admit(4, 100, 4)
+	if c.Used() != 300 {
+		t.Fatalf("Used = %d, want 300 after eviction", c.Used())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+// TestShardedRemoveRoutes pins that Sharded.Remove reaches the same
+// shard Admit used, across many keys.
+func TestShardedRemoveRoutes(t *testing.T) {
+	s, err := NewSharded(8000, 8, func(per int64) Policy { return NewLRU(per) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 200; k++ {
+		s.Admit(k, 10, 0)
+	}
+	for k := uint64(0); k < 200; k += 2 {
+		if !s.Remove(k) {
+			t.Fatalf("Remove(%d) missed its shard", k)
+		}
+	}
+	for k := uint64(0); k < 200; k++ {
+		want := k%2 == 1
+		if s.Contains(k) != want {
+			t.Fatalf("key %d: Contains = %v, want %v", k, s.Contains(k), want)
+		}
+	}
+}

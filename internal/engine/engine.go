@@ -26,6 +26,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -98,6 +99,15 @@ type Metrics struct {
 	FlashHostBytes int64
 	FlashGCBytes   int64
 	FlashErases    int64
+	// FlashReadErrors, FlashCorruptExtents, and FlashRetiredBlocks mirror
+	// the store's media-fault counters: uncorrectable device reads,
+	// extents dropped on checksum mismatch, and erase blocks retired for
+	// program/erase failure. Every one of these corresponds to a request
+	// the engine degraded to a miss (or a scrub drop) rather than a
+	// served error — the serving-visible face of the flash fault domain.
+	FlashReadErrors     int64
+	FlashCorruptExtents int64
+	FlashRetiredBlocks  int64
 }
 
 // HitRate returns Hits / Requests.
@@ -149,6 +159,10 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		FlashHostBytes: m.FlashHostBytes - prev.FlashHostBytes,
 		FlashGCBytes:   m.FlashGCBytes - prev.FlashGCBytes,
 		FlashErases:    m.FlashErases - prev.FlashErases,
+
+		FlashReadErrors:     m.FlashReadErrors - prev.FlashReadErrors,
+		FlashCorruptExtents: m.FlashCorruptExtents - prev.FlashCorruptExtents,
+		FlashRetiredBlocks:  m.FlashRetiredBlocks - prev.FlashRetiredBlocks,
 	}
 }
 
@@ -172,6 +186,10 @@ func (m Metrics) Add(other Metrics) Metrics {
 		FlashHostBytes: m.FlashHostBytes + other.FlashHostBytes,
 		FlashGCBytes:   m.FlashGCBytes + other.FlashGCBytes,
 		FlashErases:    m.FlashErases + other.FlashErases,
+
+		FlashReadErrors:     m.FlashReadErrors + other.FlashReadErrors,
+		FlashCorruptExtents: m.FlashCorruptExtents + other.FlashCorruptExtents,
+		FlashRetiredBlocks:  m.FlashRetiredBlocks + other.FlashRetiredBlocks,
 	}
 }
 
@@ -228,10 +246,30 @@ func (e *Engine) ResumeTick(t int64) { e.tick.Store(t) }
 // Get consults the policy for key, updating hit/miss counters. It is
 // the first half of Lookup, exposed separately for callers (such as the
 // tiered hierarchy) whose admission happens later on the return path.
+//
+// With a flash store attached, a policy hit is served only after the
+// backing extent verifies: a media failure (uncorrectable read, checksum
+// mismatch) degrades the request to a cache miss — the policy's phantom
+// resident is evicted so the next admission re-materializes the object —
+// never a serving error. An extent that is merely absent (the store
+// rejected the admit as oversize or out of space) is not a media fault
+// and hits normally; the policy is the residency authority there.
 func (e *Engine) Get(key uint64, size int64, tick int) bool {
 	e.requests.Add(1)
 	e.totalBytes.Add(size)
 	if e.policy.Get(key, tick) {
+		if fs := e.flash.Load(); fs != nil {
+			if _, _, err := fs.ReadExtent(key); err != nil && !errors.Is(err, flash.ErrNotFound) {
+				// The store already dropped the extent and charged its
+				// ReadErrors/CorruptExtents counter; evict the phantom so
+				// the policy agrees the bytes are gone.
+				if r, ok := e.policy.(cache.Remover); ok {
+					r.Remove(key)
+				}
+				e.misses.Add(1)
+				return false
+			}
+		}
 		e.hits.Add(1)
 		e.hitBytes.Add(size)
 		return true
@@ -301,5 +339,9 @@ func (e *Engine) Snapshot() Metrics {
 		FlashHostBytes: fst.HostBytes,
 		FlashGCBytes:   fst.GCBytes,
 		FlashErases:    fst.Erases,
+
+		FlashReadErrors:     fst.ReadErrors,
+		FlashCorruptExtents: fst.CorruptExtents,
+		FlashRetiredBlocks:  fst.RetiredBlocks,
 	}
 }

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"otacache/internal/cache"
+	"otacache/internal/faults"
+	"otacache/internal/flash"
+)
+
+// attachFaultFlash attaches per-shard stores whose devices are
+// countdown-fault wrappers, returning them in shard order.
+func attachFaultFlash(t *testing.T, srv Server, opts FlashOptions) []*faultCountdownDev {
+	t.Helper()
+	devs := make([]*faultCountdownDev, len(srv.Shards()))
+	opts.Device = func(shard, segments int) flash.Device {
+		devs[shard] = &faultCountdownDev{inner: flash.NewMemDevice(segments)}
+		return devs[shard]
+	}
+	if err := AttachFlashOpts(srv, opts); err != nil {
+		t.Fatal(err)
+	}
+	return devs
+}
+
+// TestGetDegradesCorruptExtentToMiss pins the serving contract of the
+// flash fault domain: a policy hit whose backing extent fails
+// verification becomes a cache miss — the phantom resident is evicted,
+// the fault counters tick, and the very next admission re-materializes
+// the object so the degradation is one request wide, not permanent.
+func TestGetDegradesCorruptExtentToMiss(t *testing.T) {
+	e, err := New(cache.NewLRU(1<<16), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := attachFaultFlash(t, e, FlashOptions{SegmentSize: 1024, Overprovision: 1.5})
+	e.Lookup(1, 100, e.NextTick(), nil)
+	if !e.Get(1, 100, e.NextTick()) {
+		t.Fatal("setup: clean extent did not hit")
+	}
+	// Silently corrupt the next device read: the checksum pass must
+	// catch it and the hit must degrade.
+	devs[0].corruptReads = 1
+	if e.Get(1, 100, e.NextTick()) {
+		t.Fatal("corrupt extent served as a hit")
+	}
+	if e.Policy().Contains(1) {
+		t.Fatal("phantom resident not evicted from the policy")
+	}
+	m := e.Snapshot()
+	if m.FlashCorruptExtents != 1 {
+		t.Fatalf("FlashCorruptExtents = %d, want 1", m.FlashCorruptExtents)
+	}
+	if m.Hits != 1 || m.Misses != 2 {
+		t.Fatalf("hits %d misses %d; the degraded request must count as a miss", m.Hits, m.Misses)
+	}
+	// Self-healing: the next full lookup re-admits and serves again.
+	if out := e.Lookup(1, 100, e.NextTick(), nil); out.Hit || !out.Written {
+		t.Fatalf("re-admission after degradation: %+v", out)
+	}
+	if !e.Get(1, 100, e.NextTick()) {
+		t.Fatal("re-materialized object does not hit")
+	}
+
+	// An uncorrectable device read degrades identically.
+	devs[0].failReads = 1
+	if e.Get(1, 100, e.NextTick()) {
+		t.Fatal("uncorrectable read served as a hit")
+	}
+	if m := e.Snapshot(); m.FlashReadErrors != 1 {
+		t.Fatalf("FlashReadErrors = %d, want 1", m.FlashReadErrors)
+	}
+}
+
+// TestGetMissingExtentStillHits pins the other side of the degrade
+// contract: an extent that is merely absent — the store rejected the
+// admit as oversize, so there was never data to lose — is not a media
+// fault, and the policy's residency verdict stands.
+func TestGetMissingExtentStillHits(t *testing.T) {
+	e, err := New(cache.NewLRU(1<<16), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachFlashOpts(e, FlashOptions{SegmentSize: 1024, Overprovision: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	// 2000 bytes exceeds the 1024-byte erase block: the policy admits,
+	// the store refuses the extent.
+	e.Lookup(7, 2000, e.NextTick(), nil)
+	if st := e.Flash().Stats(); st.Oversize != 1 {
+		t.Fatalf("Oversize = %d, want 1", st.Oversize)
+	}
+	if !e.Get(7, 2000, e.NextTick()) {
+		t.Fatal("extent-less resident degraded to a miss; absence is not a media fault")
+	}
+	if m := e.Snapshot(); m.FlashReadErrors != 0 || m.FlashCorruptExtents != 0 {
+		t.Fatalf("absence charged fault counters: %+v", m)
+	}
+}
+
+// TestAttachFlashOptsSparePool pins the option surface: explicit spare
+// sizing, the derive-from-overprovision-slack default, and validation.
+func TestAttachFlashOptsSparePool(t *testing.T) {
+	newEng := func() *Engine {
+		e, err := New(cache.NewLRU(64*1024), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e := newEng()
+	if err := AttachFlashOpts(e, FlashOptions{SegmentSize: 1024, Overprovision: 1.25, SpareBlocks: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Flash().Stats(); st.SpareBlocks != 7 {
+		t.Fatalf("SpareBlocks = %d, want explicit 7", st.SpareBlocks)
+	}
+	// Derived: capacity 80 segments, policy needs ceil(65536/1024) = 64,
+	// so the slack is 16 spare blocks.
+	e = newEng()
+	if err := AttachFlashOpts(e, FlashOptions{SegmentSize: 1024, Overprovision: 1.25}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Flash().Stats(); st.SpareBlocks != 16 {
+		t.Fatalf("derived SpareBlocks = %d, want the overprovision slack 16", st.SpareBlocks)
+	}
+	if err := AttachFlashOpts(newEng(), FlashOptions{SegmentSize: 1024, Overprovision: 1.25, SpareBlocks: -1}); err == nil {
+		t.Fatal("negative spare blocks accepted")
+	}
+	if err := AttachFlashOpts(newEng(), FlashOptions{SegmentSize: -5, Overprovision: 1.25}); err == nil {
+		t.Fatal("negative segment size accepted")
+	}
+}
+
+// TestScrubberFindsLatentCorruption pins the patrol path: corruption
+// sitting under a cold (never-read) object is found by the scrubber's
+// step and dropped, so only a policy miss — not a served error — can
+// ever reach the client for that key.
+func TestScrubberFindsLatentCorruption(t *testing.T) {
+	se := newTestSharded(t, 2, 1<<14)
+	devs := attachFaultFlash(t, se, FlashOptions{SegmentSize: 512, Overprovision: 1.5})
+	// Fill enough small objects that every shard seals segments.
+	for i := uint64(0); i < 400; i++ {
+		se.Lookup(i, 64, se.NextTick(), nil)
+	}
+	sc, err := NewScrubber(se, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm silent corruption on every device: the next read each device
+	// serves returns flipped bytes. No client read happens — only the
+	// scrub patrol touches the extents.
+	for _, dev := range devs {
+		dev.corruptReads = 1
+	}
+	var dropped int
+	for pass := 0; pass < 200 && dropped < 2; pass++ {
+		_, d := sc.Step()
+		dropped += d
+	}
+	if dropped < 2 {
+		t.Fatalf("scrub dropped %d corrupt extents, want one per shard", dropped)
+	}
+	if sc.Dropped() != int64(dropped) || sc.Segments() == 0 {
+		t.Fatalf("scrubber counters off: segments %d dropped %d", sc.Segments(), sc.Dropped())
+	}
+	if m := se.Snapshot(); m.FlashCorruptExtents != 2 {
+		t.Fatalf("FlashCorruptExtents = %d, want 2", m.FlashCorruptExtents)
+	}
+}
+
+// TestScrubberLoop runs the background loop on a real (short) clock:
+// it must make progress without any engine lock held across its sleep,
+// and Stop must end it.
+func TestScrubberLoop(t *testing.T) {
+	e, err := New(cache.NewLRU(1<<14), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachFlashOpts(e, FlashOptions{SegmentSize: 512, Overprovision: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		e.Lookup(i, 64, e.NextTick(), nil)
+	}
+	sc, err := NewScrubber(e, time.Millisecond, faults.WallClock{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewScrubber(nil, time.Millisecond, nil); err == nil {
+		t.Fatal("nil server accepted")
+	}
+	if _, err := NewScrubber(e, 0, nil); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	sc.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for sc.Segments() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("scrub loop made no progress in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sc.Stop()
+	select {
+	case <-sc.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrub loop did not exit after Stop")
+	}
+}

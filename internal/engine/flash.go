@@ -28,18 +28,67 @@ func (e *Engine) Flash() *flash.Store { return e.flash.Load() }
 // returned — flash → policy is the only nesting, so the pair cannot
 // deadlock.
 func AttachFlash(srv Server, segmentSize int64, overprovision float64) error {
+	return AttachFlashOpts(srv, FlashOptions{SegmentSize: segmentSize, Overprovision: overprovision})
+}
+
+// FlashOptions parameterizes AttachFlashOpts beyond the geometry:
+// the fault-domain knobs the daemon exposes as flags.
+type FlashOptions struct {
+	// SegmentSize is the erase-block size in bytes.
+	SegmentSize int64
+	// Overprovision scales each shard policy's capacity to the device
+	// capacity (must exceed 1; the slack is the collector's working room).
+	Overprovision float64
+	// SpareBlocks is each shard store's bad-block retirement budget.
+	// Zero derives it from the overprovision slack: the segments beyond
+	// what the policy's capacity strictly needs, floored at one — the
+	// device can lose exactly its slack to media failure before the
+	// geometry no longer fits the policy and /readyz reports EOL.
+	SpareBlocks int
+	// Device, when set, supplies each shard's flash device (shard index
+	// and segment count); nil means a plain in-memory device. The daemon's
+	// fault drill injects media faults here.
+	Device func(shard, segments int) flash.Device
+}
+
+// AttachFlashOpts is AttachFlash with the fault-domain knobs exposed.
+func AttachFlashOpts(srv Server, opts FlashOptions) error {
 	if srv == nil {
 		return fmt.Errorf("engine: AttachFlash on nil server")
 	}
-	if overprovision <= 1 {
-		return fmt.Errorf("engine: flash overprovision must exceed 1 (got %g); the collector needs slack beyond the policy's capacity", overprovision)
+	if opts.Overprovision <= 1 {
+		return fmt.Errorf("engine: flash overprovision must exceed 1 (got %g); the collector needs slack beyond the policy's capacity", opts.Overprovision)
+	}
+	if opts.SegmentSize <= 0 {
+		return fmt.Errorf("engine: flash segment size must be positive (got %d)", opts.SegmentSize)
+	}
+	if opts.SpareBlocks < 0 {
+		return fmt.Errorf("engine: flash spare blocks must not be negative (got %d)", opts.SpareBlocks)
 	}
 	for i, sh := range srv.Shards() {
 		pol := sh.Policy()
+		capacity := int64(float64(pol.Cap()) * opts.Overprovision)
+		segments := int(capacity / opts.SegmentSize)
+		spare := opts.SpareBlocks
+		if spare == 0 {
+			// The overprovision slack in whole segments: what the device
+			// can retire before the policy's bytes no longer fit.
+			need := (pol.Cap() + opts.SegmentSize - 1) / opts.SegmentSize
+			spare = segments - int(need)
+			if spare < 1 {
+				spare = 1
+			}
+		}
+		var dev flash.Device
+		if opts.Device != nil {
+			dev = opts.Device(i, segments)
+		}
 		st, err := flash.New(flash.Config{
-			SegmentSize: segmentSize,
-			Capacity:    int64(float64(pol.Cap()) * overprovision),
+			SegmentSize: opts.SegmentSize,
+			Capacity:    capacity,
 			Live:        pol.Contains,
+			Device:      dev,
+			SpareBlocks: spare,
 		})
 		if err != nil {
 			return fmt.Errorf("engine: shard %d: %w", i, err)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -91,6 +92,100 @@ func TestMetricsJSONRoundTripsEveryField(t *testing.T) {
 	}
 }
 
+// faultCountdownDev wraps a device with countdown fault knobs so the
+// reflection tests can drive every flash counter nonzero: the next
+// failReads reads error, the next corruptReads reads return flipped
+// bytes (silent corruption for the checksum layer to catch), the next
+// failPrograms programs error (each one retires a block).
+type faultCountdownDev struct {
+	inner        flash.Device
+	failReads    int
+	corruptReads int
+	failPrograms int
+}
+
+func (d *faultCountdownDev) Read(seg int, off int64, p []byte) error {
+	if d.failReads > 0 {
+		d.failReads--
+		return errors.New("test: injected uncorrectable read")
+	}
+	if err := d.inner.Read(seg, off, p); err != nil {
+		return err
+	}
+	if d.corruptReads > 0 && len(p) > 0 {
+		d.corruptReads--
+		p[0] ^= 0xFF
+	}
+	return nil
+}
+
+func (d *faultCountdownDev) Program(seg int, off int64, p []byte) error {
+	if d.failPrograms > 0 {
+		d.failPrograms--
+		return errors.New("test: injected program failure")
+	}
+	return d.inner.Program(seg, off, p)
+}
+
+func (d *faultCountdownDev) Erase(seg int) error { return d.inner.Erase(seg) }
+
+// faultChurnedStore builds a store whose six mirrored counters (host,
+// GC, erase wear; read-error, corrupt-extent, retired-block faults) are
+// all nonzero: overwrite churn for the wear counters, then exactly
+// corrupt injected corruptions, reads injected uncorrectable reads, and
+// retires injected program failures. Each injected fault charges its
+// counter exactly once, so the final values are corrupt, reads, and
+// retires regardless of whether a direct read or a GC relocation
+// consumed the fault.
+func faultChurnedStore(t *testing.T, seed uint64, rounds, corrupt, reads, retires int) *flash.Store {
+	t.Helper()
+	dev := &faultCountdownDev{inner: flash.NewMemDevice(64)}
+	fs, err := flash.New(flash.Config{SegmentSize: 128, Capacity: 8192, Device: dev, SpareBlocks: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := seed
+	for round := 0; round < rounds; round++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		// Small objects share segments, so collections find live
+		// survivors to relocate (GCBytes must end nonzero).
+		fs.Write((rng>>33)%150, 30, nil)
+	}
+	for i := 0; i < corrupt; i++ {
+		key := uint64(100 + i)
+		if err := fs.Write(key, 100, nil); err != nil {
+			t.Fatalf("corrupt-phase write %d: %v", i, err)
+		}
+		dev.corruptReads = 1
+		fs.ReadExtent(key)
+		if dev.corruptReads != 0 {
+			t.Fatalf("corrupt-phase read %d did not touch the device", i)
+		}
+	}
+	for i := 0; i < reads; i++ {
+		key := uint64(200 + i)
+		if err := fs.Write(key, 100, nil); err != nil {
+			t.Fatalf("read-fail-phase write %d: %v", i, err)
+		}
+		dev.failReads = 1
+		fs.ReadExtent(key)
+		dev.failReads = 0
+	}
+	dev.failPrograms = retires
+	if err := fs.Write(300, 100, nil); err != nil {
+		t.Fatalf("retire-phase write: %v", err)
+	}
+	st := fs.Stats()
+	if st.HostBytes == 0 || st.GCBytes == 0 || st.Erases == 0 {
+		t.Fatalf("churn left a wear counter zero: %+v", st)
+	}
+	if st.CorruptExtents != int64(corrupt) || st.ReadErrors != int64(reads) || st.RetiredBlocks != int64(retires) {
+		t.Fatalf("fault counters off: corrupt %d (want %d), reads %d (want %d), retired %d (want %d)",
+			st.CorruptExtents, corrupt, st.ReadErrors, reads, st.RetiredBlocks, retires)
+	}
+	return fs
+}
+
 // TestEngineSnapshotCoversEveryField loads counters through the
 // engine's atomics and checks Snapshot surfaces each one: a counter
 // added to Metrics but not to Snapshot would read zero forever.
@@ -107,17 +202,10 @@ func TestEngineSnapshotCoversEveryField(t *testing.T) {
 	e.degraded.Store(9)
 	e.totalBytes.Store(10)
 	// The Flash* fields read through the attached store, not an atomic:
-	// churn a small store until host, GC, and erase counters hold
-	// distinct nonzero values (the write sequence is deterministic).
-	fs, err := flash.New(flash.Config{SegmentSize: 256, Capacity: 1024})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rng := uint64(1)
-	for round := 0; round < 120; round++ {
-		rng = rng*6364136223846793005 + 1442695040888963407
-		fs.Write((rng>>33)%7, 64, nil)
-	}
+	// churn a small store (plus injected media faults) until all six
+	// mirrored counters hold distinct nonzero values (the sequence is
+	// deterministic).
+	fs := faultChurnedStore(t, 1, 1500, 12, 11, 13)
 	e.SetFlash(fs)
 	snap := e.Snapshot()
 	v := reflect.ValueOf(snap)

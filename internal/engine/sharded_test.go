@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"otacache/internal/cache"
-	"otacache/internal/flash"
 )
 
 // newTestSharded builds an n-shard engine over admit-all LRUs, each
@@ -183,23 +182,12 @@ func TestShardedEngineSnapshotSumsEveryField(t *testing.T) {
 		sh.rectified.Store(salt + 8)
 		sh.degraded.Store(salt + 9)
 		sh.totalBytes.Store(salt + 10)
-		// The Flash* fields mirror an attached store's wear counters, so
-		// they cannot be Store()d directly: give each shard a small store
-		// and churn it (distinct per-shard round counts) until host, GC,
-		// and erase counters are all nonzero.
-		fs, err := flash.New(flash.Config{SegmentSize: 256, Capacity: 1024})
-		if err != nil {
-			t.Fatal(err)
-		}
-		rng := uint64(si + 1)
-		for round := 0; round < 120+10*si; round++ {
-			rng = rng*6364136223846793005 + 1442695040888963407
-			fs.Write((rng>>33)%7, 64, nil)
-		}
-		if st := fs.Stats(); st.HostBytes == 0 || st.GCBytes == 0 || st.Erases == 0 {
-			t.Fatalf("shard %d churn left a wear counter zero: %+v", si, st)
-		}
-		sh.SetFlash(fs)
+		// The Flash* fields mirror an attached store's wear and fault
+		// counters, so they cannot be Store()d directly: give each shard
+		// a small store and churn it — with injected media faults —
+		// until all six mirrored counters are nonzero (distinct per-shard
+		// round and fault counts).
+		sh.SetFlash(faultChurnedStore(t, uint64(si+1), 1500+100*si, 3+si, 2+si, 4+si))
 	}
 	var want Metrics
 	wv := reflect.ValueOf(&want).Elem()

@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"otacache/internal/flash"
+)
+
+// Device interposes injectors on a flash.Device — the media-level
+// fault model. Each operation has its own injector so a drill can
+// script uncorrectable reads, program failures, and erase failures
+// independently; a fourth injector flips one bit of the data being
+// programmed (silent corruption, caught later by the store's per-extent
+// checksums rather than at the call site). A nil injector leaves that
+// operation healthy.
+//
+// WearLimit optionally ties failure to wear: once a block's erase
+// count (as seen through this wrapper) reaches the limit, every
+// subsequent erase of that block fails — the deterministic stand-in
+// for NAND wear-out, complementing the call-indexed schedules.
+//
+// The store calls its device under its own mutex, so the wrapper's
+// bookkeeping needs no atomics beyond the injectors'; the small mutex
+// here only guards the erase-count map for stats readers.
+type Device struct {
+	Inner flash.Device
+
+	// ReadInj, ProgramInj, EraseInj inject Error faults into the
+	// corresponding operation (Latency stalls it, Panic panics).
+	ReadInj    *Injector
+	ProgramInj *Injector
+	EraseInj   *Injector
+	// FlipInj corrupts the programmed bytes instead of failing the
+	// call: an injected fault flips one deterministically chosen bit.
+	FlipInj *Injector
+	// WearLimit, when positive, fails every erase of a block whose
+	// erase count has reached the limit.
+	WearLimit int64
+
+	mu     sync.Mutex
+	erases map[int]int64
+	flips  uint64
+}
+
+// WrapDevice wraps inner with per-operation fault injection. Nil
+// injectors mean the operation never faults.
+func WrapDevice(inner flash.Device, read, program, erase, flip *Injector) *Device {
+	return &Device{Inner: inner, ReadInj: read, ProgramInj: program, EraseInj: erase, FlipInj: flip}
+}
+
+// draw applies one injector, tolerating nil.
+func draw(in *Injector) (proceed bool, err error) {
+	if in == nil {
+		return true, nil
+	}
+	return in.apply(in.next())
+}
+
+// injected reads one injector's fault count, tolerating nil.
+func injected(in *Injector) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.Injected()
+}
+
+// Read implements flash.Device. An Error fault is an uncorrectable
+// read: the buffer is left untouched and the error surfaces to the
+// store, which drops the extent.
+func (d *Device) Read(seg int, off int64, p []byte) error {
+	if proceed, err := draw(d.ReadInj); !proceed {
+		return fmt.Errorf("injected uncorrectable read: %w", err)
+	}
+	return d.Inner.Read(seg, off, p)
+}
+
+// Program implements flash.Device. An Error fault on ProgramInj fails
+// the program (the store retires the block); an injected FlipInj fault
+// instead programs the data with one bit flipped — the write "succeeds"
+// but the stored record no longer matches its checksum.
+func (d *Device) Program(seg int, off int64, p []byte) error {
+	if proceed, err := draw(d.ProgramInj); !proceed {
+		return fmt.Errorf("injected program failure: %w", err)
+	}
+	if proceed, _ := draw(d.FlipInj); !proceed && len(p) > 0 {
+		d.mu.Lock()
+		n := d.flips
+		d.flips++
+		d.mu.Unlock()
+		// Pick the bit from the flip ordinal via the same mixer the
+		// seeded schedules use, so which bit corrupts is reproducible
+		// but not constant.
+		bit := splitmix64(n) % uint64(len(p)*8)
+		flipped := append([]byte(nil), p...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		p = flipped
+	}
+	return d.Inner.Program(seg, off, p)
+}
+
+// Erase implements flash.Device. Error faults and wear-limit
+// exhaustion both fail the erase; the store retires the block.
+func (d *Device) Erase(seg int) error {
+	if proceed, err := draw(d.EraseInj); !proceed {
+		return fmt.Errorf("injected erase failure: %w", err)
+	}
+	if d.WearLimit > 0 {
+		d.mu.Lock()
+		worn := d.erases[seg] >= d.WearLimit
+		d.mu.Unlock()
+		if worn {
+			return fmt.Errorf("block %d worn out after %d erases", seg, d.WearLimit)
+		}
+	}
+	if err := d.Inner.Erase(seg); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if d.erases == nil {
+		d.erases = make(map[int]int64)
+	}
+	d.erases[seg]++
+	d.mu.Unlock()
+	return nil
+}
+
+// InjectedReads returns how many reads faulted.
+func (d *Device) InjectedReads() uint64 { return injected(d.ReadInj) }
+
+// InjectedPrograms returns how many programs faulted.
+func (d *Device) InjectedPrograms() uint64 { return injected(d.ProgramInj) }
+
+// InjectedErases returns how many erases faulted.
+func (d *Device) InjectedErases() uint64 { return injected(d.EraseInj) }
+
+// InjectedFlips returns how many programmed records had a bit flipped.
+func (d *Device) InjectedFlips() uint64 { return injected(d.FlipInj) }
+
+var _ flash.Device = (*Device)(nil)

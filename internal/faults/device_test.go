@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"otacache/internal/flash"
+)
+
+func deviceStore(t *testing.T, dev flash.Device, spare int) *flash.Store {
+	t.Helper()
+	s, err := flash.New(flash.Config{SegmentSize: 1024, Capacity: 8 * 1024, Device: dev, SpareBlocks: spare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDeviceReadInjection pins the uncorrectable-read path end to end:
+// an injected read fault surfaces as flash.ErrUncorrectable, the store
+// drops the extent, and the injected count matches the store's
+// read-error counter.
+func TestDeviceReadInjection(t *testing.T) {
+	dev := WrapDevice(flash.NewMemDevice(8), NewInjector(FailN(1, Fault{Kind: Error}), nil), nil, nil, nil)
+	s := deviceStore(t, dev, 2)
+	if err := s.Write(1, 100, bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadExtent(1); !errors.Is(err, flash.ErrUncorrectable) {
+		t.Fatalf("err = %v, want flash.ErrUncorrectable", err)
+	}
+	if got := dev.InjectedReads(); got != 1 {
+		t.Fatalf("InjectedReads = %d, want 1", got)
+	}
+	if st := s.Stats(); st.ReadErrors != int64(dev.InjectedReads()) {
+		t.Fatalf("store ReadErrors %d != injected %d", st.ReadErrors, dev.InjectedReads())
+	}
+	// The schedule healed after one fault: a rewrite serves again.
+	if err := s.Write(1, 100, bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadExtent(1); err != nil {
+		t.Fatalf("healed read failed: %v", err)
+	}
+}
+
+// TestDeviceBitFlipIsSilent pins the flip path: the program call
+// "succeeds" but the stored record fails its checksum on the next
+// read — corruption is detected by the store, not the device call.
+func TestDeviceBitFlipIsSilent(t *testing.T) {
+	dev := WrapDevice(flash.NewMemDevice(8), nil, nil, nil, NewInjector(FailN(1, Fault{Kind: Error}), nil))
+	s := deviceStore(t, dev, 2)
+	if err := s.Write(1, 100, bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatalf("flipped program must not fail the write: %v", err)
+	}
+	if got := dev.InjectedFlips(); got != 1 {
+		t.Fatalf("InjectedFlips = %d, want 1", got)
+	}
+	if _, _, err := s.ReadExtent(1); !errors.Is(err, flash.ErrCorrupt) {
+		t.Fatalf("err = %v, want flash.ErrCorrupt", err)
+	}
+	if st := s.Stats(); st.CorruptExtents != 1 {
+		t.Fatalf("CorruptExtents = %d, want 1", st.CorruptExtents)
+	}
+}
+
+// TestDeviceProgramAndEraseInjection pins block retirement driven
+// through the wrapper: one injected program failure and one injected
+// erase failure retire exactly two blocks.
+func TestDeviceProgramAndEraseInjection(t *testing.T) {
+	dev := WrapDevice(flash.NewMemDevice(8),
+		nil,
+		NewInjector(FailN(1, Fault{Kind: Error}), nil),
+		NewInjector(FailN(1, Fault{Kind: Error}), nil),
+		nil)
+	s := deviceStore(t, dev, 4)
+	// First program fails -> head retired. Churn to force a collection
+	// whose first erase fails -> victim retired.
+	for i := 0; i < 60; i++ {
+		if err := s.Write(uint64(i%3), 600, nil); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	want := int64(dev.InjectedPrograms() + dev.InjectedErases())
+	if want != 2 {
+		t.Fatalf("schedule did not fire: programs %d erases %d", dev.InjectedPrograms(), dev.InjectedErases())
+	}
+	if st.RetiredBlocks != want {
+		t.Fatalf("RetiredBlocks = %d, want %d (one per injected program/erase failure)", st.RetiredBlocks, want)
+	}
+	if st.Exhausted {
+		t.Fatal("2 retirements against 4 spares must not exhaust")
+	}
+	for k := uint64(0); k < 3; k++ {
+		if !s.Contains(k) {
+			t.Fatalf("key %d lost across retirements", k)
+		}
+	}
+}
+
+// TestDeviceWearLimit pins wear-keyed failure: once a block's erase
+// count reaches the limit, its next erase fails and the store retires
+// it — wear, not a call-index schedule, drives the failure.
+func TestDeviceWearLimit(t *testing.T) {
+	dev := WrapDevice(flash.NewMemDevice(4), nil, nil, nil, nil)
+	dev.WearLimit = 2
+	s, err := flash.New(flash.Config{SegmentSize: 100, Capacity: 400, Device: dev, SpareBlocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite churn erases blocks repeatedly; with a wear limit of 2
+	// every block dies on its third erase.
+	for i := 0; i < 200; i++ {
+		if err := s.Write(uint64(i%3), 60, nil); err != nil {
+			break // the device eventually wears out entirely; that is the point
+		}
+	}
+	st := s.Stats()
+	if st.RetiredBlocks == 0 {
+		t.Fatal("wear limit never retired a block")
+	}
+	if st.MaxSegmentErases > dev.WearLimit {
+		t.Fatalf("a block erased %d times past a wear limit of %d", st.MaxSegmentErases, dev.WearLimit)
+	}
+}
+
+// TestDeviceNilInjectorsPassThrough pins that a wrapper with no
+// injectors is transparent.
+func TestDeviceNilInjectorsPassThrough(t *testing.T) {
+	dev := WrapDevice(flash.NewMemDevice(8), nil, nil, nil, nil)
+	s := deviceStore(t, dev, 2)
+	payload := []byte("pass through")
+	if err := s.Write(1, int64(len(payload)), payload); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := s.ReadExtent(1)
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("ReadExtent = %q, %v", data, err)
+	}
+	if dev.InjectedReads()+dev.InjectedPrograms()+dev.InjectedErases()+dev.InjectedFlips() != 0 {
+		t.Fatal("nil injectors reported injections")
+	}
+}

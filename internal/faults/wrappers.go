@@ -106,8 +106,19 @@ func (p *Policy) Range(fn func(key uint64, size int64) bool) {
 	}
 }
 
+// Remove implements cache.Remover when the inner policy does (no
+// injection: phantom-resident eviction after a media failure must work
+// even mid-outage, or the engine would re-serve a corrupt resident).
+func (p *Policy) Remove(key uint64) bool {
+	if r, ok := p.Inner.(cache.Remover); ok {
+		return r.Remove(key)
+	}
+	return false
+}
+
 var _ cache.Policy = (*Policy)(nil)
 var _ cache.Ranger = (*Policy)(nil)
+var _ cache.Remover = (*Policy)(nil)
 
 // Transport interposes an Injector on an http.RoundTripper: Error
 // faults return before any bytes reach the wire (a connection-level

@@ -21,12 +21,26 @@
 // plus erase counts per block, which ssd.Endurance turns into a live
 // lifetime estimate (Endurance.WithMeasuredWAF).
 //
+// Below the store sits a Device — the raw program/read/erase seam.
+// Real NAND fails: reads come back uncorrectable, programs and erases
+// fail as blocks wear out. The store defends itself the way an SSD
+// FTL does: every extent is written as a checksummed record and
+// verified on read; a failed program or erase retires the block into
+// a finite spare pool, relocating its live extents; a scrub pass
+// (ScrubStep) walks sealed segments and drops extents whose checksums
+// no longer verify, so silent corruption is found before a client
+// asks for it. When retirements exhaust the spare pool the device is
+// end-of-life (Exhausted) and the serving layer flips unready.
+//
 // A Store is safe for concurrent use; the serving stack runs one store
 // per engine shard, so the single mutex shards with the engines.
 package flash
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 )
 
@@ -34,6 +48,94 @@ import (
 // active head plus at least three more so the collector has sealed
 // segments to choose between.
 const minSegments = 4
+
+// recHeaderSize is the per-extent record header programmed to the
+// device ahead of the payload: key (8 bytes LE) + logical size (8
+// bytes LE). Header bytes are accounted like NAND out-of-band spare
+// area — they do not consume the logical segment budget, only the
+// device's physical image.
+const recHeaderSize = 16
+
+// Sentinel errors for the write and read paths.
+var (
+	// ErrOversize rejects writes that cannot fit in one erase block
+	// (and, with the same sentinel, non-positive sizes). The stale
+	// extent for the key, if any, is still invalidated.
+	ErrOversize = errors.New("flash: object exceeds one erase block")
+	// ErrNoSpace rejects writes when the collector cannot free a
+	// segment — a store sized with sane overprovisioning never returns
+	// this.
+	ErrNoSpace = errors.New("flash: no free segment")
+	// ErrNotFound reports a key with no live extent.
+	ErrNotFound = errors.New("flash: extent not found")
+	// ErrUncorrectable reports a device read failure (uncorrectable
+	// ECC, in real-NAND terms). The extent is dropped.
+	ErrUncorrectable = errors.New("flash: uncorrectable read")
+	// ErrCorrupt reports an extent whose stored checksum no longer
+	// matches its bytes (silent media corruption). The extent is
+	// dropped.
+	ErrCorrupt = errors.New("flash: extent checksum mismatch")
+)
+
+// Device is the raw byte-storage seam under the store: NAND-shaped
+// program/read/erase over fixed segment (erase-block) ids. Offsets are
+// physical offsets within a segment's image, which may exceed the
+// logical segment size by per-extent header overhead (see
+// recHeaderSize). Implementations are called only under the store's
+// mutex and need not be concurrency-safe on their own.
+type Device interface {
+	// Program writes p at physical offset off in segment seg. A failed
+	// program retires the block.
+	Program(seg int, off int64, p []byte) error
+	// Read fills p from physical offset off in segment seg. A failed
+	// read is an uncorrectable extent.
+	Read(seg int, off int64, p []byte) error
+	// Erase wipes segment seg. A failed erase retires the block.
+	Erase(seg int) error
+}
+
+// memDevice is the default in-RAM Device: one lazily grown byte slice
+// per segment.
+type memDevice struct {
+	segs [][]byte
+}
+
+// NewMemDevice builds the default in-memory device with the given
+// segment count. Exported so fault-injecting wrappers (faults.Device)
+// can interpose on a real byte store.
+func NewMemDevice(segments int) Device {
+	return &memDevice{segs: make([][]byte, segments)}
+}
+
+func (d *memDevice) Program(seg int, off int64, p []byte) error {
+	if seg < 0 || seg >= len(d.segs) || off < 0 {
+		return fmt.Errorf("flash: program out of range: segment %d offset %d", seg, off)
+	}
+	need := off + int64(len(p))
+	if int64(len(d.segs[seg])) < need {
+		grown := make([]byte, need)
+		copy(grown, d.segs[seg])
+		d.segs[seg] = grown
+	}
+	copy(d.segs[seg][off:], p)
+	return nil
+}
+
+func (d *memDevice) Read(seg int, off int64, p []byte) error {
+	if seg < 0 || seg >= len(d.segs) || off < 0 || off+int64(len(p)) > int64(len(d.segs[seg])) {
+		return fmt.Errorf("flash: read out of range: segment %d offset %d len %d", seg, off, len(p))
+	}
+	copy(p, d.segs[seg][off:])
+	return nil
+}
+
+func (d *memDevice) Erase(seg int) error {
+	if seg < 0 || seg >= len(d.segs) {
+		return fmt.Errorf("flash: erase out of range: segment %d", seg)
+	}
+	d.segs[seg] = d.segs[seg][:0]
+	return nil
+}
 
 // Config sizes one store.
 type Config struct {
@@ -53,6 +155,16 @@ type Config struct {
 	// eviction callback threaded through every policy. nil means objects
 	// stay live until overwritten or explicitly invalidated.
 	Live func(key uint64) bool
+	// Device is the byte-storage seam; nil uses the in-memory default.
+	// Fault-drill and test callers wrap NewMemDevice in faults.Device.
+	Device Device
+	// SpareBlocks is how many block retirements the device absorbs
+	// before it is end-of-life (Exhausted). Zero derives a default of
+	// 1/8 of the segment count (at least one) — the reserve a real
+	// device carves from its overprovisioned slack; engine.AttachFlash
+	// sizes it from the actual overprovision instead. Negative is
+	// rejected.
+	SpareBlocks int
 }
 
 // Stats is a point-in-time snapshot of the store's wear counters.
@@ -65,8 +177,8 @@ type Stats struct {
 	// HostBytes counts bytes the caller wrote (admissions); relocations
 	// are excluded — they are the amplification, not the cause.
 	HostBytes int64
-	// GCBytes counts bytes the collector relocated to salvage live
-	// objects out of victim segments.
+	// GCBytes counts bytes relocated to salvage live objects out of
+	// collected or retired segments.
 	GCBytes int64
 	// Erases counts segment erasures across all blocks.
 	Erases int64
@@ -78,14 +190,33 @@ type Stats struct {
 	// overwrites and explicit invalidation, an upper bound with respect
 	// to lazy policy evictions (those are discovered at collection).
 	LiveBytes int64
-	// Relocations counts objects the collector moved.
+	// Relocations counts objects moved out of collected or retired
+	// segments.
 	Relocations int64
 	// Oversize counts writes rejected for exceeding one segment.
 	Oversize int64
-	// Dropped counts writes abandoned because collection could free no
-	// segment — a store sized with sane overprovisioning never increments
-	// this.
+	// Dropped counts objects lost because collection could free no
+	// segment or because a relocation off a failing block could not
+	// read them back — a healthy, sanely overprovisioned store never
+	// increments this.
 	Dropped int64
+	// ReadErrors counts device read failures (uncorrectable extents).
+	ReadErrors int64
+	// CorruptExtents counts extents dropped for checksum mismatch,
+	// whether found by a client read, the scrubber, or a relocation.
+	CorruptExtents int64
+	// RetiredBlocks counts segments retired after a failed program or
+	// erase; SpareBlocks is the retirement budget and SpareHeadroom
+	// what remains of it (never negative).
+	RetiredBlocks int64
+	SpareBlocks   int64
+	SpareHeadroom int64
+	// ScrubbedSegments counts scrub passes over individual segments
+	// (cumulative, so it exceeds Segments once the scrubber laps).
+	ScrubbedSegments int64
+	// Exhausted reports device end-of-life: retirements have consumed
+	// the whole spare pool.
+	Exhausted bool
 }
 
 // WAF returns the measured write amplification factor,
@@ -108,10 +239,14 @@ type loc struct {
 // obj is one appended extent inside a segment.
 type obj struct {
 	key  uint64
-	off  int64
-	size int64
-	// hasData marks extents whose payload bytes live in the segment
-	// buffer; extent-only objects track size and placement alone.
+	size int64 // logical size (what the cache above accounts)
+	// physOff/physLen place the checksummed record (header + optional
+	// payload) in the segment's device image.
+	physOff int64
+	physLen int64
+	crc     uint32
+	// hasData marks extents whose payload bytes were programmed;
+	// extent-only objects carry a header record alone.
 	hasData bool
 	dead    bool
 }
@@ -119,33 +254,49 @@ type obj struct {
 // segment is one erase block.
 type segment struct {
 	objs   []obj
-	used   int64 // write head (includes dead extents until erase)
+	used   int64 // logical write head (includes dead extents until erase)
+	phys   int64 // physical write head in the device image
 	live   int64 // live-byte estimate, see Stats.LiveBytes
 	sealed bool
 	erases int64
-	// buf holds payload bytes, allocated on the first data-carrying
-	// write; extent-only callers (the engine, which tracks sizes) never
-	// pay for it.
-	buf []byte
+	// retired marks a bad block: a program or erase failed on it, its
+	// survivors were relocated, and it never rejoins the free pool.
+	retired bool
+}
+
+// relocObj is one extent queued for relocation off a retiring block.
+type relocObj struct {
+	key     uint64
+	size    int64
+	data    []byte
+	hasData bool
 }
 
 // Store is a log-structured flash store. Safe for concurrent use.
 type Store struct {
 	segSize int64
 	live    func(key uint64) bool
+	dev     Device
+	spare   int64
 
-	mu     sync.Mutex
-	segs   []*segment
-	free   []int // erased segment ids, LIFO
-	active int   // log head segment id
-	index  map[uint64]loc
+	mu      sync.Mutex
+	segs    []*segment
+	free    []int // erased segment ids, LIFO
+	active  int   // log head segment id
+	index   map[uint64]loc
+	relocq  []relocObj // extents awaiting relocation off retired blocks
+	scrubAt int        // next segment the scrubber visits
 
-	hostBytes   int64
-	gcBytes     int64
-	erases      int64
-	relocations int64
-	oversize    int64
-	dropped     int64
+	hostBytes      int64
+	gcBytes        int64
+	erases         int64
+	relocations    int64
+	oversize       int64
+	dropped        int64
+	readErrors     int64
+	corruptExtents int64
+	retired        int64
+	scrubbed       int64
 }
 
 // New builds a store. Capacity is rounded up to whole segments and to
@@ -157,13 +308,29 @@ func New(cfg Config) (*Store, error) {
 	if cfg.Capacity <= 0 {
 		return nil, fmt.Errorf("flash: capacity must be positive, got %d", cfg.Capacity)
 	}
+	if cfg.SpareBlocks < 0 {
+		return nil, fmt.Errorf("flash: spare blocks must be non-negative, got %d", cfg.SpareBlocks)
+	}
 	n := int((cfg.Capacity + cfg.SegmentSize - 1) / cfg.SegmentSize)
 	if n < minSegments {
 		n = minSegments
 	}
+	spare := int64(cfg.SpareBlocks)
+	if spare == 0 {
+		spare = int64(n / 8)
+		if spare < 1 {
+			spare = 1
+		}
+	}
+	dev := cfg.Device
+	if dev == nil {
+		dev = NewMemDevice(n)
+	}
 	s := &Store{
 		segSize: cfg.SegmentSize,
 		live:    cfg.Live,
+		dev:     dev,
+		spare:   spare,
 		segs:    make([]*segment, n),
 		index:   make(map[uint64]loc),
 	}
@@ -188,12 +355,23 @@ func (s *Store) Capacity() int64 {
 	return int64(len(s.segs)) * s.segSize
 }
 
+// Exhausted reports device end-of-life: block retirements have
+// consumed the whole spare pool. The store keeps limping along (it
+// still serves reads and attempts writes on surviving blocks), but the
+// serving layer should stop routing traffic to it (/readyz flips 503).
+func (s *Store) Exhausted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retired >= s.spare
+}
+
 // Write appends one host object, invalidating any previous extent for
 // the same key. data may be nil for extent-only callers; when present
-// its length must equal size. It reports false — with no state change
-// beyond invalidating the stale extent — for non-positive or oversize
-// objects, or if the collector cannot free a segment.
-func (s *Store) Write(key uint64, size int64, data []byte) bool {
+// its length must equal size. Oversize (or non-positive) objects are
+// rejected with ErrOversize — with no state change beyond invalidating
+// the stale extent — and writes the collector cannot place return
+// ErrNoSpace.
+func (s *Store) Write(key uint64, size int64, data []byte) error {
 	return s.write(key, size, data, true)
 }
 
@@ -201,13 +379,13 @@ func (s *Store) Write(key uint64, size int64, data []byte) bool {
 // the rebuild path after a snapshot restore re-materializes residency
 // the device already paid for in its previous life, so counting it
 // would distort the measured WAF with a phantom write burst.
-func (s *Store) Restore(key uint64, size int64) bool {
+func (s *Store) Restore(key uint64, size int64) error {
 	return s.write(key, size, nil, false)
 }
 
-func (s *Store) write(key uint64, size int64, data []byte, host bool) bool {
+func (s *Store) write(key uint64, size int64, data []byte, host bool) error {
 	if data != nil && int64(len(data)) != size {
-		return false
+		return fmt.Errorf("flash: data length %d does not match size %d", len(data), size)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -217,48 +395,76 @@ func (s *Store) write(key uint64, size int64, data []byte, host bool) bool {
 	}
 	if size <= 0 || size > s.segSize {
 		s.oversize++
-		return false
+		return ErrOversize
 	}
-	if !s.appendObj(key, size, data, true) {
+	ok := s.appendObj(key, size, data, data != nil, true)
+	// A program-fail retirement along the way queued that block's live
+	// extents; move them before the caller observes the store.
+	s.drainReloc()
+	if !ok {
 		s.dropped++
-		return false
+		return ErrNoSpace
 	}
 	if host {
 		s.hostBytes += size
 	}
-	return true
+	return nil
+}
+
+// encodeRecord lays out the device record for one extent: the 16-byte
+// header plus the payload, if any.
+func encodeRecord(key uint64, size int64, data []byte) []byte {
+	rec := make([]byte, recHeaderSize+len(data))
+	binary.LittleEndian.PutUint64(rec[0:8], key)
+	binary.LittleEndian.PutUint64(rec[8:16], uint64(size))
+	copy(rec[recHeaderSize:], data)
+	return rec
 }
 
 // appendObj lands one extent at the log head, rolling the head to a
-// fresh segment when the object does not fit. gc allows the roll to
+// fresh segment when the object does not fit (or the head has been
+// retired under it). A failed program retires the head and retries on
+// a fresh one, bounded by the segment count. gc allows the roll to
 // run the collector; the collector's own relocations pass false and
 // draw on the reserve instead — collection must never reenter itself.
 // Caller holds mu.
-func (s *Store) appendObj(key uint64, size int64, data []byte, gc bool) bool {
-	head := s.segs[s.active]
-	if head.used+size > s.segSize {
-		next, ok := s.allocSegment(gc)
-		if !ok {
-			return false
+func (s *Store) appendObj(key uint64, size int64, data []byte, hasData, gc bool) bool {
+	rec := encodeRecord(key, size, data)
+	for attempt := 0; attempt <= len(s.segs); attempt++ {
+		head := s.segs[s.active]
+		if head.retired || head.used+size > s.segSize {
+			next, ok := s.allocSegment(gc)
+			if !ok {
+				return false
+			}
+			// Seal the head by its current id, not the head pointer captured
+			// above: collection inside allocSegment relocates survivors, and
+			// those relocations may themselves roll the log head.
+			s.segs[s.active].sealed = true
+			s.active = next
+			head = s.segs[s.active]
 		}
-		// Seal the head by its current id, not the head pointer captured
-		// above: collection inside allocSegment relocates survivors, and
-		// those relocations may themselves roll the log head.
-		s.segs[s.active].sealed = true
-		s.active = next
-		head = s.segs[s.active]
-	}
-	if data != nil {
-		if head.buf == nil {
-			head.buf = make([]byte, s.segSize)
+		if err := s.dev.Program(s.active, head.phys, rec); err != nil {
+			// Bad block: retire it (relocating whatever was already on
+			// it) and try again on a fresh head.
+			s.retireSegment(s.active)
+			continue
 		}
-		copy(head.buf[head.used:], data)
+		head.objs = append(head.objs, obj{
+			key:     key,
+			size:    size,
+			physOff: head.phys,
+			physLen: int64(len(rec)),
+			crc:     crc32.ChecksumIEEE(rec),
+			hasData: hasData,
+		})
+		s.index[key] = loc{seg: s.active, slot: len(head.objs) - 1}
+		head.used += size
+		head.phys += int64(len(rec))
+		head.live += size
+		return true
 	}
-	head.objs = append(head.objs, obj{key: key, off: head.used, size: size, hasData: data != nil})
-	s.index[key] = loc{seg: s.active, slot: len(head.objs) - 1}
-	head.used += size
-	head.live += size
-	return true
+	return false
 }
 
 // allocSegment returns a free segment id, running the collector when
@@ -269,11 +475,13 @@ func (s *Store) allocSegment(gc bool) (int, bool) {
 	// Collect until a segment is free, bounded by the segment count so a
 	// store with nothing reclaimable cannot spin. Each round nets the
 	// victim's dead bytes; the loop runs more than once only when the
-	// victim was nearly full of survivors.
+	// victim was nearly full of survivors. Progress is an erase or a
+	// retirement — an erase-fail round frees nothing but removes the
+	// victim from the candidate set, so the next round tries another.
 	for tries := 0; gc && len(s.free) == 0 && tries < len(s.segs); tries++ {
-		before := s.erases
+		before := s.erases + s.retired
 		s.collect()
-		if s.erases == before {
+		if s.erases+s.retired == before {
 			break // no victim; fall through to the failure path
 		}
 	}
@@ -285,7 +493,7 @@ func (s *Store) allocSegment(gc bool) (int, bool) {
 	seg := s.segs[id]
 	seg.sealed = false
 	seg.objs = seg.objs[:0]
-	seg.used, seg.live = 0, 0
+	seg.used, seg.live, seg.phys = 0, 0, 0
 	return id, true
 }
 
@@ -298,7 +506,7 @@ func (s *Store) collect() {
 	victim := -1
 	var victimLive int64
 	for id, seg := range s.segs {
-		if id == s.active || !seg.sealed {
+		if id == s.active || !seg.sealed || seg.retired {
 			continue
 		}
 		s.refreshLiveness(id)
@@ -310,38 +518,131 @@ func (s *Store) collect() {
 		return
 	}
 	seg := s.segs[victim]
-	type stashed struct {
-		key  uint64
-		size int64
-		data []byte
-	}
-	var keep []stashed
+	var keep []relocObj
 	for slot := range seg.objs {
 		o := &seg.objs[slot]
 		if o.dead {
 			continue
 		}
-		st := stashed{key: o.key, size: o.size}
-		if o.hasData {
-			st.data = append([]byte(nil), seg.buf[o.off:o.off+o.size]...)
+		// Read the record back through the device and verify it before
+		// relocating: a survivor that cannot be read, or whose checksum
+		// fails, is dropped here instead of being copied forward as
+		// corruption. readRecord charges the error counters.
+		st, err := s.stashObj(victim, o)
+		if err != nil {
+			o.dead = true
+			seg.live -= o.size
+			delete(s.index, o.key)
+			continue
 		}
 		keep = append(keep, st)
 		// The survivor's index entry dangles once the block is erased;
-		// the re-append below rebuilds it.
+		// the re-append below rebuilds it. Mark it dead so a retirement
+		// racing in between cannot stash it a second time.
+		o.dead = true
+		seg.live -= o.size
 		delete(s.index, o.key)
 	}
-	s.eraseSegment(victim)
+	if !s.eraseSegment(victim) {
+		// The erase failed and the victim was retired; its survivors are
+		// already stashed in keep, so fall through and place them.
+		_ = victim
+	}
 	for _, st := range keep {
 		// Relocation rides the same append path as host writes — that is
 		// the amplification — but lands in gcBytes, not hostBytes, and
 		// must not reenter the collector (the erased victim is free for
 		// it to roll onto).
-		if s.appendObj(st.key, st.size, st.data, false) {
+		if s.appendObj(st.key, st.size, st.data, st.hasData, false) {
 			s.gcBytes += st.size
 			s.relocations++
 		} else {
 			// No room anywhere: the object is lost from flash (the cache
 			// above re-fetches on demand). Sized stores never hit this.
+			s.dropped++
+		}
+	}
+}
+
+// stashObj reads one live extent back from the device, verifies it,
+// and packages it for relocation. Caller holds mu.
+func (s *Store) stashObj(id int, o *obj) (relocObj, error) {
+	rec, err := s.readRecord(id, o)
+	if err != nil {
+		return relocObj{}, err
+	}
+	st := relocObj{key: o.key, size: o.size, hasData: o.hasData}
+	if o.hasData {
+		st.data = append([]byte(nil), rec[recHeaderSize:]...)
+	}
+	return st, nil
+}
+
+// readRecord fetches and verifies one extent's record from the
+// device, charging the read-error and corruption counters on failure.
+// Caller holds mu.
+func (s *Store) readRecord(id int, o *obj) ([]byte, error) {
+	rec := make([]byte, o.physLen)
+	if err := s.dev.Read(id, o.physOff, rec); err != nil {
+		s.readErrors++
+		return nil, fmt.Errorf("%w: %v", ErrUncorrectable, err)
+	}
+	if crc32.ChecksumIEEE(rec) != o.crc {
+		s.corruptExtents++
+		return nil, ErrCorrupt
+	}
+	return rec, nil
+}
+
+// retireSegment permanently removes a bad block from service: it never
+// rejoins the free pool, its live extents are queued for relocation,
+// and the spare pool shrinks by one. Caller holds mu.
+func (s *Store) retireSegment(id int) {
+	seg := s.segs[id]
+	if seg.retired {
+		return
+	}
+	seg.retired = true
+	seg.sealed = true
+	s.retired++
+	for i, f := range s.free {
+		if f == id {
+			s.free = append(s.free[:i], s.free[i+1:]...)
+			break
+		}
+	}
+	for slot := range seg.objs {
+		o := &seg.objs[slot]
+		if o.dead {
+			continue
+		}
+		if cur, ok := s.index[o.key]; !ok || cur != (loc{seg: id, slot: slot}) {
+			continue
+		}
+		o.dead = true
+		seg.live -= o.size
+		delete(s.index, o.key)
+		st, err := s.stashObj(id, o)
+		if err != nil {
+			// Unreadable or corrupt on the way out: the extent is lost.
+			s.dropped++
+			continue
+		}
+		s.relocq = append(s.relocq, st)
+	}
+}
+
+// drainReloc places extents queued by block retirements. Placement can
+// itself hit a bad block and queue more; the loop runs until the queue
+// is empty. Caller holds mu.
+func (s *Store) drainReloc() {
+	for len(s.relocq) > 0 {
+		st := s.relocq[0]
+		s.relocq = s.relocq[1:]
+		if s.appendObj(st.key, st.size, st.data, st.hasData, true) {
+			s.gcBytes += st.size
+			s.relocations++
+		} else {
 			s.dropped++
 		}
 	}
@@ -377,15 +678,21 @@ func (s *Store) refreshLiveness(id int) {
 }
 
 // eraseSegment wipes one block and returns it to the free pool,
-// charging the erase counters. Caller holds mu.
-func (s *Store) eraseSegment(id int) {
+// charging the erase counters. A failed erase retires the block
+// instead and reports false. Caller holds mu.
+func (s *Store) eraseSegment(id int) bool {
 	seg := s.segs[id]
+	if err := s.dev.Erase(id); err != nil {
+		s.retireSegment(id)
+		return false
+	}
 	seg.objs = seg.objs[:0]
-	seg.used, seg.live = 0, 0
+	seg.used, seg.live, seg.phys = 0, 0, 0
 	seg.sealed = false
 	seg.erases++
 	s.erases++
 	s.free = append(s.free, id)
+	return true
 }
 
 // markDead invalidates one extent. Caller holds mu.
@@ -421,22 +728,101 @@ func (s *Store) Contains(key uint64) bool {
 	return ok
 }
 
-// Read returns key's payload bytes (a copy) and its size. data is nil
-// for extents written without payloads.
-func (s *Store) Read(key uint64) (data []byte, size int64, ok bool) {
+// ReadExtent returns key's payload bytes (a copy; nil for extents
+// written without payloads) and its logical size, verifying the
+// stored record against the device on the way. It returns ErrNotFound
+// for absent keys; ErrUncorrectable or ErrCorrupt report a media
+// failure, after which the extent is dropped — the caller sees a miss
+// on retry, never corrupt bytes.
+func (s *Store) ReadExtent(key uint64) (data []byte, size int64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	l, found := s.index[key]
 	if !found {
-		return nil, 0, false
+		return nil, 0, ErrNotFound
 	}
 	seg := s.segs[l.seg]
-	o := seg.objs[l.slot]
-	if o.hasData {
-		data = make([]byte, o.size)
-		copy(data, seg.buf[o.off:o.off+o.size])
+	o := &seg.objs[l.slot]
+	rec, err := s.readRecord(l.seg, o)
+	if err != nil {
+		s.markDead(l)
+		delete(s.index, key)
+		return nil, 0, err
 	}
-	return data, o.size, true
+	if o.hasData {
+		data = append([]byte(nil), rec[recHeaderSize:]...)
+	}
+	return data, o.size, nil
+}
+
+// Read is the pre-verification read shape: payload, size, and a found
+// flag. A media failure reads as a miss.
+func (s *Store) Read(key uint64) (data []byte, size int64, ok bool) {
+	data, size, err := s.ReadExtent(key)
+	return data, size, err == nil
+}
+
+// ScrubSegment verifies every live extent in one segment against the
+// device, dropping (via the same invalidation path as Invalidate) any
+// whose record fails to read or checksum. It returns the extents
+// scanned and dropped. Free, retired, and out-of-range segments scan
+// zero extents.
+func (s *Store) ScrubSegment(id int) (scanned, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scrubSegment(id)
+}
+
+// scrubSegment is ScrubSegment under mu.
+func (s *Store) scrubSegment(id int) (scanned, dropped int) {
+	if id < 0 || id >= len(s.segs) {
+		return 0, 0
+	}
+	seg := s.segs[id]
+	if seg.retired {
+		return 0, 0
+	}
+	for slot := range seg.objs {
+		o := &seg.objs[slot]
+		if o.dead {
+			continue
+		}
+		if cur, ok := s.index[o.key]; !ok || cur != (loc{seg: id, slot: slot}) {
+			continue
+		}
+		scanned++
+		if _, err := s.readRecord(id, o); err != nil {
+			o.dead = true
+			seg.live -= o.size
+			delete(s.index, o.key)
+			dropped++
+		}
+	}
+	s.scrubbed++
+	return scanned, dropped
+}
+
+// ScrubStep advances the background scrub by one segment: it walks the
+// segment ring from where the last step left off, scrubs the first
+// sealed, non-retired, non-active segment it finds, and returns that
+// segment's id with the scan counts. It returns segment -1 when no
+// segment is currently scrubbable (nothing sealed yet). One ScrubStep
+// per scrub interval keeps the pass gentle; len(segs) steps cover the
+// whole device.
+func (s *Store) ScrubStep() (segment, scanned, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < len(s.segs); i++ {
+		id := (s.scrubAt + i) % len(s.segs)
+		seg := s.segs[id]
+		if id == s.active || !seg.sealed || seg.retired {
+			continue
+		}
+		s.scrubAt = (id + 1) % len(s.segs)
+		scanned, dropped = s.scrubSegment(id)
+		return id, scanned, dropped
+	}
+	return -1, 0, 0
 }
 
 // Len returns the number of live extents in the index.
@@ -449,24 +835,39 @@ func (s *Store) Len() int {
 // Reset wipes all segments and the index without charging erase
 // counters: it models the empty device a restarted daemon boots with
 // (payloads are not persisted), so the subsequent Restore rebuild
-// starts from clean blocks. Cumulative wear counters are preserved.
+// starts from clean blocks. Cumulative wear counters are preserved,
+// and so are retired blocks — bad NAND stays bad across a process
+// restart.
 func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.index = make(map[uint64]loc)
 	s.free = s.free[:0]
-	for i := len(s.segs) - 1; i >= 1; i-- {
-		seg := s.segs[i]
+	s.relocq = nil
+	active := -1
+	for i, seg := range s.segs {
 		seg.objs = seg.objs[:0]
-		seg.used, seg.live = 0, 0
+		seg.used, seg.live, seg.phys = 0, 0, 0
+		if seg.retired {
+			continue
+		}
 		seg.sealed = false
-		s.free = append(s.free, i)
+		if active == -1 {
+			active = i
+		}
 	}
-	head := s.segs[0]
-	head.objs = head.objs[:0]
-	head.used, head.live = 0, 0
-	head.sealed = false
-	s.active = 0
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		if i != active && !s.segs[i].retired {
+			s.free = append(s.free, i)
+		}
+	}
+	if active == -1 {
+		// Every block is retired; leave the head pointing at a retired
+		// segment — appendObj rolls off it and every write fails, which
+		// is the truth about this device.
+		active = 0
+	}
+	s.active = active
 }
 
 // Stats returns the current wear counters.
@@ -474,15 +875,25 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		SegmentSize:  s.segSize,
-		Segments:     len(s.segs),
-		FreeSegments: len(s.free),
-		HostBytes:    s.hostBytes,
-		GCBytes:      s.gcBytes,
-		Erases:       s.erases,
-		Relocations:  s.relocations,
-		Oversize:     s.oversize,
-		Dropped:      s.dropped,
+		SegmentSize:      s.segSize,
+		Segments:         len(s.segs),
+		FreeSegments:     len(s.free),
+		HostBytes:        s.hostBytes,
+		GCBytes:          s.gcBytes,
+		Erases:           s.erases,
+		Relocations:      s.relocations,
+		Oversize:         s.oversize,
+		Dropped:          s.dropped,
+		ReadErrors:       s.readErrors,
+		CorruptExtents:   s.corruptExtents,
+		RetiredBlocks:    s.retired,
+		SpareBlocks:      s.spare,
+		ScrubbedSegments: s.scrubbed,
+		Exhausted:        s.retired >= s.spare,
+	}
+	st.SpareHeadroom = st.SpareBlocks - st.RetiredBlocks
+	if st.SpareHeadroom < 0 {
+		st.SpareHeadroom = 0
 	}
 	for i, seg := range s.segs {
 		st.LiveBytes += seg.live

@@ -2,6 +2,7 @@ package flash
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -38,16 +39,16 @@ func TestNewValidates(t *testing.T) {
 func TestWriteReadRoundTrip(t *testing.T) {
 	s := newStore(t, 1024, 8192, nil)
 	payload := []byte("the quick brown fox")
-	if !s.Write(7, int64(len(payload)), payload) {
-		t.Fatal("write rejected")
+	if err := s.Write(7, int64(len(payload)), payload); err != nil {
+		t.Fatalf("write rejected: %v", err)
 	}
 	data, size, ok := s.Read(7)
 	if !ok || size != int64(len(payload)) || !bytes.Equal(data, payload) {
 		t.Fatalf("Read = %q, %d, %v; want the payload back", data, size, ok)
 	}
 	// Extent-only writes read back a nil payload with the right size.
-	if !s.Write(8, 300, nil) {
-		t.Fatal("extent-only write rejected")
+	if err := s.Write(8, 300, nil); err != nil {
+		t.Fatalf("extent-only write rejected: %v", err)
 	}
 	data, size, ok = s.Read(8)
 	if !ok || size != 300 || data != nil {
@@ -63,13 +64,13 @@ func TestWriteReadRoundTrip(t *testing.T) {
 
 func TestWriteRejectsOversizeAndNonPositive(t *testing.T) {
 	s := newStore(t, 100, 1000, nil)
-	if s.Write(1, 101, nil) {
-		t.Fatal("oversize write accepted")
+	if err := s.Write(1, 101, nil); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversize write: err = %v, want ErrOversize", err)
 	}
-	if s.Write(2, 0, nil) {
-		t.Fatal("zero-size write accepted")
+	if err := s.Write(2, 0, nil); !errors.Is(err, ErrOversize) {
+		t.Fatalf("zero-size write: err = %v, want ErrOversize", err)
 	}
-	if s.Write(3, 50, []byte("xx")) {
+	if err := s.Write(3, 50, []byte("xx")); err == nil {
 		t.Fatal("data/size mismatch accepted")
 	}
 	st := s.Stats()
@@ -117,8 +118,8 @@ func TestGCReclaimsDeadSegments(t *testing.T) {
 	// 50 times = 10000 host bytes through a 1000-byte device.
 	for round := 0; round < 50; round++ {
 		for k := uint64(0); k < 4; k++ {
-			if !s.Write(k, 50, nil) {
-				t.Fatalf("round %d key %d: write failed", round, k)
+			if err := s.Write(k, 50, nil); err != nil {
+				t.Fatalf("round %d key %d: write failed: %v", round, k, err)
 			}
 		}
 	}
@@ -228,8 +229,8 @@ func TestRelocationPreservesPayloads(t *testing.T) {
 		rng = rng*6364136223846793005 + 1442695040888963407
 		k := (rng >> 33) % 7
 		gen[k]++
-		if !s.Write(k, 64, content(k, gen[k])) {
-			t.Fatalf("round %d: write failed", round)
+		if err := s.Write(k, 64, content(k, gen[k])); err != nil {
+			t.Fatalf("round %d: write failed: %v", round, err)
 		}
 	}
 	st := s.Stats()
@@ -256,8 +257,8 @@ func TestRelocationPreservesPayloads(t *testing.T) {
 func TestRestoreDoesNotChargeHostWrites(t *testing.T) {
 	s := newStore(t, 100, 1000, nil)
 	for k := uint64(0); k < 8; k++ {
-		if !s.Restore(k, 50) {
-			t.Fatalf("Restore(%d) failed", k)
+		if err := s.Restore(k, 50); err != nil {
+			t.Fatalf("Restore(%d) failed: %v", k, err)
 		}
 	}
 	st := s.Stats()
@@ -335,8 +336,8 @@ func TestWAFRisesWithUtilization(t *testing.T) {
 		rng := uint64(9)
 		for i := 0; i < 800; i++ {
 			rng = rng*6364136223846793005 + 1442695040888963407
-			if !s.Write((rng>>33)%16, 50, nil) {
-				t.Fatalf("capacity %d: write %d failed", capacity, i)
+			if err := s.Write((rng>>33)%16, 50, nil); err != nil {
+				t.Fatalf("capacity %d: write %d failed: %v", capacity, i, err)
 			}
 		}
 		return s.Stats().WAF()
@@ -403,6 +404,66 @@ func TestConcurrentWriters(t *testing.T) {
 	}
 	if s.Len() > 97 {
 		t.Fatalf("index holds %d keys, only 97 distinct ever written", s.Len())
+	}
+}
+
+// TestConcurrentScrubAndWrites runs the scrub patrol against live
+// write/read/invalidate traffic — the interleaving the background
+// Scrubber produces in the daemon. The race matrix runs this under
+// -race at several GOMAXPROCS; the invariant checks pin that a scrub
+// pass racing a GC or an overwrite never drops a healthy extent's
+// accounting below zero or strands the cursor.
+func TestConcurrentScrubAndWrites(t *testing.T) {
+	s := newStore(t, 1024, 64*1024, nil)
+	const workers = 4
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scrubDone := make(chan int, 1)
+	go func() {
+		scrubbed := 0
+		for {
+			select {
+			case <-stop:
+				scrubDone <- scrubbed
+				return
+			default:
+			}
+			if seg, _, _ := s.ScrubStep(); seg >= 0 {
+				scrubbed++
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := uint64(w*31+i) % 97
+				if i%17 == 0 {
+					s.Invalidate(k)
+					continue
+				}
+				s.Write(k, int64(64+(i%8)*32), nil)
+				if i%5 == 0 {
+					s.Read(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrubbed := <-scrubDone
+	st := s.Stats()
+	if scrubbed == 0 || st.ScrubbedSegments == 0 {
+		t.Fatalf("scrub made no progress against live traffic: %d steps, %+v", scrubbed, st)
+	}
+	// A healthy device: the scrub must never have dropped anything.
+	if st.CorruptExtents != 0 || st.ReadErrors != 0 {
+		t.Fatalf("scrub dropped healthy extents: %+v", st)
+	}
+	if st.LiveBytes < 0 {
+		t.Fatalf("LiveBytes went negative: %+v", st)
 	}
 }
 

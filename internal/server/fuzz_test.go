@@ -148,9 +148,17 @@ func FuzzReadSnapshot(f *testing.F) {
 	}
 	valid := buf.Bytes()
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2])
 	f.Add([]byte{})
 	f.Add([]byte{0x10, 0x75, 0xa2, 0x0c}) // magic only
+	// Truncation corpus: cuts through every structural region of the v2
+	// stream — mid-header, mid-count, mid-resident-record, and just shy
+	// of complete — seed the decode-fully-then-apply guarantee below.
+	for _, cut := range []int{2, 4, 6, 8, 12, 18, 20, 21, 24, 27, len(valid) / 4,
+		len(valid) / 2, 3 * len(valid) / 4, len(valid) - 1} {
+		if cut >= 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		target, err := engine.New(cache.NewLRU(1<<20), nil)
 		if err != nil {
@@ -158,6 +166,14 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 		res, err := ReadSnapshot(bytes.NewReader(data), target)
 		if err != nil {
+			// A rejected snapshot must leave the engine exactly cold —
+			// never half-restored with an eviction order no run produced.
+			if n := target.Policy().Len(); n != 0 {
+				t.Fatalf("failed restore left %d residents behind", n)
+			}
+			if target.Tick() != 0 {
+				t.Fatalf("failed restore advanced the tick to %d", target.Tick())
+			}
 			return
 		}
 		if res.Tick < 0 || res.Residents < 0 {

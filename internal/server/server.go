@@ -222,7 +222,21 @@ func (s *Server) SetNotReady(reason string) {
 func (s *Server) SetReady() { s.notReady.Store("") }
 
 // Ready reports whether the daemon currently serves /readyz with 200.
-func (s *Server) Ready() bool { return s.notReady.Load().(string) == "" }
+func (s *Server) Ready() bool { return s.notReadyReason() == "" }
+
+// notReadyReason returns why the daemon is not ready ("" when it is):
+// an explicit gate (restoring, draining) or a flash device at EOL.
+func (s *Server) notReadyReason() string {
+	if reason := s.notReady.Load().(string); reason != "" {
+		return reason
+	}
+	for i, sh := range s.shards {
+		if fs := sh.Flash(); fs != nil && fs.Exhausted() {
+			return fmt.Sprintf("shard %d flash spare pool exhausted (device EOL)", i)
+		}
+	}
+	return ""
+}
 
 // Engine returns the served engine (single or sharded).
 func (s *Server) Engine() engine.Server { return s.eng }
@@ -275,8 +289,14 @@ func (s *Server) mux() *http.ServeMux {
 // restoring a snapshot or draining on SIGTERM is alive (healthz 200)
 // but must not receive traffic (readyz 503), so a load balancer or the
 // otaload wait-for-ready loop holds off without declaring it dead.
+// Readiness also covers the flash fault domain: a shard whose spare
+// pool is exhausted can no longer retire failing erase blocks, so the
+// device is at end of life and the node should rotate out of the
+// serving set. Liveness stays green the whole time — the process is
+// healthy, its media is not — so orchestration replaces the node
+// instead of restarting a daemon that would come back just as worn.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	if reason := s.notReady.Load().(string); reason != "" {
+	if reason := s.notReadyReason(); reason != "" {
 		http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
 		return
 	}
@@ -474,6 +494,37 @@ type FlashStats struct {
 	// (ssd.Endurance.WithMeasuredWAF). Zero when no host writes have
 	// been observed yet. Aggregate block only.
 	LifetimeDays float64 `json:",omitempty"`
+	// Health is the media fault domain: errors survived, blocks
+	// retired, spare budget left, scrub progress.
+	Health FlashHealth
+}
+
+// FlashHealth is the fault-domain slice of a flash block: what the
+// device has survived (uncorrectable reads, checksum-failed extents,
+// retired erase blocks), how much bad-block budget remains, and how far
+// the background scrub patrol has walked. On the aggregate block the
+// counters are shard sums and Exhausted is true if ANY shard's spare
+// pool is gone — the same predicate that flips /readyz to 503, since a
+// device that can no longer retire a failing block may start losing
+// writes.
+type FlashHealth struct {
+	// ReadErrors counts uncorrectable device reads; CorruptExtents
+	// counts extents dropped on checksum mismatch. Both degraded to
+	// cache misses (or scrub drops), never serving errors.
+	ReadErrors     int64
+	CorruptExtents int64
+	// RetiredBlocks counts erase blocks permanently retired after a
+	// failed program or erase; SpareBlocks is the retirement budget and
+	// SpareHeadroom what remains of it.
+	RetiredBlocks int64
+	SpareBlocks   int64
+	SpareHeadroom int64
+	// ScrubbedSegments counts sealed segments the background scrub has
+	// verified since boot.
+	ScrubbedSegments int64
+	// Exhausted reports the spare pool is spent: the device is at end
+	// of life and the daemon stops advertising readiness.
+	Exhausted bool
 }
 
 // BreakerStats is the admission breaker's observable state.
@@ -550,6 +601,15 @@ func flashStats(sh *engine.Engine) *FlashStats {
 		Dropped:       fst.Dropped,
 		LiveBytes:     fst.LiveBytes,
 		WAF:           fst.WAF(),
+		Health: FlashHealth{
+			ReadErrors:       fst.ReadErrors,
+			CorruptExtents:   fst.CorruptExtents,
+			RetiredBlocks:    fst.RetiredBlocks,
+			SpareBlocks:      fst.SpareBlocks,
+			SpareHeadroom:    fst.SpareHeadroom,
+			ScrubbedSegments: fst.ScrubbedSegments,
+			Exhausted:        fst.Exhausted,
+		},
 	}
 }
 
@@ -576,6 +636,13 @@ func (f *FlashStats) add(o *FlashStats) *FlashStats {
 	f.Dropped += o.Dropped
 	f.LiveBytes += o.LiveBytes
 	f.WAF = flashWAF(f.HostBytes, f.GCBytes)
+	f.Health.ReadErrors += o.Health.ReadErrors
+	f.Health.CorruptExtents += o.Health.CorruptExtents
+	f.Health.RetiredBlocks += o.Health.RetiredBlocks
+	f.Health.SpareBlocks += o.Health.SpareBlocks
+	f.Health.SpareHeadroom += o.Health.SpareHeadroom
+	f.Health.ScrubbedSegments += o.Health.ScrubbedSegments
+	f.Health.Exhausted = f.Health.Exhausted || o.Health.Exhausted
 	return f
 }
 

@@ -280,10 +280,14 @@ type restoreRec struct {
 // Restore before serving — ideally behind a readiness gate.
 //
 // The stored shard count need not match srv's: every record is routed
-// through srv's own ring (ShardFor), so restoring reshards. Application
-// is parallel — one worker per target shard — while per-shard order
-// stays the decoded order, keeping each shard's eviction order
-// deterministic.
+// through srv's own ring (ShardFor), so restoring reshards. The stream
+// is decoded fully — every shard section and the classifier — before a
+// single record is applied: a truncated or corrupt snapshot (a crash
+// mid-rotation, a bad disk) is rejected with the engine still exactly
+// cold, never half-warm with an eviction order no run ever produced.
+// Application is then parallel — one worker per target shard — while
+// per-shard order stays the decoded order, keeping each shard's
+// eviction order deterministic.
 //
 // State that does not fit the engine is skipped, not fatal: a smaller
 // cache simply evicts during re-admission, an admit-all engine ignores
@@ -331,43 +335,11 @@ func ReadSnapshot(r io.Reader, srv engine.Server) (SnapshotResult, error) {
 		hasDest[i] = admissions[i] != nil && admissions[i].Table() != nil
 	}
 
-	// One apply worker per target shard: the decode loop below routes
-	// each record to its owner, the worker applies in arrival order.
-	// With a single worker per shard even bare (unsynchronized) policies
-	// are safe, and the per-shard re-admission order is deterministic.
-	chans := make([]chan restoreRec, len(shards))
-	var wg sync.WaitGroup
-	for i := range chans {
-		chans[i] = make(chan restoreRec, 512)
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			policy := shards[i].Policy()
-			var table interface{ Insert(key uint64, tick int) }
-			if hasDest[i] {
-				table = admissions[i].Table()
-			}
-			for rec := range chans[i] {
-				if rec.table {
-					table.Insert(rec.key, int(rec.val))
-				} else {
-					policy.Admit(rec.key, rec.val, 0)
-				}
-			}
-		}(i)
-	}
-	drained := false
-	drain := func() {
-		if drained {
-			return
-		}
-		drained = true
-		for _, ch := range chans {
-			close(ch)
-		}
-		wg.Wait()
-	}
-	defer drain()
+	// Decode-then-apply: the loop below only buffers records, routed to
+	// their target shard; nothing touches a policy or table until the
+	// whole stream has decoded. An error mid-stream therefore returns
+	// with the engine untouched.
+	pending := make([][]restoreRec, len(shards))
 
 	var tree *cart.Tree
 	for si := uint32(0); si < storedShards; si++ {
@@ -388,7 +360,7 @@ func ReadSnapshot(r io.Reader, srv engine.Server) (SnapshotResult, error) {
 				return res, fmt.Errorf("snapshot: resident %d has size %d", i, size)
 			}
 			dest := srv.ShardFor(key)
-			chans[dest] <- restoreRec{key: key, val: size}
+			pending[dest] = append(pending[dest], restoreRec{key: key, val: size})
 			res.Residents++
 			res.ResidentBytes += size
 		}
@@ -412,7 +384,7 @@ func ReadSnapshot(r io.Reader, srv engine.Server) (SnapshotResult, error) {
 				}
 				dest := srv.ShardFor(key)
 				if hasDest[dest] {
-					chans[dest] <- restoreRec{key: key, val: etick, table: true}
+					pending[dest] = append(pending[dest], restoreRec{key: key, val: etick, table: true})
 					res.TableEntries++
 				}
 			}
@@ -436,10 +408,33 @@ func ReadSnapshot(r io.Reader, srv engine.Server) (SnapshotResult, error) {
 		}
 	}
 
-	// Wait for every shard's apply queue to empty before installing the
-	// tree and resuming the tick: the caller may start serving the
-	// moment we return.
-	drain()
+	// The stream decoded completely — only now touch engine state. One
+	// apply worker per target shard: with a single worker per shard even
+	// bare (unsynchronized) policies are safe, and each shard re-admits
+	// in the decoded (cold-to-hot) order.
+	var wg sync.WaitGroup
+	for i := range pending {
+		if len(pending[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			policy := shards[i].Policy()
+			var table interface{ Insert(key uint64, tick int) }
+			if hasDest[i] {
+				table = admissions[i].Table()
+			}
+			for _, rec := range pending[i] {
+				if rec.table {
+					table.Insert(rec.key, int(rec.val))
+				} else {
+					policy.Admit(rec.key, rec.val, 0)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
 	if tree != nil {
 		for _, adm := range admissions {
 			if adm != nil {
