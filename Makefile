@@ -6,6 +6,9 @@ GOFLAGS ?=
 export GOFLAGS
 FUZZTIME ?= 10s
 OTALINT := bin/otalint
+# Extra flags for the lint run; CI passes -github so each finding is
+# mirrored as a ::error workflow command annotating the PR diff.
+OTALINT_FLAGS ?=
 
 .PHONY: check build vet test race fmt bench fuzz lint vulncheck
 
@@ -15,13 +18,16 @@ OTALINT := bin/otalint
 check: fmt build vet lint race
 
 # The repo-specific analyzers (see internal/lint and DESIGN.md §8):
-# lockscope, detclock, metricsync, snapshotwire. Suppress a finding
-# only with //lint:allow <analyzer> <reason>; stale or reasonless
-# directives fail the build too.
+# lockscope, detclock, metricsync, snapshotwire, errsink, atomicfield,
+# lockorder, hotalloc. Suppress a finding only with
+# //lint:allow <analyzer> <reason>; stale or reasonless directives fail
+# the build too. The loader shells out to `go list -deps -export`,
+# which reuses (and warms) the same build cache `make vet` compiles
+# into — running them back to back pays for the export data once.
 lint:
 	@mkdir -p bin
 	$(GO) build -o $(OTALINT) ./cmd/otalint
-	./$(OTALINT) ./...
+	./$(OTALINT) $(OTALINT_FLAGS) ./...
 
 # Known-vulnerability smoke. govulncheck needs network access to fetch
 # the vuln DB and is not baked into every dev container, so the target

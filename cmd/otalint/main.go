@@ -2,9 +2,19 @@
 //
 // Two modes:
 //
-//	otalint [packages]         standalone; defaults to ./... in the
+//	otalint [-github] [packages]
+//	                           standalone; defaults to ./... in the
 //	                           current module. Exits 1 if any finding
 //	                           survives suppression, 2 on tool error.
+//	                           -github additionally emits each finding
+//	                           as a ::error workflow annotation so CI
+//	                           runs mark the offending source line.
+//
+//	otalint -hotalloc-baseline [packages]
+//	                           measures the declared hot-path functions
+//	                           with the compiler's escape analysis and
+//	                           prints hotalloc.baseline lines on stdout;
+//	                           redirect to hotalloc.baseline to re-pin.
 //
 //	go vet -vettool=$(which otalint) ./...
 //	                           vettool mode: the go command invokes the
@@ -24,10 +34,14 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+	"path/filepath"
 	"runtime/debug"
+	"sort"
 	"strings"
 
 	"otacache/internal/lint"
+	"otacache/internal/lint/analysis"
+	"otacache/internal/lint/hotalloc"
 	"otacache/internal/lint/loader"
 	"otacache/internal/lint/run"
 )
@@ -74,11 +88,27 @@ func version() string {
 
 // standalone loads the given package patterns (default ./...) from the
 // current directory's module and reports findings on stdout.
-func standalone(patterns []string) int {
+func standalone(args []string) int {
+	github := false
+	baseline := false
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-github", "--github":
+			github = true
+		case "-hotalloc-baseline", "--hotalloc-baseline":
+			baseline = true
+		default:
+			patterns = append(patterns, a)
+		}
+	}
 	pkgs, err := loader.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "otalint:", err)
 		return 2
+	}
+	if baseline {
+		return printBaseline(pkgs)
 	}
 	findings, err := run.Analyze(pkgs, lint.Suite())
 	if err != nil {
@@ -87,9 +117,55 @@ func standalone(patterns []string) int {
 	}
 	for _, f := range findings {
 		fmt.Println(f)
+		if github {
+			fmt.Println(annotation(f))
+		}
 	}
 	if len(findings) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// annotation renders one finding as a GitHub Actions workflow command,
+// which the runner turns into an inline annotation on the PR diff. The
+// path must be repo-relative; the message's own newlines and the
+// command's separators must be escaped per the workflow-command spec.
+func annotation(f run.Finding) string {
+	file := f.Pos.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	msg := fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)
+	msg = strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(msg)
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s", file, f.Pos.Line, f.Pos.Column, msg)
+}
+
+// printBaseline measures every loaded package's declared hot functions
+// and prints the combined hotalloc.baseline on stdout.
+func printBaseline(pkgs []*loader.Package) int {
+	var lines []string
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pkgLines, err := hotalloc.Snapshot(pass, hotalloc.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "otalint:", err)
+			return 2
+		}
+		lines = append(lines, pkgLines...)
+	}
+	sort.Strings(lines)
+	fmt.Println("# Hot-path allocation baseline, one pinned count per declared hot")
+	fmt.Println("# function. Regenerate with: go run ./cmd/otalint -hotalloc-baseline")
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 	return 0
 }

@@ -68,10 +68,48 @@ func TestBadModule(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("otalint on badmod exited %d, want 1:\n%s", code, out)
 	}
-	for _, analyzer := range []string{"[detclock]", "[lockscope]"} {
+	for _, analyzer := range []string{
+		"[detclock]", "[lockscope]",
+		"[errsink]", "[atomicfield]", "[lockorder]", "[hotalloc]",
+	} {
 		if !strings.Contains(out, analyzer) {
 			t.Errorf("badmod findings missing %s:\n%s", analyzer, out)
 		}
+	}
+}
+
+// TestGitHubAnnotations proves -github mirrors each finding as a
+// ::error workflow command with a repo-relative path, so CI runs mark
+// the offending line on the PR diff.
+func TestGitHubAnnotations(t *testing.T) {
+	bin := buildTool(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, code := runTool(t, bin, dir, "-github", "./...")
+	if code != 1 {
+		t.Fatalf("otalint -github on badmod exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "::error file=internal/engine/bad.go,line=") {
+		t.Errorf("-github output missing ::error annotation with relative path:\n%s", out)
+	}
+}
+
+// TestHotallocBaselineMode proves -hotalloc-baseline prints the
+// measured pin lines for the fixture module's hot functions.
+func TestHotallocBaselineMode(t *testing.T) {
+	bin := buildTool(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, code := runTool(t, bin, dir, "-hotalloc-baseline", "./...")
+	if code != 0 {
+		t.Fatalf("otalint -hotalloc-baseline exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "internal/engine (*Engine).Lookup 1") {
+		t.Errorf("baseline output should measure Lookup's seeded allocation:\n%s", out)
 	}
 }
 
@@ -91,8 +129,13 @@ func TestVetToolMode(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet -vettool on badmod succeeded, want findings:\n%s", out)
 	}
-	if !strings.Contains(string(out), "[detclock]") {
-		t.Errorf("go vet -vettool output missing detclock finding:\n%s", out)
+	for _, analyzer := range []string{
+		"[detclock]", "[lockscope]",
+		"[errsink]", "[atomicfield]", "[lockorder]", "[hotalloc]",
+	} {
+		if !strings.Contains(string(out), analyzer) {
+			t.Errorf("go vet -vettool output missing %s finding:\n%s", analyzer, out)
+		}
 	}
 }
 

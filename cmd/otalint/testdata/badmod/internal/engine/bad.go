@@ -1,26 +1,72 @@
 // Package engine is a deliberately broken fixture: its import path
-// suffix places it in detclock's and lockscope's scope, and it commits
-// one violation of each. The otalint smoke test asserts the binary
-// exits nonzero here and names both analyzers.
+// suffix places it in the scope of detclock, lockscope, errsink,
+// atomicfield, lockorder, and hotalloc, and it commits one violation
+// of each. The otalint smoke test asserts the binary exits nonzero
+// here and names every analyzer.
 package engine
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 type Engine struct {
 	mu    sync.Mutex
+	gcMu  sync.Mutex
 	ticks int64
 }
 
+// Stamp reads the wall clock in a deterministic package: detclock.
 func (e *Engine) Stamp() int64 {
 	return time.Now().UnixNano()
 }
 
+// Tick blocks while holding the mutex (lockscope) and bumps an
+// atomically-read counter with a plain increment (atomicfield).
 func (e *Engine) Tick() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ticks++
 	time.Sleep(time.Millisecond)
+}
+
+// Ticks reads the counter atomically: the other half of the
+// atomicfield seed.
+func (e *Engine) Ticks() int64 {
+	return atomic.LoadInt64(&e.ticks)
+}
+
+// flush returns an error Sync drops on the floor: errsink.
+func (e *Engine) flush() error {
+	return errors.New("flush failed")
+}
+
+func (e *Engine) Sync() {
+	e.flush()
+}
+
+// lockThenGC and gcThenLock acquire the two mutexes in opposite
+// orders: lockorder.
+func (e *Engine) lockThenGC() {
+	e.mu.Lock()
+	e.gcMu.Lock()
+	e.gcMu.Unlock()
+	e.mu.Unlock()
+}
+
+func (e *Engine) gcThenLock() {
+	e.gcMu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.gcMu.Unlock()
+}
+
+// Lookup allocates on the declared hot path; the module's
+// hotalloc.baseline pins it at zero: hotalloc.
+func (e *Engine) Lookup(key string) []byte {
+	out := make([]byte, len(key))
+	copy(out, key)
+	return out
 }

@@ -37,6 +37,7 @@ func main() {
 		var f *os.File
 		if f, err = os.Open(*fromCSV); err == nil {
 			tr, err = trace.ImportCSV(f)
+			//lint:allow errsink read-side close; ImportCSV already consumed the file
 			f.Close()
 		}
 	} else {

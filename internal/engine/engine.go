@@ -303,6 +303,7 @@ func (e *Engine) Offer(key uint64, size int64, tick int, feat []float64) Outcome
 		// attached flash store so its collector measures the real
 		// amplification of this admission stream.
 		if fs := e.flash.Load(); fs != nil {
+			//lint:allow errsink the store charges Oversize/Dropped internally; the engine already counted the admission above
 			fs.Write(key, size, nil)
 		}
 	}

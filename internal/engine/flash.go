@@ -132,6 +132,7 @@ func RebuildFlash(srv Server) {
 		})
 		fs.Reset()
 		for _, res := range residents {
+			//lint:allow errsink rebuild is best-effort; an unrestorable resident stays unmaterialized and reads as a miss
 			fs.Restore(res.key, res.size)
 		}
 	}

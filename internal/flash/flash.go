@@ -444,6 +444,7 @@ func (s *Store) appendObj(key uint64, size int64, data []byte, hasData, gc bool)
 			s.active = next
 			head = s.segs[s.active]
 		}
+		//lint:allow errsink retireSegment charges the retirement counters for this media failure
 		if err := s.dev.Program(s.active, head.phys, rec); err != nil {
 			// Bad block: retire it (relocating whatever was already on
 			// it) and try again on a fresh head.
@@ -682,6 +683,7 @@ func (s *Store) refreshLiveness(id int) {
 // instead and reports false. Caller holds mu.
 func (s *Store) eraseSegment(id int) bool {
 	seg := s.segs[id]
+	//lint:allow errsink retireSegment charges the retirement counters for this media failure
 	if err := s.dev.Erase(id); err != nil {
 		s.retireSegment(id)
 		return false

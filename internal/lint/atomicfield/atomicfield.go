@@ -1,0 +1,161 @@
+// Package atomicfield implements the mixed-atomicity analyzer: a
+// struct field accessed through the sync/atomic functions anywhere
+// must be accessed atomically everywhere. The engine's global tick and
+// the flash store's wear counters are exactly the kind of state this
+// guards — one plain `e.tick++` next to `atomic.AddInt64(&e.tick, 1)`
+// is a data race the race detector only catches under a lucky
+// schedule, and a torn read there corrupts every reaccess distance
+// derived from it.
+//
+// The analysis is package-local over def-use facts: pass one collects
+// every field whose address is taken by a sync/atomic call
+// (atomic.AddInt64(&s.f, …), atomic.LoadInt64(&s.f), …); pass two
+// flags every other access to those same field objects — a read, a
+// write, an address-take outside sync/atomic — as mixed. Fields of the
+// atomic.Int64 family need no flagging (the type system already forbids
+// plain access), which is why the repo prefers them; this analyzer
+// exists for the function-style holdouts and for regressions.
+//
+// A deliberate plain access (a constructor writing before the value is
+// shared, a test-only accessor) carries //lint:allow atomicfield
+// <reason>.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"otacache/internal/lint/analysis"
+	"otacache/internal/lint/dataflow"
+)
+
+// DefaultScope lists the import-path suffixes guarded by default: the
+// packages holding shared counters under concurrent traffic.
+var DefaultScope = []string{
+	"internal/engine",
+	"internal/flash",
+	"internal/cache",
+	"internal/core",
+	"internal/cluster",
+	"internal/server",
+	"internal/faults",
+}
+
+// Config parameterizes the analyzer; tests narrow Scope to fixture
+// package paths.
+type Config struct {
+	// Scope is the list of import-path suffixes to check; empty checks
+	// every package.
+	Scope []string
+}
+
+// Analyzer is the default-configured instance cmd/otalint runs.
+var Analyzer = New(Config{Scope: DefaultScope})
+
+// access records one field access for the mixed-use report.
+type access struct {
+	pos    token.Pos
+	atomic bool
+}
+
+// New builds an atomicfield analyzer with the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "atomicfield",
+		Doc: "forbids mixing sync/atomic and plain accesses to the same struct " +
+			"field; a field accessed atomically anywhere is atomic everywhere",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(pass.Pkg.Path(), cfg.Scope) {
+			return nil
+		}
+		accesses := make(map[*types.Var][]access)
+		atomicArgs := make(map[ast.Node]bool) // &x.f nodes consumed by sync/atomic calls
+		// Pass one: find sync/atomic calls and the field each operates on.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isSyncAtomicCall(pass.TypesInfo, call) {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if field := dataflow.FieldObj(pass.TypesInfo, sel); field != nil {
+					atomicArgs[sel] = true
+					accesses[field] = append(accesses[field], access{pos: sel.Pos(), atomic: true})
+				}
+				return true
+			})
+		}
+		if len(accesses) == 0 {
+			return nil
+		}
+		// Pass two: every other access to those fields is plain.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicArgs[sel] {
+					return true
+				}
+				field := dataflow.FieldObj(pass.TypesInfo, sel)
+				if field == nil {
+					return true
+				}
+				if _, watched := accesses[field]; watched {
+					accesses[field] = append(accesses[field], access{pos: sel.Pos(), atomic: false})
+				}
+				return true
+			})
+		}
+		for field, accs := range accesses {
+			for _, acc := range accs {
+				if acc.atomic {
+					continue
+				}
+				pass.Reportf(acc.pos,
+					"field %s is accessed with sync/atomic elsewhere in this package; this plain access races — use the atomic API or justify with //lint:allow atomicfield <reason>",
+					field.Name())
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// isSyncAtomicCall reports a call to a package-level sync/atomic
+// function (the pointer-taking family; methods on atomic.Int64 etc.
+// are already safe by construction).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+func inScope(pkgPath string, scope []string) bool {
+	if len(scope) == 0 {
+		return true
+	}
+	for _, s := range scope {
+		if strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,23 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"otacache/internal/lint/atomicfield"
+	"otacache/internal/lint/linttest"
+)
+
+func TestHitsAndAllows(t *testing.T) {
+	linttest.Run(t, atomicfield.New(atomicfield.Config{Scope: []string{"a"}}), "a")
+}
+
+func TestClean(t *testing.T) {
+	linttest.Run(t, atomicfield.New(atomicfield.Config{Scope: []string{"clean"}}), "clean")
+}
+
+// TestScope proves the analyzer keeps quiet outside its configured
+// packages.
+func TestScope(t *testing.T) {
+	a := atomicfield.New(atomicfield.Config{Scope: []string{"internal/not-this-package"}})
+	linttest.Run(t, a, "clean")
+}

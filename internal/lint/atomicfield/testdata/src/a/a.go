@@ -1,0 +1,45 @@
+// Package a seeds mixed-atomicity violations: fields touched by
+// sync/atomic in one place and by plain loads/stores in another.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+	cold  int64 // never touched atomically; plain access is fine
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Plain accesses to atomically-used fields race.
+func (c *counter) racyReset() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere in this package; this plain access races`
+}
+
+func (c *counter) racySum() int64 {
+	return c.hits + c.cold // want `field hits is accessed with sync/atomic elsewhere in this package; this plain access races`
+}
+
+func (c *counter) racyIncr() {
+	c.total++ // want `field total is accessed with sync/atomic elsewhere in this package; this plain access races`
+}
+
+// A pre-publication write is safe and says so.
+func newCounter(seed int64) *counter {
+	c := &counter{}
+	c.total = seed //lint:allow atomicfield not yet shared; constructor runs before any goroutine sees c
+	return c
+}
+
+func (c *counter) coldOnly() int64 {
+	c.cold++ // plain access to a plain field: no finding
+	return c.cold
+}

@@ -1,0 +1,25 @@
+// Package clean mixes nothing: function-style atomics own their
+// fields outright, typed atomics are safe by construction, and plain
+// fields stay plain.
+package clean
+
+import "sync/atomic"
+
+type stats struct {
+	served atomic.Int64 // typed atomic: plain misuse is a type error
+	ticks  int64        // function-style atomic, used atomically everywhere
+	name   string       // plain field, used plainly everywhere
+}
+
+func (s *stats) serve() {
+	s.served.Add(1)
+	atomic.AddInt64(&s.ticks, 1)
+}
+
+func (s *stats) snapshot() (int64, int64, string) {
+	return s.served.Load(), atomic.LoadInt64(&s.ticks), s.name
+}
+
+func (s *stats) rename(n string) {
+	s.name = n
+}

@@ -1,0 +1,31 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"otacache/internal/lint/errsink"
+	"otacache/internal/lint/linttest"
+)
+
+// testSources mirrors DefaultSources against the fixture's own types.
+var testSources = []errsink.Source{
+	{PkgSuffix: "a", Type: "Device", Methods: []string{"Read", "Program", "Erase"}},
+	{PkgSuffix: "a", Type: "Store", Methods: []string{"Write"}},
+	{PkgSuffix: "clean", Type: "Device", Methods: []string{"Program"}},
+	{PkgSuffix: "clean", Type: "Store", Methods: []string{"Write"}},
+}
+
+func TestHitsAndAllows(t *testing.T) {
+	linttest.Run(t, errsink.New(errsink.Config{Scope: []string{"a"}, Sources: testSources}), "a")
+}
+
+func TestClean(t *testing.T) {
+	linttest.Run(t, errsink.New(errsink.Config{Scope: []string{"clean"}, Sources: testSources}), "clean")
+}
+
+// TestScope proves the analyzer keeps quiet outside its configured
+// packages.
+func TestScope(t *testing.T) {
+	a := errsink.New(errsink.Config{Scope: []string{"internal/not-this-package"}, Sources: testSources})
+	linttest.Run(t, a, "clean")
+}

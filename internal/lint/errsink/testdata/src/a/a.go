@@ -1,0 +1,106 @@
+// Package a seeds every errsink violation shape: dropped, blanked,
+// deferred, never-read-afterwards, and the stricter observed-only rule
+// on the tracked Device/Store seams the test config names.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// Device mirrors the flash device seam; the test config tracks its
+// Read/Program/Erase.
+type Device interface {
+	Program(p []byte) error
+	Read(p []byte) error
+	Erase(id int) error
+}
+
+type dev struct{}
+
+func (dev) Program(p []byte) error { return nil }
+func (dev) Read(p []byte) error    { return nil }
+func (dev) Erase(id int) error     { return nil }
+
+// Store mirrors the flash store seam; the test config tracks Write.
+type Store struct {
+	d        Device
+	ioErrors int
+}
+
+func (s *Store) Write(p []byte) error { return s.d.Program(p) }
+
+func work() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Generic tier: an error-last call must not vanish, tracked or not.
+func drops(s *Store) {
+	s.d.Program(nil)           // want `error from Device\.Program is dropped`
+	work()                     // want `error from a\.work is dropped`
+	_ = work()                 // want `error from a\.work is discarded into _`
+	go work()                  // want `error from a\.work is dropped by go statement`
+	if n, _ := pair(); n > 0 { // want `error from a\.pair is discarded into _`
+		return
+	}
+}
+
+func deferred() error {
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `error from deferred File\.Close is dropped`
+	return nil
+}
+
+// The forgotten-recheck bug: err is rebound by the second call and
+// never read again.
+func forgotten(s *Store) error {
+	n, err := pair()
+	if err != nil {
+		return err
+	}
+	_, err = pair() // want `error from a\.pair is assigned to err but never read afterwards`
+	return fmt.Errorf("n=%d", n)
+}
+
+// Tracked tier: a tracked error that is only nil-checked, with no
+// branch returning it or charging a counter, is a finding.
+func observed(s *Store) {
+	if err := s.d.Program(nil); err != nil { // want `error from Device\.Program is nil-checked but never returned, consumed, or charged`
+		return
+	}
+	if s.d.Read(nil) != nil { // want `error from Device\.Read is nil-checked but never returned, consumed, or charged`
+		return
+	}
+	// Through the concrete type the interface rule still applies.
+	if err := (dev{}).Erase(1); err != nil { // want `error from dev\.Erase is nil-checked but never returned, consumed, or charged`
+		return
+	}
+}
+
+// Clean shapes: returned, wrapped, charged, or genuinely consumed.
+func clean(s *Store) error {
+	if err := s.d.Program(nil); err != nil {
+		s.ioErrors++ // a counter charge satisfies the tracked rule
+	}
+	if err := s.Write(nil); err != nil {
+		return fmt.Errorf("write: %w", err)
+	}
+	if err := work(); err != nil { // untracked: a nil-check is handling
+		return err
+	}
+	var b bytes.Buffer
+	b.WriteString("in-memory sinks are exempt")
+	fmt.Println(b.String()) // fmt is exempt
+	return s.d.Read(nil)
+}
+
+// Allowed shapes: the discard is correct by design and says why.
+func allowed(s *Store) {
+	//lint:allow errsink the device layer already charged this fault
+	s.d.Program(nil)
+	_ = work() //lint:allow errsink best-effort probe, failure is expected
+}

@@ -1,0 +1,9 @@
+package a
+
+// Directive hygiene: an allow-comment must carry a reason, name a real
+// analyzer, and actually suppress something.
+func hygiene() {
+	_ = 0 //lint:allow errsink // want `allow-directive for errsink has no reason`
+	_ = 1 //lint:allow errsink suppresses nothing on this line // want `stale allow-directive`
+	_ = 2 //lint:allow nosuchanalyzer reasons do not help here // want `allow-directive names unknown analyzer "nosuchanalyzer"`
+}

@@ -1,0 +1,56 @@
+// Package clean holds only error flows errsink accepts: every error is
+// returned, wrapped, charged, or consumed by a caller-visible path.
+package clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+type Device interface {
+	Program(p []byte) error
+}
+
+type Store struct {
+	d        Device
+	ioErrors int
+}
+
+func (s *Store) flush(p []byte) error {
+	if err := s.d.Program(p); err != nil {
+		s.ioErrors++
+		return fmt.Errorf("program: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) retry(p []byte) error {
+	var last error
+	for i := 0; i < 3; i++ {
+		last = s.d.Program(p)
+		if last == nil {
+			return nil
+		}
+	}
+	return last
+}
+
+func classify(err error) bool { return errors.Is(err, errSentinel) }
+
+var errSentinel = errors.New("sentinel")
+
+func (s *Store) probe(p []byte) bool {
+	return classify(s.d.Program(p))
+}
+
+// A nil comparison whose boolean is returned carries the verdict to
+// the caller: consumed, not merely observed.
+func (s *Store) ok(p []byte) bool {
+	return s.d.Program(p) == nil
+}
+
+func (s *Store) okVar(p []byte) bool {
+	err := s.d.Program(p)
+	good := err == nil
+	return good
+}

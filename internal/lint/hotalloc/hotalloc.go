@@ -1,0 +1,350 @@
+// Package hotalloc implements the hot-path allocation analyzer: the
+// functions on the declared serving hot path — Engine.Lookup/Get/Offer
+// and the shard router on every request, the flash store's read path on
+// every hit — must not gain heap allocations. A single allocation there
+// turns into GC pressure at full serving rate, and the repo's
+// benchmarks (BenchmarkLookup*, BENCH_serve.json) silently degrade.
+//
+// Unlike its siblings, hotalloc does not inspect the AST for the
+// verdict: it asks the real compiler. It shells out to
+//
+//	go build -gcflags='-m -m' <package>
+//
+// parses the escape-analysis diagnostics ("… escapes to heap", "moved
+// to heap: …" — replayed from the build cache on repeat runs), maps
+// each site to its enclosing function through the type-checked syntax,
+// and compares the per-function site counts against the checked-in
+// hotalloc.baseline at the module root. A hot function with more sites
+// than its baseline is a finding at each site; fewer is a finding too
+// (the baseline must be re-pinned tighter, so it always states the
+// truth); a hot function absent from the baseline must be added.
+//
+// The escape output sees make/new/composite-literal/boxing escapes but
+// not append growth or map/channel internals, so the static claim is
+// cross-checked dynamically by testing.AllocsPerRun tests
+// (internal/engine TestHotPathAllocs); the two together pin the hot
+// path from both sides.
+package hotalloc
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"otacache/internal/lint/analysis"
+	"otacache/internal/lint/dataflow"
+)
+
+// BaselineName is the checked-in baseline's file name, looked up at the
+// module root of the package under analysis.
+const BaselineName = "hotalloc.baseline"
+
+// DefaultHot declares the serving hot path: import-path suffix to the
+// functions on it.
+var DefaultHot = map[string][]string{
+	"internal/engine": {
+		"(*Engine).Lookup", "(*Engine).Get", "(*Engine).Offer",
+		"(*ShardedEngine).Lookup", "(*ShardedEngine).Get",
+		"(*ShardedEngine).Offer", "(*ShardedEngine).ShardFor",
+	},
+	"internal/cluster": {"(*Ring).Server"},
+	"internal/flash":   {"(*Store).Read", "(*Store).ReadExtent", "(*Store).readRecord"},
+}
+
+// Config parameterizes the analyzer; tests point Hot at fixture
+// packages carrying their own go.mod and baseline.
+type Config struct {
+	// Hot maps import-path suffixes to the declared hot functions;
+	// nil uses DefaultHot.
+	Hot map[string][]string
+}
+
+// Analyzer is the default-configured instance cmd/otalint runs.
+var Analyzer = New(Config{})
+
+// site is one escape-analysis diagnostic inside a hot function.
+type site struct {
+	pos    token.Pos
+	detail string
+}
+
+// New builds a hotalloc analyzer with the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	hot := cfg.Hot
+	if hot == nil {
+		hot = DefaultHot
+	}
+	a := &analysis.Analyzer{
+		Name: "hotalloc",
+		Doc: "forbids new heap allocations in declared hot-path functions, " +
+			"comparing go build -gcflags='-m -m' escape analysis against hotalloc.baseline",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		suffix, fns := hotEntry(pass.Pkg.Path(), hot)
+		if suffix == "" {
+			return nil
+		}
+		dir := pkgDir(pass)
+		if dir == "" {
+			return fmt.Errorf("hotalloc: cannot locate source dir for %s", pass.Pkg.Path())
+		}
+		counts, err := measure(pass, dir, fns)
+		if err != nil {
+			return err
+		}
+		baseline, baseFile, err := readBaseline(dir)
+		if err != nil {
+			return err
+		}
+		if baseline == nil {
+			if decl := firstHotDecl(pass, fns); decl != nil {
+				pass.Reportf(decl.Pos(),
+					"no %s found at the module root; pin the hot path (otalint -hotalloc-baseline > %s)",
+					BaselineName, BaselineName)
+			}
+			return nil
+		}
+		for _, fn := range sortedKeys(counts) {
+			sites := counts[fn]
+			pinned, ok := baseline[suffix+" "+fn]
+			decl := findDecl(pass, fn)
+			switch {
+			case !ok:
+				pass.Reportf(decl.Pos(),
+					"hot function %s is not pinned in %s; add %q",
+					fn, filepath.Base(baseFile), fmt.Sprintf("%s %s %d", suffix, fn, len(sites)))
+			case len(sites) > pinned:
+				for _, st := range sites {
+					pass.Reportf(st.pos,
+						"heap allocation on the declared hot path in %s (%s): %d sites vs %d pinned in %s — remove it or re-pin the baseline",
+						fn, st.detail, len(sites), pinned, filepath.Base(baseFile))
+				}
+			case len(sites) < pinned:
+				pass.Reportf(decl.Pos(),
+					"%s has %d allocation sites but %s pins %d; tighten the baseline",
+					fn, len(sites), filepath.Base(baseFile), pinned)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// Snapshot returns this package's baseline lines in their checked-in
+// form ("<suffix> <fn> <count>"), for the otalint -hotalloc-baseline
+// regeneration mode. Packages with no hot functions return nil.
+func Snapshot(pass *analysis.Pass, cfg Config) ([]string, error) {
+	hot := cfg.Hot
+	if hot == nil {
+		hot = DefaultHot
+	}
+	suffix, fns := hotEntry(pass.Pkg.Path(), hot)
+	if suffix == "" {
+		return nil, nil
+	}
+	dir := pkgDir(pass)
+	if dir == "" {
+		return nil, fmt.Errorf("hotalloc: cannot locate source dir for %s", pass.Pkg.Path())
+	}
+	counts, err := measure(pass, dir, fns)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, fn := range sortedKeys(counts) {
+		lines = append(lines, fmt.Sprintf("%s %s %d", suffix, fn, len(counts[fn])))
+	}
+	return lines, nil
+}
+
+// hotEntry finds the Hot entry matching the package path.
+func hotEntry(pkgPath string, hot map[string][]string) (string, []string) {
+	for suffix, fns := range hot {
+		if strings.HasSuffix(pkgPath, suffix) {
+			return suffix, fns
+		}
+	}
+	return "", nil
+}
+
+// pkgDir locates the package's source directory from its file set.
+func pkgDir(pass *analysis.Pass) string {
+	if len(pass.Files) == 0 {
+		return ""
+	}
+	name := pass.Fset.Position(pass.Files[0].Pos()).Filename
+	if name == "" {
+		return ""
+	}
+	abs, err := filepath.Abs(name)
+	if err != nil {
+		return ""
+	}
+	return filepath.Dir(abs)
+}
+
+// escapeLine matches one escape-analysis diagnostic.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*escapes to heap|moved to heap: .*)$`)
+
+// measure runs the compiler's escape analysis over the package in dir
+// and returns, for each declared hot function present in the package,
+// its allocation sites (possibly none — those entries pin 0).
+func measure(pass *analysis.Pass, dir string, fns []string) (map[string][]site, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m -m", ".")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("hotalloc: go build -gcflags=-m in %s: %v\n%s", dir, err, out.String())
+	}
+	declared := make(map[string]bool, len(fns))
+	for _, fn := range fns {
+		declared[fn] = true
+	}
+	counts := make(map[string][]site)
+	// Every declared hot function that exists in the package gets an
+	// entry, so zero-allocation functions are pinned at 0 rather than
+	// missing.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && declared[dataflow.FuncDisplayName(fd)] {
+				counts[dataflow.FuncDisplayName(fd)] = nil
+			}
+		}
+	}
+	seen := make(map[string]bool) // -m -m prints most sites twice
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		key := m[1] + ":" + m[2] + ":" + m[3]
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		pos, file := resolvePos(pass, filepath.Base(m[1]), lineNo, col)
+		if file == nil {
+			continue
+		}
+		fn := dataflow.EnclosingFuncName(file, pos)
+		if fn == "" || !declared[fn] {
+			continue
+		}
+		counts[fn] = append(counts[fn], site{pos: pos, detail: m[4]})
+	}
+	return counts, nil
+}
+
+// resolvePos converts a (basename, line, col) from compiler output to a
+// position in the pass's file set and the syntax file containing it.
+func resolvePos(pass *analysis.Pass, base string, line, col int) (token.Pos, *ast.File) {
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || filepath.Base(tf.Name()) != base {
+			continue
+		}
+		if line < 1 || line > tf.LineCount() {
+			return token.NoPos, nil
+		}
+		return tf.LineStart(line) + token.Pos(col-1), f
+	}
+	return token.NoPos, nil
+}
+
+// readBaseline walks from dir up to the module root (the first go.mod)
+// looking for the baseline file. A missing file returns a nil map.
+func readBaseline(dir string) (map[string]int, string, error) {
+	for d := dir; ; {
+		path := filepath.Join(d, BaselineName)
+		if data, err := os.ReadFile(path); err == nil {
+			baseline, err := parseBaseline(data)
+			if err != nil {
+				return nil, "", fmt.Errorf("hotalloc: %s: %v", path, err)
+			}
+			return baseline, path, nil
+		}
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return nil, "", nil // module root reached without a baseline
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return nil, "", nil
+		}
+		d = parent
+	}
+}
+
+// parseBaseline reads "<suffix> <fn> <count>" lines; # starts a
+// comment.
+func parseBaseline(data []byte) (map[string]int, error) {
+	baseline := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want \"<pkg-suffix> <func> <count>\", got %q", i+1, line)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("line %d: bad count %q", i+1, fields[2])
+		}
+		baseline[fields[0]+" "+fields[1]] = n
+	}
+	return baseline, nil
+}
+
+// findDecl returns the FuncDecl with the given display name.
+func findDecl(pass *analysis.Pass, fn string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && dataflow.FuncDisplayName(fd) == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// firstHotDecl returns the first declared hot function present in the
+// package, in source order.
+func firstHotDecl(pass *analysis.Pass, fns []string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := dataflow.FuncDisplayName(fd)
+			for _, fn := range fns {
+				if name == fn {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string][]site) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,55 @@
+package hotalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"otacache/internal/lint/analysis"
+	"otacache/internal/lint/hotalloc"
+	"otacache/internal/lint/linttest"
+)
+
+var hotFns = []string{
+	"(*Engine).Lookup", "(*Engine).Get", "(*Engine).Offer",
+	"(*Engine).Evict", "(*Engine).Tick", "(*Engine).Warm",
+}
+
+func TestHitsAndAllows(t *testing.T) {
+	a := hotalloc.New(hotalloc.Config{Hot: map[string][]string{"hot": hotFns}})
+	linttest.Run(t, a, "hot")
+}
+
+func TestClean(t *testing.T) {
+	a := hotalloc.New(hotalloc.Config{Hot: map[string][]string{
+		"hotclean": {"(*Engine).Lookup", "(*Engine).Offer"},
+	}})
+	linttest.Run(t, a, "hotclean")
+}
+
+// TestScope proves the analyzer keeps quiet on packages with no hot
+// entry.
+func TestScope(t *testing.T) {
+	a := hotalloc.New(hotalloc.Config{Hot: map[string][]string{"internal/not-this-package": hotFns}})
+	linttest.Run(t, a, "hotclean")
+}
+
+// TestSnapshot regenerates the clean fixture's baseline and checks it
+// reproduces the checked-in file — the same loop otalint
+// -hotalloc-baseline runs.
+func TestSnapshot(t *testing.T) {
+	pkg, err := linttest.Load("hotclean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info}
+	lines, err := hotalloc.Snapshot(pass, hotalloc.Config{Hot: map[string][]string{
+		"hotclean": {"(*Engine).Lookup", "(*Engine).Offer"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "hotclean (*Engine).Lookup 0\nhotclean (*Engine).Offer 1"
+	if got := strings.Join(lines, "\n"); got != want {
+		t.Fatalf("snapshot mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

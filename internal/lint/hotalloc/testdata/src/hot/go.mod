@@ -1,0 +1,3 @@
+module hot
+
+go 1.24

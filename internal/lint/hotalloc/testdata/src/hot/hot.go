@@ -1,0 +1,42 @@
+// Package hot seeds hot-path allocation regressions against its own
+// hotalloc.baseline: the test config declares every Engine method
+// below as hot.
+package hot
+
+type Engine struct {
+	buf []byte
+}
+
+// Lookup is pinned at 0 but allocates: a finding at the escape site.
+func (e *Engine) Lookup(key string) []byte {
+	out := make([]byte, len(key)) // want `heap allocation on the declared hot path in \(\*Engine\)\.Lookup`
+	copy(out, key)
+	return out
+}
+
+// Get is pinned at 0 and stays clean.
+func (e *Engine) Get(i int) byte {
+	return e.buf[i]
+}
+
+// Offer is pinned at 1: its single staging allocation is accepted.
+func (e *Engine) Offer(p []byte) {
+	e.buf = make([]byte, len(p))
+	copy(e.buf, p)
+}
+
+// Evict is declared hot but missing from the baseline.
+func (e *Engine) Evict() { // want `hot function \(\*Engine\)\.Evict is not pinned in hotalloc\.baseline`
+	e.buf = e.buf[:0]
+}
+
+// Tick is pinned at 1 but allocates nothing: the baseline lies.
+func (e *Engine) Tick() int { // want `\(\*Engine\)\.Tick has 0 allocation sites but hotalloc\.baseline pins 1; tighten the baseline`
+	return len(e.buf)
+}
+
+// Warm is pinned at 0; its one allocation is acknowledged in place.
+func (e *Engine) Warm(n int) []byte {
+	//lint:allow hotalloc one-time warmup buffer, not on the steady-state path
+	return make([]byte, n)
+}

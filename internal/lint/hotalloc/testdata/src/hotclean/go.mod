@@ -1,0 +1,3 @@
+module hotclean
+
+go 1.24

@@ -1,0 +1,16 @@
+// Package hotclean matches its baseline exactly: the analyzer is
+// silent.
+package hotclean
+
+type Engine struct {
+	buf []byte
+}
+
+func (e *Engine) Lookup(i int) byte {
+	return e.buf[i]
+}
+
+func (e *Engine) Offer(p []byte) {
+	e.buf = make([]byte, len(p))
+	copy(e.buf, p)
+}

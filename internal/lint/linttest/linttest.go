@@ -9,7 +9,9 @@
 // trailing comments. Every finding must match a want on its line and
 // every want must be matched — both surpluses fail the test, so a
 // fixture proves an analyzer catches the seeded violation and stays
-// quiet on clean and allowlisted code.
+// quiet on clean and allowlisted code. A want whose regexp matches a
+// finding on a different line is called out as likely mis-positioned,
+// so an off-by-one comment fails with the fix in the message.
 package linttest
 
 import (
@@ -38,10 +40,71 @@ import (
 // fixture's want comments.
 func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	t.Helper()
+	RunSuite(t, []*analysis.Analyzer{a}, pkg)
+}
+
+// RunSuite is Run over several analyzers at once: the fixture sees the
+// same combined directive handling (every analyzer known, reasons
+// mandatory) the real binary applies, so cross-analyzer fixtures and
+// hygiene rules can be tested together.
+func RunSuite(t *testing.T, analyzers []*analysis.Analyzer, pkg string) {
+	t.Helper()
+	problems, err := Check(analyzers, pkg)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// Check is the comparison core under Run/RunSuite: it loads
+// testdata/src/<pkg>, runs the analyzers, and returns one description
+// per mismatch (unexpected finding, or unmatched want) instead of
+// failing a testing.T — which is how linttest tests itself.
+func Check(analyzers []*analysis.Analyzer, pkg string) ([]string, error) {
+	loaded, err := Load(pkg)
+	if err != nil {
+		return nil, err
+	}
+	findings, err := run.Analyze([]*loader.Package{loaded}, analyzers)
+	if err != nil {
+		return nil, err
+	}
+
+	wants, err := parseWants(loaded.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, f := range findings {
+		if !claim(wants, f) {
+			problems = append(problems,
+				fmt.Sprintf("%s: unexpected finding: %s [%s]", f.Pos, f.Message, f.Analyzer))
+		}
+	}
+	for _, w := range wants {
+		if w.matched {
+			continue
+		}
+		msg := fmt.Sprintf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.rx)
+		if at := matchElsewhere(findings, w); at != "" {
+			msg += fmt.Sprintf(" (a matching finding exists at %s — is the want comment mis-positioned?)", at)
+		}
+		problems = append(problems, msg)
+	}
+	return problems, nil
+}
+
+// Load parses and type-checks the fixture package testdata/src/<pkg>
+// (relative to the calling test's directory) the way the real loader
+// would, resolving standard-library imports through on-demand export
+// data.
+func Load(pkg string) (*loader.Package, error) {
 	dir := filepath.Join("testdata", "src", pkg)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("linttest: %v", err)
+		return nil, err
 	}
 	var files []string
 	for _, e := range entries {
@@ -50,34 +113,25 @@ func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 		}
 	}
 	if len(files) == 0 {
-		t.Fatalf("linttest: no Go files under %s", dir)
+		return nil, fmt.Errorf("no Go files under %s", dir)
 	}
-
 	fset := token.NewFileSet()
 	imp, err := exportImporter(fset, files)
 	if err != nil {
-		t.Fatalf("linttest: %v", err)
+		return nil, err
 	}
-	loaded, err := loader.Check(fset, imp, pkg, files)
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
-	findings, err := run.Analyze([]*loader.Package{loaded}, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
+	return loader.Check(fset, imp, pkg, files)
+}
 
-	wants := parseWants(t, files)
+// matchElsewhere looks for a finding the unmatched want's regexp would
+// have claimed had it stood on the right line.
+func matchElsewhere(findings []run.Finding, w *want) string {
 	for _, f := range findings {
-		if !claim(wants, f) {
-			t.Errorf("%s: unexpected finding: %s [%s]", f.Pos, f.Message, f.Analyzer)
+		if sameFile(w.file, f.Pos.Filename) && w.rx.MatchString(f.Message) {
+			return f.Pos.String()
 		}
 	}
-	for _, w := range wants {
-		if !w.matched {
-			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.rx)
-		}
-	}
+	return ""
 }
 
 // exportImporter resolves the fixtures' (standard library) imports to
@@ -142,13 +196,12 @@ type want struct {
 var wantStrings = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 
 // parseWants scans the fixture files for `// want "rx"` comments.
-func parseWants(t *testing.T, files []string) []*want {
-	t.Helper()
+func parseWants(files []string) ([]*want, error) {
 	var wants []*want
 	for _, file := range files {
 		data, err := os.ReadFile(file)
 		if err != nil {
-			t.Fatalf("linttest: %v", err)
+			return nil, err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
 			_, payload, ok := strings.Cut(line, "// want ")
@@ -157,24 +210,24 @@ func parseWants(t *testing.T, files []string) []*want {
 			}
 			matches := wantStrings.FindAllString(payload, -1)
 			if len(matches) == 0 {
-				t.Fatalf("%s:%d: malformed want comment %q", file, i+1, payload)
+				return nil, fmt.Errorf("%s:%d: malformed want comment %q", file, i+1, payload)
 			}
 			for _, m := range matches {
 				var pat string
 				if m[0] == '`' {
 					pat = m[1 : len(m)-1]
 				} else if pat, err = strconv.Unquote(m); err != nil {
-					t.Fatalf("%s:%d: bad want string %s: %v", file, i+1, m, err)
+					return nil, fmt.Errorf("%s:%d: bad want string %s: %v", file, i+1, m, err)
 				}
 				rx, err := regexp.Compile(pat)
 				if err != nil {
-					t.Fatalf("%s:%d: bad want regexp: %v", file, i+1, err)
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", file, i+1, err)
 				}
 				wants = append(wants, &want{file: file, line: i + 1, rx: rx})
 			}
 		}
 	}
-	return wants
+	return wants, nil
 }
 
 // claim matches a finding against the unmatched wants on its line.

@@ -1,0 +1,9 @@
+// Package misplaced carries a deliberately mis-positioned want
+// comment: the finding lands on Bad's line, the want sits on Good's.
+// The linttest meta-test asserts both mismatches surface, with a hint
+// pointing at the real finding.
+package misplaced
+
+func Bad() {}
+
+func Good() {} // want "function Bad found"

@@ -1,0 +1,23 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"otacache/internal/lint/linttest"
+	"otacache/internal/lint/lockorder"
+)
+
+func TestHitsAndAllows(t *testing.T) {
+	linttest.Run(t, lockorder.New(lockorder.Config{Scope: []string{"a"}}), "a")
+}
+
+func TestClean(t *testing.T) {
+	linttest.Run(t, lockorder.New(lockorder.Config{Scope: []string{"clean"}}), "clean")
+}
+
+// TestScope proves the analyzer keeps quiet outside its configured
+// packages.
+func TestScope(t *testing.T) {
+	a := lockorder.New(lockorder.Config{Scope: []string{"internal/not-this-package"}})
+	linttest.Run(t, a, "clean")
+}

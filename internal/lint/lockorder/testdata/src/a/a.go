@@ -1,0 +1,84 @@
+// Package a seeds lock-order violations: a direct cycle, a cycle
+// closed through a same-package helper, and unordered same-class
+// nesting across shard instances.
+package a
+
+import "sync"
+
+type pair struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+}
+
+// ab locks amu then bmu; ba locks bmu then amu. Two goroutines
+// entering from opposite ends deadlock.
+func (p *pair) ab() {
+	p.amu.Lock()
+	p.bmu.Lock() // want `lock-order cycle: a\.pair\.amu -> a\.pair\.bmu -> a\.pair\.amu`
+	p.bmu.Unlock()
+	p.amu.Unlock()
+}
+
+func (p *pair) ba() {
+	p.bmu.Lock()
+	p.amu.Lock()
+	p.amu.Unlock()
+	p.bmu.Unlock()
+}
+
+// svc closes the same shape through a helper: outer holds cmu and the
+// helper acquires dmu, so the edge exists even though no single
+// function shows both locks.
+type svc struct {
+	cmu sync.Mutex
+	dmu sync.Mutex
+}
+
+func (s *svc) outer() {
+	s.cmu.Lock()
+	s.lockedHelper() // want `lock-order cycle: a\.svc\.cmu -> a\.svc\.dmu -> a\.svc\.cmu`
+	s.cmu.Unlock()
+}
+
+func (s *svc) lockedHelper() {
+	s.dmu.Lock()
+	s.dmu.Unlock()
+}
+
+func (s *svc) reversed() {
+	s.dmu.Lock()
+	s.cmu.Lock()
+	s.cmu.Unlock()
+	s.dmu.Unlock()
+}
+
+// Same-class nesting: two shard locks with no global order.
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	shards []*shard
+}
+
+func (t *table) move(i, j int) {
+	t.shards[i].mu.Lock()
+	t.shards[j].mu.Lock() // want `lock a\.shard\.mu acquired while another a\.shard\.mu is already held`
+	t.shards[j].n = t.shards[i].n
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// The same nesting is fine when the code imposes an order and says so.
+func (t *table) ordered(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	t.shards[i].mu.Lock()
+	//lint:allow lockorder instances are locked in ascending index order
+	t.shards[j].mu.Lock()
+	t.shards[j].n = t.shards[i].n
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}

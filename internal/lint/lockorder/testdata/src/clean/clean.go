@@ -1,0 +1,42 @@
+// Package clean nests locks in one global order (amu before bmu,
+// everywhere), so the acquisition graph is acyclic and silent.
+package clean
+
+import "sync"
+
+type svc struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+	n   int
+}
+
+func (s *svc) one() {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	s.n++
+}
+
+func (s *svc) two() {
+	s.amu.Lock()
+	s.helper()
+	s.amu.Unlock()
+}
+
+func (s *svc) helper() {
+	s.bmu.Lock()
+	s.n++
+	s.bmu.Unlock()
+}
+
+// Sequential (non-nested) acquisition in the opposite order is not an
+// edge: bmu is released before amu is taken.
+func (s *svc) sequential() {
+	s.bmu.Lock()
+	s.n++
+	s.bmu.Unlock()
+	s.amu.Lock()
+	s.n++
+	s.amu.Unlock()
+}

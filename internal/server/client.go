@@ -342,6 +342,7 @@ func (c *Client) probe(path string) error {
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
+		//lint:allow errsink the error body is advisory; the status error below stands either way
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
@@ -364,6 +365,7 @@ func (c *Client) SwapClassifier(tree *cart.Tree) error {
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
+		//lint:allow errsink the error body is advisory; the status error below stands either way
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
@@ -391,6 +393,8 @@ func (c *Client) Retrain() (*RetrainResult, error) {
 // drain consumes and closes a response body so the connection returns
 // to the keep-alive pool.
 func drain(resp *http.Response) {
+	//lint:allow errsink best-effort drain; a failed read only forfeits connection reuse
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	//lint:allow errsink read-side close after the drain; nothing left to account
 	resp.Body.Close()
 }

@@ -129,6 +129,9 @@ type Server struct {
 	notReady atomic.Value // string
 	// panics counts handler panics absorbed by the recovery middleware.
 	panics atomic.Int64
+	// encodeErrors counts JSON response bodies that failed to write
+	// (the client vanished mid-response); surfaced through /stats.
+	encodeErrors atomic.Int64
 
 	// statsMu guards the interval baseline advanced by each /stats.
 	statsMu  sync.Mutex
@@ -202,6 +205,16 @@ func (s *Server) recoverPanics(h http.Handler) http.Handler {
 		}()
 		h.ServeHTTP(w, r)
 	})
+}
+
+// writeJSON renders one JSON response body. By the time encoding
+// fails the status line is already committed, so nothing can be sent
+// to the client anymore; the failure is charged to EncodeErrors
+// instead of vanishing.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeErrors.Add(1)
+	}
 }
 
 // PanicsRecovered returns how many handler panics the middleware has
@@ -424,6 +437,10 @@ type Stats struct {
 	Ready bool
 	// PanicsRecovered counts handler panics the middleware absorbed.
 	PanicsRecovered int64
+	// EncodeErrors counts JSON response bodies that failed to write
+	// after the handler committed the response (client gone
+	// mid-response).
+	EncodeErrors int64
 	// Breaker reports the admission circuit breaker of a single-shard
 	// engine (nil without one). A sharded engine has one breaker per
 	// shard — see Shards.
@@ -553,6 +570,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		UptimeSec:       s.clock.Now().Sub(s.started).Seconds(),
 		Ready:           s.Ready(),
 		PanicsRecovered: s.panics.Load(),
+		EncodeErrors:    s.encodeErrors.Load(),
 		Cumulative:      cur,
 		Interval:        interval,
 		EngineShards:    len(s.shards),
@@ -579,7 +597,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		st.Breaker = st.Shards[0].Breaker
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(st)
+	s.writeJSON(w, st)
 }
 
 // flashStats renders one shard's flash device block (nil when the
@@ -715,7 +733,7 @@ func (s *Server) handleSwapClassifier(w http.ResponseWriter, r *http.Request) {
 	}
 	s.swapMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]int{
+	s.writeJSON(w, map[string]int{
 		"splits": tree.NumSplits(),
 		"height": tree.Height(),
 		"shards": installed,
@@ -741,7 +759,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(res)
+	s.writeJSON(w, res)
 }
 
 func (s *Server) handleRetrain(w http.ResponseWriter, _ *http.Request) {
@@ -754,7 +772,7 @@ func (s *Server) handleRetrain(w http.ResponseWriter, _ *http.Request) {
 	if res.Err != "" {
 		w.WriteHeader(http.StatusUnprocessableEntity)
 	}
-	json.NewEncoder(w).Encode(res)
+	s.writeJSON(w, res)
 }
 
 // limitListener caps concurrent connections with a semaphore acquired
