@@ -33,6 +33,16 @@
 // restored at startup behind the /readyz gate, persisted every
 // -snapshot-interval, and written one final time after a clean drain.
 //
+// Observability: GET /metrics serves the Prometheus text exposition —
+// every engine counter with a per-shard breakdown, flash health, breaker
+// state, and the latency histograms (lookup, classifier, flash
+// read/program/GC, HTTP, snapshot save/restore) sampled 1-in
+// -sample-every. GET /admin/trace serves the decision-trace ring (JSON,
+// or the binary codec with ?format=binary): 1 in -trace-every object
+// requests is recorded with its key, shard, admission verdict, breaker
+// state, flash outcome, and stage timings. -pprof-addr exposes
+// net/http/pprof on its own listener, off by default.
+//
 // SIGINT/SIGTERM drain in-flight requests (bounded by -drain-timeout)
 // and exit 0.
 package main
@@ -44,6 +54,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -96,6 +108,11 @@ func main() {
 		drillFlipEvery    = flag.Uint64("flash-fault-flip-every", 0, "fault drill: silently flip one bit of every Nth programmed record (0 = off; with -flash-segment-size)")
 		drillProgramEvery = flag.Uint64("flash-fault-program-every", 0, "fault drill: fail every Nth device program, retiring its block (0 = off; with -flash-segment-size)")
 		drillEraseEvery   = flag.Uint64("flash-fault-erase-every", 0, "fault drill: fail every Nth device erase, retiring its block (0 = off; with -flash-segment-size)")
+
+		sampleEvery = flag.Int("sample-every", 0, "latency sampling period for the /metrics histograms: 1 in N object requests, engine lookups, and flash reads are timed (0 = 64; 1 = every request; the lookup stage rounds N up to a power of two)")
+		traceCap    = flag.Int("trace-cap", 0, "decision-trace ring capacity served by /admin/trace (0 = 1024; negative disables tracing)")
+		traceEvery  = flag.Int("trace-every", 0, "trace 1 in N object requests into the decision ring (0 = 16)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off, never exposed on the serving port)")
 
 		brFallback  = flag.String("breaker-fallback", "admit-all", "degraded admission when the classifier fails (admit-all|doorkeeper|off)")
 		brLatency   = flag.Duration("breaker-latency", 0, "classifier latency budget; slower decisions count as breaker failures (0 = none)")
@@ -298,10 +315,35 @@ func main() {
 	adms := server.Admissions(eng)
 
 	srv := server.New(eng, server.Config{
-		MaxConns:       *maxConns,
-		RequestTimeout: *reqTO,
-		NumFeatures:    len(features.PaperSelected()),
+		MaxConns:         *maxConns,
+		RequestTimeout:   *reqTO,
+		NumFeatures:      len(features.PaperSelected()),
+		SampleEvery:      *sampleEvery,
+		TraceCap:         *traceCap,
+		TraceSampleEvery: *traceEvery,
 	})
+
+	// The profiler gets its own listener and mux: never the serving
+	// port, so an operator can firewall it separately and a scrape of
+	// /metrics can't wander into a heap dump.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fail(fmt.Errorf("-pprof-addr: %w", err))
+		}
+		log.Printf("pprof: serving on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, pm); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	if *modelPath != "" {
 		if len(adms) == 0 {
@@ -357,7 +399,10 @@ func main() {
 	go func() { done <- srv.Serve(ln) }()
 
 	if snap != nil {
-		res, err := server.LoadSnapshot(*snapPath, eng)
+		// RestoreSnapshot rather than LoadSnapshot: the restore latency
+		// lands in the snapshot-restore histogram, so a slow warm start
+		// is visible on /metrics after the fact.
+		res, err := srv.RestoreSnapshot(*snapPath)
 		switch {
 		case err == nil:
 			log.Printf("snapshot: restored %d residents (%d MB), %d table entries, tree=%v, resuming at tick %d",

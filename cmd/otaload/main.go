@@ -26,9 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"strconv"
 	"time"
 
+	"otacache/internal/obs"
 	"otacache/internal/server"
 	"otacache/internal/trace"
 )
@@ -128,10 +131,60 @@ func main() {
 		fmt.Println()
 	}
 
+	// Server-side latency, from the daemon's own /metrics histograms:
+	// where the client-side percentiles above include the socket and the
+	// client stack, these isolate the handler and engine stages as the
+	// daemon measured them (1-in-N sampled, ~25% bucket resolution).
+	if samples, err := c.Metrics(); err == nil {
+		for _, h := range []struct{ name, label string }{
+			{"ota_http_request_duration_seconds", "http"},
+			{"ota_lookup_duration_seconds", "engine lookup"},
+			{"ota_classifier_duration_seconds", "classifier"},
+		} {
+			if line := quantileLine(samples, h.name, h.label); line != "" {
+				fmt.Println(line)
+			}
+		}
+	}
+
 	if pct := 100 * rep.ErrorRate(); pct > *maxErrPct {
 		fail(fmt.Errorf("error rate %.2f%% exceeds -max-error-rate %.2f%% (first error: %s)",
 			pct, *maxErrPct, rep.FirstError))
 	}
+}
+
+// quantileLine renders one scraped histogram's p50/p99/p999 from its
+// cumulative buckets ("" when the family is absent or empty).
+func quantileLine(samples []obs.Sample, family, label string) string {
+	var les, cums []float64
+	var count float64
+	for _, s := range samples {
+		switch s.Name {
+		case family + "_bucket":
+			le, err := strconv.ParseFloat(s.Label("le"), 64)
+			if err != nil { // le="+Inf"
+				le = math.Inf(1)
+			}
+			les = append(les, le)
+			cums = append(cums, s.Value)
+		case family + "_count":
+			count = s.Value
+		}
+	}
+	if count == 0 || len(les) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("server %s: p50 %s, p99 %s, p99.9 %s (%d sampled)",
+		label,
+		secDuration(obs.BucketQuantile(les, cums, 0.50)),
+		secDuration(obs.BucketQuantile(les, cums, 0.99)),
+		secDuration(obs.BucketQuantile(les, cums, 0.999)),
+		int64(count))
+}
+
+// secDuration formats a seconds value as a duration string.
+func secDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Nanosecond)
 }
 
 func fail(err error) {

@@ -6,12 +6,15 @@ package otacache
 // cache front, and the online-learning alternative §4.4.3 mentions.
 
 import (
+	"io"
+
 	"otacache/internal/cache"
 	"otacache/internal/cluster"
 	"otacache/internal/core"
 	"otacache/internal/engine"
 	"otacache/internal/flash"
 	"otacache/internal/ml/cart"
+	"otacache/internal/obs"
 	"otacache/internal/server"
 	"otacache/internal/ssd"
 	"otacache/internal/tier"
@@ -263,6 +266,46 @@ func SaveTree(t *DecisionTree, path string) error { return t.Save(path) }
 
 // LoadTree loads a tree saved by SaveTree.
 func LoadTree(path string) (*DecisionTree, error) { return cart.Load(path) }
+
+// Observability (the daemon's measurement plane: GET /metrics, the
+// latency histograms behind it, and the decision-trace ring served by
+// GET /admin/trace).
+type (
+	// LatencyHistogram is a lock-free, mergeable, log-bucketed latency
+	// histogram: zero allocations and no locks on Record, ~25% bucket
+	// resolution, snapshots and quantiles while recorders run.
+	LatencyHistogram = obs.Histogram
+	// LatencySnapshot is one histogram's consistent point-in-time view
+	// (Quantile, Add/Sub for intervals).
+	LatencySnapshot = obs.HistogramSnapshot
+	// EngineInstruments carries a serving engine's latency measurement
+	// plane (sampled Lookup timing, per-decision classifier timing);
+	// attach with Engine.SetInstruments or let NewCacheServer wire it.
+	EngineInstruments = engine.Instruments
+	// DecisionTraceEvent is one sampled per-request decision record:
+	// key, shard, admission verdict, breaker state, flash outcome, and
+	// stage timings (GET /admin/trace, binary form via
+	// obs.DecodeEvents).
+	DecisionTraceEvent = obs.TraceEvent
+	// MetricSample is one parsed /metrics sample (name, labels, value).
+	MetricSample = obs.Sample
+)
+
+// NewLatencyHistogram builds an empty histogram; Record takes
+// nanoseconds (or Observe a time.Duration).
+func NewLatencyHistogram() *LatencyHistogram { return obs.NewHistogram() }
+
+// ParseMetricsText parses a Prometheus text exposition (a /metrics
+// scrape) into samples; CacheClient.Metrics scrapes and parses in one
+// call.
+func ParseMetricsText(r io.Reader) ([]MetricSample, error) { return obs.ParseText(r) }
+
+// MetricsBucketQuantile estimates a quantile from a scraped
+// histogram's cumulative buckets (parallel le-bound and count slices),
+// the standard histogram_quantile computation.
+func MetricsBucketQuantile(les, cums []float64, q float64) float64 {
+	return obs.BucketQuantile(les, cums, q)
+}
 
 // Trace persistence.
 

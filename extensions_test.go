@@ -1,7 +1,10 @@
 package otacache
 
 import (
+	"math"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -124,6 +127,52 @@ func TestExtensionsFacade(t *testing.T) {
 	}
 	if layer.Engine == nil || layer.Criteria.M <= 0 {
 		t.Fatalf("serving layer incomplete: %+v", layer)
+	}
+}
+
+func TestObservabilityFacade(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(int64(i) * 1000)
+	}
+	var snap LatencySnapshot = h.Snapshot()
+	if snap.Count != 1000 {
+		t.Fatalf("histogram count %d, want 1000", snap.Count)
+	}
+	p99 := snap.Quantile(0.99)
+	if p99 < 500_000 || p99 > 2_000_000 {
+		t.Fatalf("p99 %v ns outside the recorded range", p99)
+	}
+
+	exposition := strings.NewReader(
+		"# TYPE ota_requests_total counter\n" +
+			"ota_requests_total 42\n" +
+			"ota_lookup_duration_seconds_bucket{le=\"0.001\"} 90\n" +
+			"ota_lookup_duration_seconds_bucket{le=\"+Inf\"} 100\n")
+	samples, err := ParseMetricsText(exposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total MetricSample
+	var les, cums []float64
+	for _, s := range samples {
+		if s.Name == "ota_requests_total" {
+			total = s
+		}
+		if s.Name == "ota_lookup_duration_seconds_bucket" {
+			le, perr := strconv.ParseFloat(s.Label("le"), 64)
+			if perr != nil { // le="+Inf"
+				le = math.Inf(1)
+			}
+			les = append(les, le)
+			cums = append(cums, s.Value)
+		}
+	}
+	if total.Value != 42 {
+		t.Fatalf("parsed counter %v, want 42", total.Value)
+	}
+	if q := MetricsBucketQuantile(les, cums, 0.5); q <= 0 || q > 0.001 {
+		t.Fatalf("median %v outside the first bucket", q)
 	}
 }
 

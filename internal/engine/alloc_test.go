@@ -5,6 +5,7 @@ import (
 
 	"otacache/internal/cache"
 	"otacache/internal/core"
+	"otacache/internal/faults"
 )
 
 // TestHotPathAllocs is the dynamic half of the hotalloc analyzer's
@@ -48,6 +49,29 @@ func TestHotPathAllocs(t *testing.T) {
 			}
 		}); n != 0 {
 			t.Errorf("Engine.Lookup hit path allocates %.1f/op, baseline pins 0", n)
+		}
+	})
+
+	t.Run("EngineLookupHitInstrumented", func(t *testing.T) {
+		// The instrumented path — sampler hit, two clock reads, one
+		// histogram record on every call (SampleEvery 1 forces the worst
+		// case) — must stay as allocation-free as the bare one: the whole
+		// point of the obs record path.
+		eng := newShard()
+		eng.SetInstruments(NewInstruments(faults.NewFakeClock(), 1))
+		if out := eng.Lookup(key, size, eng.NextTick(), nil); !out.Written {
+			t.Fatalf("seeding Offer not admitted: %+v", out)
+		}
+		tick := eng.NextTick()
+		if n := testing.AllocsPerRun(200, func() {
+			if out := eng.Lookup(key, size, tick, nil); !out.Hit {
+				t.Fatal("hit path missed")
+			}
+		}); n != 0 {
+			t.Errorf("instrumented Engine.Lookup hit path allocates %.1f/op, baseline pins 0", n)
+		}
+		if s := eng.Instruments().Lookup.Snapshot(); s.Count < 200 {
+			t.Errorf("instrumentation recorded %d lookups, want >= 200 (sampling must have fired)", s.Count)
 		}
 	})
 

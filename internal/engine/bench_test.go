@@ -8,6 +8,7 @@ import (
 
 	"otacache/internal/cache"
 	"otacache/internal/core"
+	"otacache/internal/faults"
 	"otacache/internal/labeling"
 	"otacache/internal/mlcore"
 )
@@ -130,6 +131,16 @@ func BenchmarkLookupAdmitAll(b *testing.B) {
 // rectification on every miss.
 func BenchmarkLookupClassifier(b *testing.B) {
 	benchLookup(b, benchEngine(b, benchAdmission(b)), true)
+}
+
+// BenchmarkLookupInstrumented is BenchmarkLookupAdmitAll with the
+// measurement plane attached at the default sample period: the pair's
+// ns/op delta is the live cost of observability, and cmd/benchgate
+// fails CI when it exceeds 5%.
+func BenchmarkLookupInstrumented(b *testing.B) {
+	eng := benchEngine(b, nil)
+	eng.SetInstruments(NewInstruments(faults.WallClock{}, DefaultSampleEvery))
+	benchLookup(b, eng, false)
 }
 
 // BenchmarkLookupShardedAdmitAll measures ring routing over N

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"otacache/internal/core"
+	"otacache/internal/obs"
 )
 
 // BreakerState is the circuit breaker's serving mode.
@@ -115,6 +116,12 @@ type Breaker struct {
 	opens    atomic.Int64
 	failures atomic.Int64
 	lastErr  atomic.Value // error
+
+	// hist, when attached, observes every primary decision's latency —
+	// the classifier inference time the paper's latency model assumes
+	// constant, measured live. Atomic because SetHistogram may race
+	// serving traffic.
+	hist atomic.Pointer[obs.Histogram]
 }
 
 // NewBreaker wraps primary. See BreakerConfig for the knobs.
@@ -150,6 +157,12 @@ func (b *Breaker) Opens() int64 { return b.opens.Load() }
 
 // Failures returns how many primary decisions have failed.
 func (b *Breaker) Failures() int64 { return b.failures.Load() }
+
+// SetHistogram attaches (or, with nil, detaches) a latency histogram
+// observing primary decisions. The Breaker already reads its clock on
+// entry to every primary call for the latency budget, so attaching a
+// histogram adds at most one extra clock read per decision.
+func (b *Breaker) SetHistogram(h *obs.Histogram) { b.hist.Store(h) }
 
 // LastError returns the most recent primary failure (nil if none).
 func (b *Breaker) LastError() error {
@@ -221,8 +234,13 @@ func (b *Breaker) callPrimary(key uint64, tick int, feat []float64) (d core.Deci
 	} else {
 		d = b.primary.Decide(key, tick, feat)
 	}
-	if err == nil && b.cfg.LatencyBudget > 0 {
-		if elapsed := b.cfg.Now().Sub(start); elapsed > b.cfg.LatencyBudget {
+	h := b.hist.Load()
+	if h != nil || (err == nil && b.cfg.LatencyBudget > 0) {
+		elapsed := b.cfg.Now().Sub(start)
+		if h != nil {
+			h.Record(int64(elapsed))
+		}
+		if err == nil && b.cfg.LatencyBudget > 0 && elapsed > b.cfg.LatencyBudget {
 			err = fmt.Errorf("admission decision took %v, budget %v", elapsed, b.cfg.LatencyBudget)
 		}
 	}

@@ -49,6 +49,10 @@ type Engine struct {
 	// constant. An atomic pointer because SetFlash may race Lookup
 	// traffic (the daemon attaches after assembly).
 	flash atomic.Pointer[flash.Store]
+	// inst is the optional measurement plane (sampled lookup latency
+	// histograms); same atomic-attach contract as flash. See
+	// Instruments.
+	inst atomic.Pointer[Instruments]
 
 	requests   atomic.Int64
 	hits       atomic.Int64
@@ -311,8 +315,22 @@ func (e *Engine) Offer(key uint64, size int64, tick int, feat []float64) Outcome
 }
 
 // Lookup runs the full pipeline for one request: policy lookup, and on
-// a miss the admission decision and insertion.
+// a miss the admission decision and insertion. With Instruments
+// attached, a sampled subset of requests is timed into the lookup
+// latency histogram; the untimed majority (and every request when no
+// instruments are attached) runs the branch with no clock reads.
 func (e *Engine) Lookup(key uint64, size int64, tick int, feat []float64) Outcome {
+	if ins := e.inst.Load(); ins != nil && uint64(tick)&ins.mask == 0 {
+		start := ins.clock.Now()
+		var out Outcome
+		if e.Get(key, size, tick) {
+			out = Outcome{Hit: true}
+		} else {
+			out = e.Offer(key, size, tick, feat)
+		}
+		ins.Lookup.Record(int64(ins.clock.Now().Sub(start)))
+		return out
+	}
 	if e.Get(key, size, tick) {
 		return Outcome{Hit: true}
 	}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"otacache/internal/faults"
+	"otacache/internal/obs"
+)
+
+// Instruments is the measurement plane for one engine shard: sampled
+// wall-time latency histograms around the request pipeline. It is
+// deliberately optional — an Engine with no Instruments attached runs
+// the exact pre-observability hot path — and deliberately sampled: the
+// full lookup fast path is a few hundred nanoseconds, so timing every
+// request with two clock reads would be measurable overhead, while a
+// 1-in-N sample keeps the quantile estimates sound (the histogram is
+// log-bucketed; its error is bounded by bucket width, not sample
+// count) at a cost the BenchmarkLookupInstrumented gate bounds at 5%.
+//
+// Timing goes through the faults.Clock seam, not time.Now, for the
+// same reason the Breaker's does: tests drive a FakeClock and observe
+// deterministic durations, and the detclock analyzer keeps direct
+// clock reads out of the serving packages.
+type Instruments struct {
+	clock faults.Clock
+	// mask gates lookup timing: a request is timed when tick&mask == 0.
+	// The tick already arrives at Lookup as an argument and already
+	// increments once per request, so the sampling decision is pure
+	// ALU on a value in hand — the unsampled path adds no memory
+	// traffic at all (an obs.Sampler's shard counter would be an
+	// atomic RMW per lookup, measurable against a ~150ns baseline).
+	// The cost is that the period rounds up to a power of two.
+	mask uint64
+
+	// Lookup is the end-to-end Engine.Lookup latency (policy get,
+	// admission decision, flash write) for sampled requests.
+	Lookup *obs.Histogram
+	// Classifier is the primary admission filter's decision latency,
+	// observed by the Breaker when the server wires it (every primary
+	// decision, not sampled — inference is microseconds, not
+	// nanoseconds, and the Breaker already reads the clock on entry).
+	Classifier *obs.Histogram
+}
+
+// DefaultSampleEvery is the lookup-timing sample period the server
+// uses when the operator does not choose one: 1 in 64 keeps the
+// instrumented hot path within the benchmark overhead gate while a
+// busy shard still collects thousands of samples per second.
+const DefaultSampleEvery = 64
+
+// NewInstruments builds an instrument set. A nil clock means the wall
+// clock; sampleEvery <= 1 times every lookup (tests and offline
+// analysis), larger values time 1 in sampleEvery rounded up to the
+// next power of two (see Instruments.mask).
+func NewInstruments(clock faults.Clock, sampleEvery int) *Instruments {
+	if clock == nil {
+		clock = faults.WallClock{}
+	}
+	period := uint64(1)
+	for int(period) < sampleEvery {
+		period <<= 1
+	}
+	return &Instruments{
+		clock:      clock,
+		mask:       period - 1,
+		Lookup:     obs.NewHistogram(),
+		Classifier: obs.NewHistogram(),
+	}
+}
+
+// Clock returns the instrument clock (shared with the component under
+// test when a FakeClock is injected).
+func (ins *Instruments) Clock() faults.Clock { return ins.clock }
+
+// SampleEvery returns the effective lookup-timing sample period (the
+// requested period rounded up to a power of two).
+func (ins *Instruments) SampleEvery() int { return int(ins.mask) + 1 }
+
+// SetInstruments attaches (or, with nil, detaches) the measurement
+// plane. An atomic pointer because attachment may race live Lookup
+// traffic — the daemon wires observability after assembly, exactly
+// like SetFlash.
+func (e *Engine) SetInstruments(ins *Instruments) { e.inst.Store(ins) }
+
+// Instruments returns the attached measurement plane (nil when none).
+func (e *Engine) Instruments() *Instruments { return e.inst.Load() }

@@ -1,0 +1,28 @@
+package engine
+
+// MetricHelp maps every Metrics field name to the help string the
+// daemon's /metrics exposition publishes for it. The metricsync
+// analyzer enforces that this map and the Metrics struct stay in
+// lockstep — a counter added to Metrics without a help entry (or a
+// stale entry for a removed counter) is a lint finding, and the
+// server's exposition test fails if a field is missing from the page.
+var MetricHelp = map[string]string{
+	"Requests":   "Requests served (Lookup and Get calls) since boot.",
+	"Hits":       "Requests answered from cache residency.",
+	"HitBytes":   "Bytes of the requests answered from cache residency.",
+	"Misses":     "Requests not resident at lookup time.",
+	"Writes":     "Objects admitted and written to the cache device.",
+	"WriteBytes": "Bytes admitted and written to the cache device.",
+	"Bypassed":   "Missed objects the admission filter declined to cache.",
+	"Rectified":  "Admission decisions flipped by the rectifier (predicted one-time but admitted, or vice versa).",
+	"Degraded":   "Admission decisions served by the circuit breaker's fallback path instead of the primary filter.",
+	"TotalBytes": "Bytes requested across all requests.",
+
+	"FlashHostBytes": "Bytes the host wrote to the flash store (admissions; excludes GC relocation).",
+	"FlashGCBytes":   "Bytes the flash garbage collector relocated to salvage live objects.",
+	"FlashErases":    "Flash erase-block erasures across all segments.",
+
+	"FlashReadErrors":     "Uncorrectable flash device reads (extent dropped, request degraded to a miss).",
+	"FlashCorruptExtents": "Flash extents dropped for checksum mismatch (client read, scrub, or relocation).",
+	"FlashRetiredBlocks":  "Flash erase blocks retired after a failed program or erase.",
+}

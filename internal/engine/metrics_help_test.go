@@ -1,0 +1,34 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMetricHelpCoversMetrics is the runtime half of the metricsync
+// HelpVar leg: MetricHelp and the Metrics struct must be the same set
+// of names, and every help string must read like one (non-empty,
+// terminated).
+func TestMetricHelpCoversMetrics(t *testing.T) {
+	mt := reflect.TypeOf(Metrics{})
+	for i := 0; i < mt.NumField(); i++ {
+		name := mt.Field(i).Name
+		help, ok := MetricHelp[name]
+		if !ok {
+			t.Errorf("Metrics.%s has no MetricHelp entry; /metrics would publish it without HELP text", name)
+			continue
+		}
+		if strings.TrimSpace(help) == "" {
+			t.Errorf("MetricHelp[%q] is blank", name)
+		}
+		if !strings.HasSuffix(help, ".") {
+			t.Errorf("MetricHelp[%q] = %q does not end in a period", name, help)
+		}
+	}
+	for key := range MetricHelp {
+		if _, ok := mt.FieldByName(key); !ok {
+			t.Errorf("MetricHelp key %q names no Metrics field (stale entry)", key)
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 )
 
 // minSegments is the smallest segment count a store operates with: the
@@ -278,6 +279,9 @@ type Store struct {
 	live    func(key uint64) bool
 	dev     Device
 	spare   int64
+	// obsv is the optional latency observer (see Observer); atomic so
+	// attachment may race serving traffic.
+	obsv atomic.Pointer[Observer]
 
 	mu      sync.Mutex
 	segs    []*segment
@@ -372,6 +376,12 @@ func (s *Store) Exhausted() bool {
 // the stale extent — and writes the collector cannot place return
 // ErrNoSpace.
 func (s *Store) Write(key uint64, size int64, data []byte) error {
+	if o := s.obsv.Load(); o != nil {
+		start := o.Now()
+		err := s.write(key, size, data, true)
+		o.Program.Record(int64(o.Now().Sub(start)))
+		return err
+	}
 	return s.write(key, size, data, true)
 }
 
@@ -498,12 +508,25 @@ func (s *Store) allocSegment(gc bool) (int, bool) {
 	return id, true
 }
 
-// collect runs one greedy collection: refresh liveness against the
-// policy, pick the sealed segment with the fewest live bytes, stash
+// collect runs one greedy collection pass, timing it into the GC
+// histogram when an observer is attached. Caller holds mu.
+func (s *Store) collect() {
+	o := s.obsv.Load()
+	if o == nil {
+		s.collectLocked()
+		return
+	}
+	start := o.Now()
+	s.collectLocked()
+	o.GC.Record(int64(o.Now().Sub(start)))
+}
+
+// collectLocked is the collection pass itself: refresh liveness against
+// the policy, pick the sealed segment with the fewest live bytes, stash
 // the survivors, erase the block, and re-append the survivors to the
 // log head — which may be the block just erased, so collection makes
 // forward progress with zero standing free segments. Caller holds mu.
-func (s *Store) collect() {
+func (s *Store) collectLocked() {
 	victim := -1
 	var victimLive int64
 	for id, seg := range s.segs {
@@ -737,6 +760,17 @@ func (s *Store) Contains(key uint64) bool {
 // failure, after which the extent is dropped — the caller sees a miss
 // on retry, never corrupt bytes.
 func (s *Store) ReadExtent(key uint64) (data []byte, size int64, err error) {
+	if o := s.obsv.Load(); o != nil && o.Sampler.Hit() {
+		start := o.Now()
+		data, size, err = s.readExtent(key)
+		o.Read.Record(int64(o.Now().Sub(start)))
+		return data, size, err
+	}
+	return s.readExtent(key)
+}
+
+// readExtent is ReadExtent without the timing wrapper.
+func (s *Store) readExtent(key uint64) (data []byte, size int64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	l, found := s.index[key]

@@ -56,7 +56,17 @@ var DefaultHot = map[string][]string{
 		"(*ShardedEngine).Offer", "(*ShardedEngine).ShardFor",
 	},
 	"internal/cluster": {"(*Ring).Server"},
-	"internal/flash":   {"(*Store).Read", "(*Store).ReadExtent", "(*Store).readRecord"},
+	"internal/flash": {
+		"(*Store).Read", "(*Store).ReadExtent", "(*Store).readExtent",
+		"(*Store).readRecord",
+	},
+	// The measurement plane rides the hot path it measures: a histogram
+	// record or sampler check that allocated would put GC pressure on
+	// every instrumented lookup.
+	"internal/obs": {
+		"(*Histogram).Record", "(*Histogram).Observe", "(*Sampler).Hit",
+		"recorderShard", "bucketIndex",
+	},
 }
 
 // Config parameterizes the analyzer; tests point Hot at fixture

@@ -21,6 +21,7 @@ import (
 	"go/token"
 	"go/types"
 	"reflect"
+	"strconv"
 	"strings"
 
 	"otacache/internal/lint/analysis"
@@ -39,6 +40,12 @@ type Config struct {
 	// SnapshotMethod is the constructor loading the live counters
 	// (default "Snapshot").
 	SnapshotMethod string
+	// HelpVar is the name of the help-text map variable (default
+	// "MetricHelp"). The leg is enforced only when the package declares
+	// a package-level map literal with this name: then every Metrics
+	// field needs a help entry (the /metrics exposition publishes the
+	// map) and every map key must name a live field.
+	HelpVar string
 }
 
 func (c *Config) normalize() {
@@ -53,6 +60,9 @@ func (c *Config) normalize() {
 	}
 	if c.SnapshotMethod == "" {
 		c.SnapshotMethod = "Snapshot"
+	}
+	if c.HelpVar == "" {
+		c.HelpVar = "MetricHelp"
 	}
 }
 
@@ -103,6 +113,8 @@ func New(cfg Config) *analysis.Analyzer {
 			}
 		}
 
+		checkHelpVar(pass, cfg, named, fields)
+
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
@@ -131,6 +143,79 @@ func New(cfg Config) *analysis.Analyzer {
 		return nil
 	}
 	return a
+}
+
+// checkHelpVar enforces the help-text leg: when the package declares a
+// package-level map literal named cfg.HelpVar, its keys and the
+// Metrics fields must be the same set — a field without an entry would
+// reach the /metrics exposition without HELP text, and a stale key
+// documents a counter that no longer exists. Packages without the var
+// (fixtures, simulators) are exempt; declaring it opts in.
+func checkHelpVar(pass *analysis.Pass, cfg Config, named *types.Named, fields []string) {
+	lit, spec := helpVarLit(pass, cfg.HelpVar)
+	if lit == nil {
+		return
+	}
+	keys := make(map[string]ast.Expr)
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		bl, ok := kv.Key.(*ast.BasicLit)
+		if !ok || bl.Kind != token.STRING {
+			continue
+		}
+		if key, err := strconv.Unquote(bl.Value); err == nil {
+			keys[key] = kv.Key
+		}
+	}
+	fieldSet := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		fieldSet[f] = true
+		if _, ok := keys[f]; !ok {
+			pass.Reportf(spec.Pos(),
+				"field %s of %s has no help entry in %s (the /metrics exposition would publish it without HELP text)",
+				f, named.Obj().Name(), cfg.HelpVar)
+		}
+	}
+	for key, node := range keys {
+		if !fieldSet[key] {
+			pass.Reportf(node.Pos(),
+				"%s key %q does not name a field of %s (stale help entry for a removed counter)",
+				cfg.HelpVar, key, named.Obj().Name())
+		}
+	}
+}
+
+// helpVarLit finds the package-level var named name whose initializer
+// is a map composite literal, returning the literal and the value spec.
+func helpVarLit(pass *analysis.Pass, name string) (*ast.CompositeLit, *ast.ValueSpec) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						if _, ok := pass.TypesInfo.Types[lit].Type.Underlying().(*types.Map); ok {
+							return lit, vs
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
 }
 
 // hasSubMethod reports whether named has a method sub with signature

@@ -18,3 +18,7 @@ func TestClean(t *testing.T) {
 func TestAllowed(t *testing.T) {
 	linttest.Run(t, metricsync.New(metricsync.Config{}), "allowed")
 }
+
+func TestHelp(t *testing.T) {
+	linttest.Run(t, metricsync.New(metricsync.Config{}), "help")
+}

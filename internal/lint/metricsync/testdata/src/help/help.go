@@ -1,0 +1,34 @@
+// Package help seeds the help-text leg: declaring a MetricHelp map
+// opts the package in, and the map must then cover exactly the Metrics
+// fields.
+package help
+
+type Metrics struct {
+	Requests int64
+	Hits     int64
+}
+
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		Requests: m.Requests - prev.Requests,
+		Hits:     m.Hits - prev.Hits,
+	}
+}
+
+type engine struct {
+	requests, hits int64
+}
+
+func (e *engine) Snapshot() Metrics {
+	return Metrics{
+		Requests: e.requests,
+		Hits:     e.hits,
+	}
+}
+
+// MetricHelp misses Hits and keeps an entry for a counter that was
+// removed; both drifts are findings.
+var MetricHelp = map[string]string{ // want `field Hits of Metrics has no help entry in MetricHelp`
+	"Requests": "Requests served since boot.",
+	"Evicted":  "Gone counter.", // want `MetricHelp key "Evicted" does not name a field of Metrics`
+}

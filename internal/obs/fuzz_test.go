@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzMetricsEscape pins the Prometheus label escaper: for any string,
+// escaping must round-trip through both the unescaper and the package's
+// own exposition parser, and the escaped form must be safe to embed in
+// a quoted label value (no raw newline, no unescaped quote that would
+// terminate the value early).
+func FuzzMetricsEscape(f *testing.F) {
+	f.Add("")
+	f.Add("plain")
+	f.Add(`back\slash "quote"`)
+	f.Add("multi\nline\n")
+	f.Add(`\\\"` + "\n")
+	f.Add("\x00\xff binary")
+	f.Fuzz(func(t *testing.T, s string) {
+		e := EscapeLabel(s)
+		if strings.ContainsRune(e, '\n') {
+			t.Fatalf("EscapeLabel(%q) = %q leaks a raw newline", s, e)
+		}
+		u, err := UnescapeLabel(e)
+		if err != nil {
+			t.Fatalf("UnescapeLabel(EscapeLabel(%q)): %v", s, err)
+		}
+		if u != s {
+			t.Fatalf("round trip of %q: got %q", s, u)
+		}
+		// The escaped value embedded in a sample line must parse back to
+		// the original — the property the /metrics page relies on.
+		line := `m{v="` + e + `"} 1` + "\n"
+		samples, err := ParseText(strings.NewReader(line))
+		if err != nil {
+			t.Fatalf("parser rejects embedded escape of %q: %v (line %q)", s, err, line)
+		}
+		if len(samples) != 1 || samples[0].Label("v") != s {
+			t.Fatalf("embedded round trip of %q: got %+v", s, samples)
+		}
+		// Unescaping arbitrary input must never panic; errors are fine.
+		_, _ = UnescapeLabel(s)
+	})
+}
+
+// FuzzTraceDecode pins the decision-trace codec: decoding arbitrary
+// bytes never panics, and anything that decodes cleanly re-encodes to
+// the identical byte stream (the codec is canonical).
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{traceEventV1})
+	r := rand.New(rand.NewSource(1))
+	var seed []byte
+	for i := 0; i < 3; i++ {
+		seed = randEvent(r).AppendBinary(seed)
+	}
+	f.Add(seed)
+	f.Add(seed[:TraceEventLen])
+	f.Add(seed[:TraceEventLen-1])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		evs, err := DecodeEvents(b)
+		if err != nil {
+			return
+		}
+		if re := EncodeEvents(evs); !bytes.Equal(re, b) {
+			t.Fatalf("decode/encode not canonical:\n in %x\nout %x", b, re)
+		}
+		// Single-event decode agrees with the stream decoder.
+		if len(evs) > 0 {
+			ev, rest, err := DecodeTraceEvent(b)
+			if err != nil {
+				t.Fatalf("stream decoded %d events but single decode failed: %v", len(evs), err)
+			}
+			if ev != evs[0] || len(rest) != len(b)-TraceEventLen {
+				t.Fatal("single decode disagrees with stream decode")
+			}
+		}
+	})
+}

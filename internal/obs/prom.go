@@ -1,0 +1,403 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EscapeLabel escapes a label value for the Prometheus text exposition
+// format: backslash, double quote, and newline are the only characters
+// the format cannot carry raw inside a quoted label value.
+func EscapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// UnescapeLabel inverts EscapeLabel. A dangling backslash or an unknown
+// escape is an error (the fuzz target pins that Unescape(Escape(s)) is
+// the identity and that no malformed input panics).
+func UnescapeLabel(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("obs: dangling backslash in label value %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("obs: unknown escape \\%c in label value %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}
+
+// EscapeHelp escapes a HELP line: only backslash and newline.
+func EscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// SanitizeName maps an arbitrary string onto the metric-name alphabet
+// [a-zA-Z0-9_:], replacing every other byte with '_' and prefixing '_'
+// when the first byte may not start a name.
+func SanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			c = '_'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// Label is one name="value" pair of a sample line.
+type Label struct {
+	Name, Value string
+}
+
+// TextWriter renders the Prometheus text exposition format (version
+// 0.0.4). Errors stick: callers write the whole page and check Err once.
+type TextWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewTextWriter wraps w.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriter(w)}
+}
+
+// Err returns the first write error (nil when the page went out whole).
+// It flushes buffered output first.
+func (t *TextWriter) Err() error {
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+func (t *TextWriter) printf(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(t.w, format, args...); err != nil {
+		t.err = err
+	}
+}
+
+// Family emits the # HELP and # TYPE header of one metric family.
+func (t *TextWriter) Family(name, help, typ string) {
+	t.printf("# HELP %s %s\n# TYPE %s %s\n", name, EscapeHelp(help), name, typ)
+}
+
+// Sample emits one sample line; labels may be nil.
+func (t *TextWriter) Sample(name string, labels []Label, value float64) {
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.WriteString(name); err != nil {
+		t.err = err
+		return
+	}
+	t.writeLabels(labels)
+	t.printf(" %s\n", formatValue(value))
+}
+
+// Int emits one sample line with an integer value.
+func (t *TextWriter) Int(name string, labels []Label, v int64) {
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.WriteString(name); err != nil {
+		t.err = err
+		return
+	}
+	t.writeLabels(labels)
+	t.printf(" %d\n", v)
+}
+
+func (t *TextWriter) writeLabels(labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	t.printf("{")
+	for i, l := range labels {
+		if i > 0 {
+			t.printf(",")
+		}
+		t.printf(`%s="%s"`, l.Name, EscapeLabel(l.Value))
+	}
+	t.printf("}")
+}
+
+// Histogram emits one full histogram family (header, cumulative
+// buckets, sum, count). Values are scaled by scale (nanoseconds to
+// seconds = 1e-9). Empty buckets that do not move the cumulative count
+// are skipped — the bucket set of the text format is explicit per
+// sample, so sparse emission loses nothing.
+func (t *TextWriter) Histogram(name, help string, labels []Label, s HistogramSnapshot, scale float64) {
+	t.Family(name, help, "histogram")
+	var cum uint64
+	top := s.MaxBucket()
+	bl := make([]Label, len(labels)+1)
+	copy(bl, labels)
+	for i := 0; i <= top; i++ {
+		if s.Counts[i] == 0 {
+			continue
+		}
+		cum += s.Counts[i]
+		_, hi := BucketBounds(i)
+		bl[len(labels)] = Label{"le", formatValue(float64(hi) * scale)}
+		t.Sample(name+"_bucket", bl, float64(cum))
+	}
+	bl[len(labels)] = Label{"le", "+Inf"}
+	t.Sample(name+"_bucket", bl, float64(s.Count))
+	t.Sample(name+"_sum", labels, float64(s.Sum)*scale)
+	t.Sample(name+"_count", labels, float64(s.Count))
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the metric name (for histograms, the _bucket/_sum/_count
+	// member name as written).
+	Name string
+	// Labels holds the label set (nil when the line has none).
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Label returns the named label ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseText parses a Prometheus text-format page into its samples,
+// skipping comments and blank lines. It is the scrape side the golden
+// exposition tests and otaload's reporting use — strict enough to
+// reject lines the format forbids, so the tests cannot pass on output
+// real scrapers would drop.
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Sample
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	i := strings.IndexAny(rest, "{ \t")
+	if i <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// The value may be followed by an optional timestamp; take the first
+	// field only.
+	if j := strings.IndexAny(rest, " \t"); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {name="value",...} block starting at s[0] == '{'
+// and returns the index just past the closing brace.
+func parseLabels(s string) (end int, labels map[string]string, err error) {
+	labels = map[string]string{}
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block in %q", s)
+		}
+		name := strings.TrimSpace(s[i : i+eq])
+		if !validName(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		i++
+		start := i
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		v, err := UnescapeLabel(s[start:i])
+		if err != nil {
+			return 0, nil, err
+		}
+		labels[name] = v
+		i++
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// BucketQuantile estimates the q-quantile from parsed _bucket samples
+// of one histogram family: les are the bucket upper bounds (including
+// +Inf), cums the matching cumulative counts. Returns NaN when empty.
+// The scrape-side mirror of HistogramSnapshot.Quantile, used by otaload
+// to report server-side latency percentiles.
+func BucketQuantile(les, cums []float64, q float64) float64 {
+	if len(les) == 0 || len(les) != len(cums) {
+		return math.NaN()
+	}
+	type bk struct{ le, cum float64 }
+	bks := make([]bk, len(les))
+	for i := range les {
+		bks[i] = bk{les[i], cums[i]}
+	}
+	sort.Slice(bks, func(i, j int) bool { return bks[i].le < bks[j].le })
+	total := bks[len(bks)-1].cum
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := math.Ceil(q * total)
+	if rank < 1 {
+		rank = 1
+	}
+	for _, b := range bks {
+		if b.cum >= rank {
+			return b.le
+		}
+	}
+	return bks[len(bks)-1].le
+}

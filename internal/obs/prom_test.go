@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"", "plain", `back\slash`, `qu"ote`, "new\nline",
+		`all "three" \ of
+them`, "trailing\\", "\n\n\"\"\\\\",
+	} {
+		e := EscapeLabel(s)
+		if strings.ContainsRune(e, '\n') {
+			t.Errorf("EscapeLabel(%q) = %q still contains a raw newline", s, e)
+		}
+		u, err := UnescapeLabel(e)
+		if err != nil {
+			t.Errorf("UnescapeLabel(EscapeLabel(%q)): %v", s, err)
+			continue
+		}
+		if u != s {
+			t.Errorf("round trip of %q: got %q", s, u)
+		}
+	}
+}
+
+func TestUnescapeLabelRejectsMalformed(t *testing.T) {
+	for _, s := range []string{`\`, `\x`, `ok\`, `\q`} {
+		if _, err := UnescapeLabel(s); err == nil {
+			t.Errorf("UnescapeLabel(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"":           "_",
+		"ok_name":    "ok_name",
+		"9lives":     "_lives",
+		"a-b.c":      "a_b_c",
+		"ota:sum":    "ota:sum",
+		"UpperCase0": "UpperCase0",
+	} {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestTextWriterParsesBack renders a page with every sample shape the
+// exposition uses and feeds it to the package's own parser: what the
+// writer emits, a scraper must read.
+func TestTextWriterParsesBack(t *testing.T) {
+	var b strings.Builder
+	w := NewTextWriter(&b)
+	w.Family("ota_requests_total", "requests since boot", "counter")
+	w.Int("ota_requests_total", nil, 12345)
+	w.Family("ota_shard_requests_total", "per-shard requests", "counter")
+	w.Int("ota_shard_requests_total", []Label{{"shard", "0"}}, 40)
+	w.Int("ota_shard_requests_total", []Label{{"shard", "1"}}, 2)
+	w.Sample("ota_waf", nil, 1.0625)
+	w.Sample("ota_breaker_info", []Label{
+		{"fallback", "admit-all"},
+		{"last_error", "tree: feature 7 \"out\nof range\""},
+	}, 1)
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000)
+	}
+	w.Histogram("ota_lookup_duration_seconds", "lookup latency", nil, h.Snapshot(), 1e-9)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parser rejects the writer's own page: %v\n%s", err, b.String())
+	}
+	byName := map[string][]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	if v := byName["ota_requests_total"][0].Value; v != 12345 {
+		t.Errorf("ota_requests_total = %g", v)
+	}
+	if got := len(byName["ota_shard_requests_total"]); got != 2 {
+		t.Errorf("want 2 shard samples, got %d", got)
+	}
+	if v := byName["ota_breaker_info"][0].Label("last_error"); v != "tree: feature 7 \"out\nof range\"" {
+		t.Errorf("label escaping mangled the error: %q", v)
+	}
+
+	// Histogram family consistency: cumulative buckets are monotone,
+	// +Inf equals _count, _sum matches.
+	var les, cums []float64
+	for _, s := range byName["ota_lookup_duration_seconds_bucket"] {
+		le, err := parseValue(s.Label("le"))
+		if err != nil {
+			t.Fatalf("bad le %q", s.Label("le"))
+		}
+		les = append(les, le)
+		cums = append(cums, s.Value)
+	}
+	if len(les) == 0 {
+		t.Fatal("no buckets emitted")
+	}
+	for i := 1; i < len(cums); i++ {
+		if cums[i] < cums[i-1] {
+			t.Fatalf("cumulative bucket counts not monotone: %v", cums)
+		}
+	}
+	if last := cums[len(cums)-1]; last != 1000 {
+		t.Errorf("+Inf bucket = %g, want 1000", last)
+	}
+	if c := byName["ota_lookup_duration_seconds_count"][0].Value; c != 1000 {
+		t.Errorf("_count = %g, want 1000", c)
+	}
+	wantSum := float64(1000*1001/2) * 1000 * 1e-9
+	if s := byName["ota_lookup_duration_seconds_sum"][0].Value; math.Abs(s-wantSum) > 1e-9 {
+		t.Errorf("_sum = %g, want %g", s, wantSum)
+	}
+
+	// The scrape-side quantile lands within the histogram's error bound
+	// of the true p50 (500µs).
+	p50 := BucketQuantile(les, cums, 0.5)
+	if p50 < 400e-6 || p50 > 650e-6 {
+		t.Errorf("scraped p50 = %g s, want ~500µs", p50)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, page := range []string{
+		"no_value\n",
+		"1bad_name 3\n",
+		`m{l=unquoted} 1` + "\n",
+		`m{l="open} 1` + "\n",
+		"m not_a_number\n",
+	} {
+		if _, err := ParseText(strings.NewReader(page)); err == nil {
+			t.Errorf("ParseText accepted %q", page)
+		}
+	}
+}
+
+func TestParseTextSkipsCommentsAndTimestamps(t *testing.T) {
+	page := "# HELP m help\n# TYPE m counter\n\nm{a=\"b\"} 3 1712345678\n"
+	samples, err := ParseText(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Value != 3 || samples[0].Label("a") != "b" {
+		t.Fatalf("got %+v", samples)
+	}
+}
+
+func TestBucketQuantileEmpty(t *testing.T) {
+	if !math.IsNaN(BucketQuantile(nil, nil, 0.5)) {
+		t.Error("empty BucketQuantile must be NaN")
+	}
+	if !math.IsNaN(BucketQuantile([]float64{1}, []float64{0}, 0.5)) {
+		t.Error("zero-count BucketQuantile must be NaN")
+	}
+}

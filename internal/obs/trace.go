@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceEvent is one sampled serving decision: enough to answer "why was
+// this object admitted/bypassed, and where did its time go" after the
+// fact, without a debugger on the hot path.
+type TraceEvent struct {
+	// Key is the object key; Tick the engine tick the request drew.
+	Key  uint64
+	Tick int64
+	// Shard is the owning engine shard.
+	Shard int32
+	// Flags packs the boolean outcome bits — see TraceHit and friends.
+	Flags uint32
+	// Breaker is the owning shard's breaker state at decision time:
+	// 0 = no breaker, 1 = closed, 2 = open, 3 = half-open.
+	Breaker uint8
+	// Flash is the flash-store outcome: 0 = no store attached,
+	// 1 = extent written on admit, 2 = nothing written.
+	Flash uint8
+	// ParseNs, EngineNs, and TotalNs are the stage timings: request
+	// decoding, the engine Lookup/Offer call, and the whole handler.
+	ParseNs  int64
+	EngineNs int64
+	TotalNs  int64
+}
+
+// TraceEvent flag bits.
+const (
+	// TraceHit: the object was resident (the remaining verdict bits are
+	// zero on a hit).
+	TraceHit = 1 << iota
+	// TraceAdmitted: the filter admitted the miss.
+	TraceAdmitted
+	// TraceWritten: the policy accepted the admitted object.
+	TraceWritten
+	// TraceRectified: the history table overrode the classifier.
+	TraceRectified
+	// TraceDegraded: a fallback path decided (breaker open or primary
+	// failed on this call).
+	TraceDegraded
+	// TracePredictedOneTime: the classifier predicted one-time access.
+	TracePredictedOneTime
+	// TraceOffer: the request was a PUT offer (no policy lookup), not a
+	// GET lookup.
+	TraceOffer
+)
+
+// traceEventV1 is the codec version byte, bumped on any layout change.
+const traceEventV1 = 1
+
+// TraceEventLen is the encoded size of one event, version byte included.
+const TraceEventLen = 1 + 8 + 8 + 4 + 4 + 1 + 1 + 8 + 8 + 8
+
+// AppendBinary encodes ev (little-endian, fixed size) onto dst.
+func (ev TraceEvent) AppendBinary(dst []byte) []byte {
+	dst = append(dst, traceEventV1)
+	dst = binary.LittleEndian.AppendUint64(dst, ev.Key)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.Tick))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ev.Shard))
+	dst = binary.LittleEndian.AppendUint32(dst, ev.Flags)
+	dst = append(dst, ev.Breaker, ev.Flash)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.ParseNs))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.EngineNs))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.TotalNs))
+	return dst
+}
+
+// DecodeTraceEvent decodes one event from the front of b, returning the
+// remaining bytes. It never panics on malformed input (the fuzz target
+// pins this): a short buffer or unknown version is an error.
+func DecodeTraceEvent(b []byte) (ev TraceEvent, rest []byte, err error) {
+	if len(b) < TraceEventLen {
+		return TraceEvent{}, b, fmt.Errorf("obs: trace event truncated: %d bytes, need %d", len(b), TraceEventLen)
+	}
+	if b[0] != traceEventV1 {
+		return TraceEvent{}, b, fmt.Errorf("obs: unknown trace event version %d", b[0])
+	}
+	ev.Key = binary.LittleEndian.Uint64(b[1:])
+	ev.Tick = int64(binary.LittleEndian.Uint64(b[9:]))
+	ev.Shard = int32(binary.LittleEndian.Uint32(b[17:]))
+	ev.Flags = binary.LittleEndian.Uint32(b[21:])
+	ev.Breaker = b[25]
+	ev.Flash = b[26]
+	ev.ParseNs = int64(binary.LittleEndian.Uint64(b[27:]))
+	ev.EngineNs = int64(binary.LittleEndian.Uint64(b[35:]))
+	ev.TotalNs = int64(binary.LittleEndian.Uint64(b[43:]))
+	return ev, b[TraceEventLen:], nil
+}
+
+// Ring is the sampled decision-trace buffer: a fixed-capacity ring of
+// the most recent sampled TraceEvents. Writers are lock-free — one
+// atomic cursor increment plus one atomic pointer store — and readers
+// never block writers (they load the slot pointers the writers
+// published). A slot write allocates its event; only sampled requests
+// (1 in SampleEvery) pay that, so the serving hot path's zero-alloc pin
+// is untouched.
+type Ring struct {
+	slots   []atomic.Pointer[TraceEvent]
+	mask    uint64
+	cursor  atomic.Uint64
+	sampler *Sampler
+	seen    atomic.Uint64
+}
+
+// NewRing builds a ring holding capacity events (rounded up to a power
+// of two, min 16), sampling every n-th offered request (n <= 1 keeps
+// every request).
+func NewRing(capacity, sampleEvery int) *Ring {
+	if capacity < 16 {
+		capacity = 16
+	}
+	size := 16
+	for size < capacity {
+		size <<= 1
+	}
+	return &Ring{
+		slots:   make([]atomic.Pointer[TraceEvent], size),
+		mask:    uint64(size - 1),
+		sampler: NewSampler(sampleEvery),
+	}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// SampleEvery returns the sampling period.
+func (r *Ring) SampleEvery() int { return r.sampler.Every() }
+
+// Sample reports whether the calling request should be traced, counting
+// it either way. Callers gate event construction on it so unsampled
+// requests pay one sharded atomic add and nothing else.
+func (r *Ring) Sample() bool {
+	r.seen.Add(1)
+	return r.sampler.Hit()
+}
+
+// Seen returns how many requests were offered to the sampler.
+func (r *Ring) Seen() uint64 { return r.seen.Load() }
+
+// Recorded returns how many events were stored.
+func (r *Ring) Recorded() uint64 { return r.cursor.Load() }
+
+// Add stores one event, overwriting the oldest once the ring is full.
+func (r *Ring) Add(ev TraceEvent) {
+	idx := (r.cursor.Add(1) - 1) & r.mask
+	r.slots[idx].Store(&ev)
+}
+
+// Events returns the buffered events, newest first. The slice is
+// freshly allocated; events published concurrently with the walk may or
+// may not appear.
+func (r *Ring) Events() []TraceEvent {
+	n := r.cursor.Load()
+	if n > uint64(len(r.slots)) {
+		n = uint64(len(r.slots))
+	}
+	out := make([]TraceEvent, 0, n)
+	newest := r.cursor.Load() // may have advanced; slots re-checked below
+	for i := uint64(0); i < uint64(len(r.slots)) && uint64(len(out)) < n; i++ {
+		if p := r.slots[(newest-1-i)&r.mask].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// EncodeEvents renders events with the binary codec, newest first —
+// the /admin/trace?format=binary payload.
+func EncodeEvents(events []TraceEvent) []byte {
+	out := make([]byte, 0, len(events)*TraceEventLen)
+	for _, ev := range events {
+		out = ev.AppendBinary(out)
+	}
+	return out
+}
+
+// DecodeEvents decodes a concatenated event stream, the inverse of
+// EncodeEvents. Trailing garbage is an error.
+func DecodeEvents(b []byte) ([]TraceEvent, error) {
+	var out []TraceEvent
+	for len(b) > 0 {
+		ev, rest, err := DecodeTraceEvent(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+		b = rest
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func randEvent(r *rand.Rand) TraceEvent {
+	return TraceEvent{
+		Key:      r.Uint64(),
+		Tick:     r.Int63(),
+		Shard:    int32(r.Intn(64)),
+		Flags:    uint32(r.Intn(1 << 7)),
+		Breaker:  uint8(r.Intn(4)),
+		Flash:    uint8(r.Intn(3)),
+		ParseNs:  r.Int63n(1 << 30),
+		EngineNs: r.Int63n(1 << 30),
+		TotalNs:  r.Int63n(1 << 31),
+	}
+}
+
+func TestTraceEventRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		ev := randEvent(r)
+		b := ev.AppendBinary(nil)
+		if len(b) != TraceEventLen {
+			t.Fatalf("encoded %d bytes, want %d", len(b), TraceEventLen)
+		}
+		got, rest, err := DecodeTraceEvent(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("decode left %d bytes", len(rest))
+		}
+		if got != ev {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, ev)
+		}
+	}
+}
+
+func TestTraceEventDecodeErrors(t *testing.T) {
+	ev := randEvent(rand.New(rand.NewSource(3)))
+	b := ev.AppendBinary(nil)
+	for cut := 0; cut < len(b); cut++ {
+		if _, _, err := DecodeTraceEvent(b[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = 99
+	if _, _, err := DecodeTraceEvent(bad); err == nil {
+		t.Error("unknown version decoded without error")
+	}
+}
+
+func TestEncodeDecodeEvents(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	evs := make([]TraceEvent, 17)
+	for i := range evs {
+		evs[i] = randEvent(r)
+	}
+	got, err := DecodeEvents(EncodeEvents(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatal("EncodeEvents/DecodeEvents round trip mismatch")
+	}
+	if _, err := DecodeEvents(append(EncodeEvents(evs), 0xff)); err == nil {
+		t.Error("trailing garbage decoded without error")
+	}
+}
+
+func TestRingNewestFirstAndOverwrite(t *testing.T) {
+	r := NewRing(16, 1)
+	if r.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", r.Cap())
+	}
+	for i := 0; i < 40; i++ {
+		r.Add(TraceEvent{Key: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 16 {
+		t.Fatalf("Events returned %d, want 16 (capacity)", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(39 - i); ev.Key != want {
+			t.Fatalf("event %d has key %d, want %d (newest first)", i, ev.Key, want)
+		}
+	}
+	if r.Recorded() != 40 {
+		t.Errorf("Recorded = %d, want 40", r.Recorded())
+	}
+}
+
+func TestRingPartiallyFilled(t *testing.T) {
+	r := NewRing(64, 1)
+	for i := 0; i < 5; i++ {
+		r.Add(TraceEvent{Key: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("Events returned %d, want 5", len(evs))
+	}
+	if evs[0].Key != 4 || evs[4].Key != 0 {
+		t.Fatalf("order wrong: %v", evs)
+	}
+}
+
+func TestRingSampling(t *testing.T) {
+	r := NewRing(1024, 4)
+	sampled := 0
+	for i := 0; i < 4000; i++ {
+		if r.Sample() {
+			sampled++
+			r.Add(TraceEvent{Key: uint64(i)})
+		}
+	}
+	if want := 1000; sampled < want-1 || sampled > want+1 {
+		t.Errorf("sampled %d of 4000 at 1-in-4, want ~%d", sampled, want)
+	}
+	if r.Seen() != 4000 {
+		t.Errorf("Seen = %d, want 4000", r.Seen())
+	}
+}
+
+// TestRingConcurrent races writers against readers; the -race build
+// verifies the lock-free publication is clean.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if r.Sample() {
+					r.Add(TraceEvent{Key: uint64(g*1_000_000 + i), TotalNs: int64(i)})
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, ev := range r.Events() {
+				if ev.Key/1_000_000 > 3 {
+					t.Errorf("torn event: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(r.Events()); got != 64 {
+		t.Errorf("full ring returned %d events, want 64", got)
+	}
+}

@@ -1,0 +1,516 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"otacache/internal/engine"
+	"otacache/internal/obs"
+)
+
+// The /metrics page: the whole /stats surface re-expressed in the
+// Prometheus text format, plus the latency distributions /stats cannot
+// carry. Every engine.Metrics counter appears exactly once as an
+// aggregate ota_<field>_total family and once per shard under
+// ota_shard_<field>_total{shard="i"} — the exposition test asserts
+// this by reflection, so a counter added to Metrics cannot silently
+// miss the page (metricsync enforces the help text the same way).
+
+// snakeCase converts a Go exported field name to the metric-name
+// convention: word boundaries before an upper-case rune that follows a
+// lower-case one, and before the last upper of an acronym run
+// ("FlashGCBytes" -> "flash_gc_bytes").
+func snakeCase(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			prevLower := i > 0 && s[i-1] >= 'a' && s[i-1] <= 'z'
+			prevUpper := i > 0 && s[i-1] >= 'A' && s[i-1] <= 'Z'
+			nextLower := i+1 < len(s) && s[i+1] >= 'a' && s[i+1] <= 'z'
+			if prevLower || (prevUpper && nextLower) {
+				b.WriteByte('_')
+			}
+			c += 'a' - 'A'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// MetricName returns the aggregate family name for one engine.Metrics
+// field ("Requests" -> "ota_requests_total"). Exported so the golden
+// exposition test and scrapers derive names instead of hard-coding a
+// parallel list that could drift.
+func MetricName(field string) string { return "ota_" + snakeCase(field) + "_total" }
+
+// ShardMetricName returns the per-shard family name for one
+// engine.Metrics field ("Requests" -> "ota_shard_requests_total").
+func ShardMetricName(field string) string { return "ota_shard_" + snakeCase(field) + "_total" }
+
+// metricsFields enumerates engine.Metrics field names in declaration
+// order, by reflection — the single source the exposition iterates, so
+// it cannot skip a counter.
+func metricsFields() []string {
+	t := reflect.TypeOf(engine.Metrics{})
+	out := make([]string, t.NumField())
+	for i := range out {
+		out[i] = t.Field(i).Name
+	}
+	return out
+}
+
+// metricValue reads one field from a Metrics snapshot by name.
+func metricValue(m engine.Metrics, field string) int64 {
+	return reflect.ValueOf(m).FieldByName(field).Int()
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	tw := obs.NewTextWriter(w)
+	s.writeMetricsPage(tw)
+	if err := tw.Err(); err != nil {
+		s.encodeErrors.Add(1)
+	}
+}
+
+// writeMetricsPage renders the whole exposition.
+func (s *Server) writeMetricsPage(tw *obs.TextWriter) {
+	cur := s.eng.Snapshot()
+	perShard := make([]engine.Metrics, len(s.shards))
+	for i, sh := range s.shards {
+		perShard[i] = sh.Snapshot()
+	}
+
+	// Every engine.Metrics counter: the aggregate family, then the
+	// per-shard breakdown whose sum the exposition test checks against
+	// it.
+	for _, field := range metricsFields() {
+		help := engine.MetricHelp[field]
+		if help == "" {
+			help = field
+		}
+		name := MetricName(field)
+		tw.Family(name, help, "counter")
+		tw.Int(name, nil, metricValue(cur, field))
+		shardName := ShardMetricName(field)
+		tw.Family(shardName, "Per-shard: "+help, "counter")
+		for i := range perShard {
+			tw.Int(shardName, []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}},
+				metricValue(perShard[i], field))
+		}
+	}
+
+	// Serving gauges and server-side incident counters.
+	tw.Family("ota_engine_shards", "Independent engine shards behind the ring.", "gauge")
+	tw.Int("ota_engine_shards", nil, int64(len(s.shards)))
+	var residents, residentBytes int64
+	for _, sh := range s.shards {
+		residents += int64(sh.Policy().Len())
+		residentBytes += sh.Policy().Used()
+	}
+	tw.Family("ota_residents", "Objects currently resident across all shard policies.", "gauge")
+	tw.Int("ota_residents", nil, residents)
+	tw.Family("ota_resident_bytes", "Bytes currently resident across all shard policies.", "gauge")
+	tw.Int("ota_resident_bytes", nil, residentBytes)
+	ready := int64(0)
+	if s.Ready() {
+		ready = 1
+	}
+	tw.Family("ota_ready", "1 when /readyz serves 200.", "gauge")
+	tw.Int("ota_ready", nil, ready)
+	tw.Family("ota_uptime_seconds", "Seconds since the daemon booted.", "gauge")
+	tw.Sample("ota_uptime_seconds", nil, s.clock.Now().Sub(s.started).Seconds())
+	tw.Family("ota_panics_recovered_total", "Handler panics absorbed by the recovery middleware.", "counter")
+	tw.Int("ota_panics_recovered_total", nil, s.panics.Load())
+	tw.Family("ota_encode_errors_total", "Response bodies that failed to write after the status line committed.", "counter")
+	tw.Int("ota_encode_errors_total", nil, s.encodeErrors.Load())
+
+	s.writeBreakerMetrics(tw)
+	s.writeFlashMetrics(tw)
+	s.writeHistogramMetrics(tw)
+
+	if s.trace != nil {
+		tw.Family("ota_trace_seen_total", "Requests offered to the decision-trace sampler.", "counter")
+		tw.Int("ota_trace_seen_total", nil, int64(s.trace.Seen()))
+		tw.Family("ota_trace_recorded_total", "Decision-trace events recorded into the ring.", "counter")
+		tw.Int("ota_trace_recorded_total", nil, int64(s.trace.Recorded()))
+	}
+}
+
+// writeBreakerMetrics renders the per-shard circuit-breaker families
+// (skipped entirely when no shard runs a breaker).
+func (s *Server) writeBreakerMetrics(tw *obs.TextWriter) {
+	any := false
+	for _, br := range s.breakers {
+		if br != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	tw.Family("ota_breaker_state", "Admission breaker state per shard: 0 closed, 1 open, 2 half-open.", "gauge")
+	for i, br := range s.breakers {
+		if br != nil {
+			tw.Int("ota_breaker_state", shardLabel(i), int64(br.State()))
+		}
+	}
+	tw.Family("ota_breaker_opens_total", "Breaker trips since boot, per shard.", "counter")
+	for i, br := range s.breakers {
+		if br != nil {
+			tw.Int("ota_breaker_opens_total", shardLabel(i), br.Opens())
+		}
+	}
+	tw.Family("ota_breaker_failures_total", "Failed primary admission decisions since boot, per shard.", "counter")
+	for i, br := range s.breakers {
+		if br != nil {
+			tw.Int("ota_breaker_failures_total", shardLabel(i), br.Failures())
+		}
+	}
+	// The info pseudo-metric carries the string state — the fallback
+	// identity and the last primary error (escaped; errors routinely
+	// contain quotes and newlines, which is exactly what the
+	// FuzzMetricsEscape target hardens).
+	tw.Family("ota_breaker_info", "Breaker fallback identity and most recent primary error.", "gauge")
+	for i, br := range s.breakers {
+		if br == nil {
+			continue
+		}
+		labels := []obs.Label{
+			{Name: "shard", Value: strconv.Itoa(i)},
+			{Name: "state", Value: br.State().String()},
+			{Name: "fallback", Value: br.Fallback().Name()},
+		}
+		if err := br.LastError(); err != nil {
+			labels = append(labels, obs.Label{Name: "last_error", Value: err.Error()})
+		}
+		tw.Int("ota_breaker_info", labels, 1)
+	}
+}
+
+// writeFlashMetrics renders the flash fleet families not already
+// covered by the engine.Metrics mirror (skipped when no shard has a
+// store attached).
+func (s *Server) writeFlashMetrics(tw *obs.TextWriter) {
+	var agg *FlashStats
+	for _, sh := range s.shards {
+		agg = agg.add(flashStats(sh))
+	}
+	if agg == nil {
+		return
+	}
+	uptime := s.clock.Now().Sub(s.started).Seconds()
+	tw.Family("ota_flash_waf", "Measured device write amplification, (host + GC) / host bytes.", "gauge")
+	tw.Sample("ota_flash_waf", nil, agg.WAF)
+	tw.Family("ota_flash_capacity_bytes", "Flash capacity summed across shard devices.", "gauge")
+	tw.Int("ota_flash_capacity_bytes", nil, agg.CapacityBytes)
+	tw.Family("ota_flash_live_bytes", "Live-byte estimate across shard devices.", "gauge")
+	tw.Int("ota_flash_live_bytes", nil, agg.LiveBytes)
+	tw.Family("ota_flash_free_segments", "Erased segments ready to take a log head.", "gauge")
+	tw.Int("ota_flash_free_segments", nil, int64(agg.FreeSegments))
+	tw.Family("ota_flash_relocations_total", "Objects relocated by the collectors.", "counter")
+	tw.Int("ota_flash_relocations_total", nil, agg.Relocations)
+	tw.Family("ota_flash_dropped_total", "Writes abandoned for lack of a free segment.", "counter")
+	tw.Int("ota_flash_dropped_total", nil, agg.Dropped)
+	tw.Family("ota_flash_spare_headroom", "Block retirements the spare pool can still absorb.", "gauge")
+	tw.Int("ota_flash_spare_headroom", nil, agg.Health.SpareHeadroom)
+	tw.Family("ota_flash_scrubbed_segments_total", "Sealed segments the scrub patrol has verified.", "counter")
+	tw.Int("ota_flash_scrubbed_segments_total", nil, agg.Health.ScrubbedSegments)
+	exhausted := int64(0)
+	if agg.Health.Exhausted {
+		exhausted = 1
+	}
+	tw.Family("ota_flash_exhausted", "1 when any shard device's spare pool is spent (EOL).", "gauge")
+	tw.Int("ota_flash_exhausted", nil, exhausted)
+	if days := flashLifetimeDays(agg, uptime); days > 0 {
+		tw.Family("ota_flash_lifetime_days", "Wear-out estimate at the measured WAF and observed write rate.", "gauge")
+		tw.Sample("ota_flash_lifetime_days", nil, days)
+	}
+}
+
+// writeHistogramMetrics renders the latency distributions: per-shard
+// engine and flash histograms merged into one fleet view per stage,
+// nanosecond buckets scaled to the seconds Prometheus conventions
+// expect. Stages that have not recorded anything still emit (an empty
+// histogram: just +Inf, _sum, _count at 0) so dashboards need no
+// existence checks.
+func (s *Server) writeHistogramMetrics(tw *obs.TextWriter) {
+	lookup, classifier := obs.NewHistogram(), obs.NewHistogram()
+	flashRead, flashWrite, flashGC := obs.NewHistogram(), obs.NewHistogram(), obs.NewHistogram()
+	for _, sh := range s.shards {
+		if ins := sh.Instruments(); ins != nil {
+			lookup.Merge(ins.Lookup)
+			classifier.Merge(ins.Classifier)
+		}
+		if fs := sh.Flash(); fs != nil {
+			if o := fs.Observer(); o != nil {
+				flashRead.Merge(o.Read)
+				flashWrite.Merge(o.Program)
+				flashGC.Merge(o.GC)
+			}
+		}
+	}
+	const scale = 1e-9 // histograms record nanoseconds
+	tw.Histogram("ota_lookup_duration_seconds",
+		"Engine lookup latency (sampled; policy get, admission, flash write).", nil, lookup.Snapshot(), scale)
+	tw.Histogram("ota_classifier_duration_seconds",
+		"Primary admission filter decision latency (every breaker-fronted decision).", nil, classifier.Snapshot(), scale)
+	tw.Histogram("ota_flash_read_duration_seconds",
+		"Flash extent read-and-verify latency (sampled).", nil, flashRead.Snapshot(), scale)
+	tw.Histogram("ota_flash_write_duration_seconds",
+		"Flash host program latency, including any collection the append triggered.", nil, flashWrite.Snapshot(), scale)
+	tw.Histogram("ota_flash_gc_duration_seconds",
+		"Flash greedy collection pass latency.", nil, flashGC.Snapshot(), scale)
+	tw.Histogram("ota_http_request_duration_seconds",
+		"Object handler latency end to end (sampled; parse, engine, response).", nil, s.httpHist.Snapshot(), scale)
+	tw.Histogram("ota_snapshot_save_duration_seconds",
+		"Snapshot write latency (periodic, admin-triggered, and shutdown writes).", nil, s.snapSave.Snapshot(), scale)
+	tw.Histogram("ota_snapshot_restore_duration_seconds",
+		"Snapshot restore latency (boot-time warm start).", nil, s.snapRestore.Snapshot(), scale)
+}
+
+func shardLabel(i int) []obs.Label {
+	return []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}
+}
+
+// reqTimer carries one object request's optional timing state: traced
+// requests (sampled into the decision ring) and latency-sampled
+// requests share the clock reads; everything else takes two sharded
+// atomic adds and no clock at all.
+type reqTimer struct {
+	start  time.Time
+	parsed time.Time
+	traced bool
+	timed  bool
+}
+
+// beginObject starts the per-request timing decision.
+func (s *Server) beginObject() reqTimer {
+	var t reqTimer
+	if s.trace != nil && s.trace.Sample() {
+		t.traced = true
+	}
+	if t.traced || s.httpSampler.Hit() {
+		t.timed = true
+		t.start = s.clock.Now()
+	}
+	return t
+}
+
+// afterParse marks the parse/engine stage boundary.
+func (s *Server) afterParse(t *reqTimer) {
+	if t.timed {
+		t.parsed = s.clock.Now()
+	}
+}
+
+// finishObject records the sampled timings and, for traced requests,
+// the decision event. offer marks PUT /object (no policy lookup).
+func (s *Server) finishObject(t reqTimer, key uint64, tick int, out engine.Outcome, offer bool) {
+	if !t.timed {
+		return
+	}
+	end := s.clock.Now()
+	total := end.Sub(t.start)
+	s.httpHist.Record(int64(total))
+	if !t.traced {
+		return
+	}
+	ev := obs.TraceEvent{
+		Key:      key,
+		Tick:     int64(tick),
+		ParseNs:  int64(t.parsed.Sub(t.start)),
+		EngineNs: int64(end.Sub(t.parsed)),
+		TotalNs:  int64(total),
+	}
+	shard := s.eng.ShardFor(key)
+	ev.Shard = int32(shard)
+	if br := s.breakers[shard]; br != nil {
+		ev.Breaker = uint8(br.State()) + 1
+	}
+	if s.shards[shard].Flash() != nil {
+		ev.Flash = 2
+		if out.Written {
+			ev.Flash = 1
+		}
+	}
+	if out.Hit {
+		ev.Flags |= obs.TraceHit
+	}
+	if out.Decision.Admit {
+		ev.Flags |= obs.TraceAdmitted
+	}
+	if out.Written {
+		ev.Flags |= obs.TraceWritten
+	}
+	if out.Decision.Rectified {
+		ev.Flags |= obs.TraceRectified
+	}
+	if out.Decision.Degraded {
+		ev.Flags |= obs.TraceDegraded
+	}
+	if out.Decision.PredictedOneTime {
+		ev.Flags |= obs.TracePredictedOneTime
+	}
+	if offer {
+		ev.Flags |= obs.TraceOffer
+	}
+	s.trace.Add(ev)
+}
+
+// TraceEntry is the JSON form of one decision-trace event served by
+// GET /admin/trace: the packed flag bits unpacked into named booleans
+// so an operator can read the ring without the codec.
+type TraceEntry struct {
+	Key              uint64
+	Shard            int32
+	Tick             int64
+	Offer            bool
+	Hit              bool
+	Admitted         bool
+	Written          bool
+	Rectified        bool
+	Degraded         bool
+	PredictedOneTime bool
+	// Breaker is "", "closed", "open", or "half-open" ("" when the
+	// shard runs no breaker).
+	Breaker string `json:",omitempty"`
+	// Flash is "", "written", or "skipped" ("" when no store attached).
+	Flash    string `json:",omitempty"`
+	ParseNs  int64
+	EngineNs int64
+	TotalNs  int64
+}
+
+// traceEntry unpacks one event.
+func traceEntry(ev obs.TraceEvent) TraceEntry {
+	e := TraceEntry{
+		Key:              ev.Key,
+		Shard:            ev.Shard,
+		Tick:             ev.Tick,
+		Offer:            ev.Flags&obs.TraceOffer != 0,
+		Hit:              ev.Flags&obs.TraceHit != 0,
+		Admitted:         ev.Flags&obs.TraceAdmitted != 0,
+		Written:          ev.Flags&obs.TraceWritten != 0,
+		Rectified:        ev.Flags&obs.TraceRectified != 0,
+		Degraded:         ev.Flags&obs.TraceDegraded != 0,
+		PredictedOneTime: ev.Flags&obs.TracePredictedOneTime != 0,
+		ParseNs:          ev.ParseNs,
+		EngineNs:         ev.EngineNs,
+		TotalNs:          ev.TotalNs,
+	}
+	switch ev.Breaker {
+	case 1:
+		e.Breaker = engine.BreakerClosed.String()
+	case 2:
+		e.Breaker = engine.BreakerOpen.String()
+	case 3:
+		e.Breaker = engine.BreakerHalfOpen.String()
+	}
+	switch ev.Flash {
+	case 1:
+		e.Flash = "written"
+	case 2:
+		e.Flash = "skipped"
+	}
+	return e
+}
+
+// TraceResponse is the GET /admin/trace JSON payload.
+type TraceResponse struct {
+	// Capacity and SampleEvery describe the ring configuration.
+	Capacity    int
+	SampleEvery int
+	// Seen counts requests offered to the sampler; Recorded the events
+	// stored (Seen / SampleEvery, give or take shard rounding).
+	Seen     uint64
+	Recorded uint64
+	// Events holds the buffered decisions, newest first.
+	Events []TraceEntry
+}
+
+// handleTrace serves GET /admin/trace: the decision ring as JSON, or as
+// the binary codec stream with ?format=binary (the compact form a
+// tooling consumer decodes with obs.DecodeEvents).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.trace == nil {
+		http.Error(w, "decision tracing disabled", http.StatusConflict)
+		return
+	}
+	events := s.trace.Events()
+	if r.URL.Query().Get("format") == "binary" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := w.Write(obs.EncodeEvents(events)); err != nil {
+			s.encodeErrors.Add(1)
+		}
+		return
+	}
+	resp := TraceResponse{
+		Capacity:    s.trace.Cap(),
+		SampleEvery: s.trace.SampleEvery(),
+		Seen:        s.trace.Seen(),
+		Recorded:    s.trace.Recorded(),
+		Events:      make([]TraceEntry, len(events)),
+	}
+	for i, ev := range events {
+		resp.Events[i] = traceEntry(ev)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.writeJSON(w, resp)
+}
+
+// RestoreSnapshot restores warm state from path into the served
+// engine, timing the restore into the snapshot-restore histogram. It
+// is LoadSnapshot with the server's measurement plane attached — the
+// daemon's boot path uses it so a slow warm start is visible on
+// /metrics after the fact.
+func (s *Server) RestoreSnapshot(path string) (SnapshotResult, error) {
+	start := s.clock.Now()
+	res, err := LoadSnapshot(path, s.eng)
+	if err == nil {
+		s.snapRestore.Record(int64(s.clock.Now().Sub(start)))
+	}
+	return res, err
+}
+
+// MetricsText fetches GET /metrics and returns the raw exposition
+// page.
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	//lint:allow errsink read-side close; the body has been consumed
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metrics: status %s", resp.Status)
+	}
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Metrics fetches and parses GET /metrics into samples.
+func (c *Client) Metrics() ([]obs.Sample, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	//lint:allow errsink read-side close; the body has been consumed
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: status %s", resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}

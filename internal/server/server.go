@@ -70,7 +70,9 @@ import (
 	"otacache/internal/core"
 	"otacache/internal/engine"
 	"otacache/internal/faults"
+	"otacache/internal/flash"
 	"otacache/internal/ml/cart"
+	"otacache/internal/obs"
 	"otacache/internal/ssd"
 )
 
@@ -84,11 +86,38 @@ type Config struct {
 	// with a different length are rejected with 400 before they can
 	// reach the classifier (0 = do not enforce).
 	NumFeatures int
+	// Clock supplies the server's notion of time: uptime accounting and
+	// every latency measurement on /metrics (nil = wall clock). Tests
+	// substitute a faults.FakeClock to make timings deterministic.
+	Clock faults.Clock
+	// SampleEvery is the 1-in-N latency sampling period shared by the
+	// HTTP handler, the engine lookup instruments the server attaches,
+	// and the flash read path (0 = engine.DefaultSampleEvery; 1 = time
+	// every request).
+	SampleEvery int
+	// TraceCap is the decision-trace ring capacity (0 = 1024; negative
+	// disables tracing and /admin/trace answers 409).
+	TraceCap int
+	// TraceSampleEvery traces 1 in N object requests (0 = 16; 1 = every
+	// request).
+	TraceSampleEvery int
 }
 
 func (c *Config) normalize() {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = faults.WallClock{}
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = engine.DefaultSampleEvery
+	}
+	if c.TraceCap == 0 {
+		c.TraceCap = 1024
+	}
+	if c.TraceSampleEvery <= 0 {
+		c.TraceSampleEvery = 16
 	}
 }
 
@@ -119,10 +148,21 @@ type Server struct {
 	retrainer *Retrainer
 	snap      *Snapshotter
 	httpSrv   *http.Server
-	// clock supplies the server's notion of time (uptime accounting);
-	// tests substitute a faults.FakeClock.
+	// clock supplies the server's notion of time (uptime accounting and
+	// all latency measurement); tests substitute a faults.FakeClock.
 	clock   faults.Clock
 	started time.Time
+
+	// The measurement plane: the decision-trace ring (nil when
+	// disabled), the object-handler latency histogram and its sampler,
+	// and the snapshot save/restore histograms. Per-stage engine and
+	// flash histograms live on the shards' Instruments and Observers;
+	// /metrics merges them into the fleet view.
+	trace       *obs.Ring
+	httpHist    *obs.Histogram
+	httpSampler *obs.Sampler
+	snapSave    *obs.Histogram
+	snapRestore *obs.Histogram
 
 	// notReady carries the reason the daemon is not ready to serve
 	// (restoring a snapshot, draining on SIGTERM); empty means ready.
@@ -148,17 +188,37 @@ type Server struct {
 // new server is ready; use SetNotReady around snapshot restoration.
 func New(eng engine.Server, cfg Config) *Server {
 	cfg.normalize()
-	s := &Server{eng: eng, cfg: cfg, clock: faults.WallClock{}}
+	s := &Server{eng: eng, cfg: cfg, clock: cfg.Clock}
 	s.started = s.clock.Now()
 	s.notReady.Store("")
 	s.shards = eng.Shards()
 	s.admissions = make([]*core.ClassifierAdmission, len(s.shards))
 	s.breakers = make([]*engine.Breaker, len(s.shards))
+	s.httpHist = obs.NewHistogram()
+	s.httpSampler = obs.NewSampler(cfg.SampleEvery)
+	s.snapSave = obs.NewHistogram()
+	s.snapRestore = obs.NewHistogram()
+	if cfg.TraceCap > 0 {
+		s.trace = obs.NewRing(cfg.TraceCap, cfg.TraceSampleEvery)
+	}
 	for i, sh := range s.shards {
 		s.breakers[i], _ = sh.Filter().(*engine.Breaker)
 		s.admissions[i] = findAdmission(sh.Filter())
 		if s.admissions[i] != nil {
 			s.classified = true
+		}
+		// Attach the measurement plane to every shard that arrived bare:
+		// lookup timing on the engine, classifier timing on the breaker,
+		// read/program/GC timing on the flash store. Shards instrumented
+		// by the assembler (tests injecting a fake clock) keep theirs.
+		if sh.Instruments() == nil {
+			sh.SetInstruments(engine.NewInstruments(s.clock, cfg.SampleEvery))
+		}
+		if br := s.breakers[i]; br != nil {
+			br.SetHistogram(sh.Instruments().Classifier)
+		}
+		if fs := sh.Flash(); fs != nil && fs.Observer() == nil {
+			fs.SetObserver(flash.NewObserver(s.clock.Now, cfg.SampleEvery))
 		}
 	}
 	s.httpSrv = &http.Server{
@@ -288,6 +348,8 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /object/{key}", s.handleLookup)
 	mux.HandleFunc("PUT /object/{key}", s.handleOffer)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /admin/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -384,11 +446,13 @@ func writeDecision(w http.ResponseWriter, out engine.Outcome) {
 }
 
 func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	t := s.beginObject()
 	key, size, feat, err := s.parseObject(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.afterParse(&t)
 	if s.testHookRequest != nil {
 		s.testHookRequest()
 	}
@@ -397,6 +461,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		s.retrainer.Observe(key, tick, feat)
 	}
 	out := s.eng.Lookup(key, size, tick, feat)
+	s.finishObject(t, key, tick, out, false)
 	if out.Hit {
 		w.Header().Set("X-Ota-Hit", "true")
 		fmt.Fprintln(w, "HIT")
@@ -409,11 +474,13 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
+	t := s.beginObject()
 	key, size, feat, err := s.parseObject(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.afterParse(&t)
 	if s.testHookRequest != nil {
 		s.testHookRequest()
 	}
@@ -422,6 +489,7 @@ func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
 		s.retrainer.Observe(key, tick, feat)
 	}
 	out := s.eng.Offer(key, size, tick, feat)
+	s.finishObject(t, key, tick, out, true)
 	writeDecision(w, out)
 	fmt.Fprintln(w, "OFFERED")
 }
@@ -741,9 +809,13 @@ func (s *Server) handleSwapClassifier(w http.ResponseWriter, r *http.Request) {
 }
 
 // AttachSnapshotter wires crash-safe state persistence into the admin
-// surface: POST /admin/snapshot forces a snapshot write. Must be called
-// before Serve.
-func (s *Server) AttachSnapshotter(sn *Snapshotter) { s.snap = sn }
+// surface: POST /admin/snapshot forces a snapshot write, and every
+// write (periodic, admin, shutdown) is timed into the snapshot-save
+// histogram on /metrics. Must be called before Serve.
+func (s *Server) AttachSnapshotter(sn *Snapshotter) {
+	s.snap = sn
+	sn.SetObserver(s.clock.Now, s.snapSave)
+}
 
 // Snapshotter returns the attached snapshotter (nil if none).
 func (s *Server) Snapshotter() *Snapshotter { return s.snap }

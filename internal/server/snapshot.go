@@ -15,6 +15,7 @@ import (
 	"otacache/internal/core"
 	"otacache/internal/engine"
 	"otacache/internal/ml/cart"
+	"otacache/internal/obs"
 )
 
 // Crash-safe state: a daemon restart must resume warm. Without it, a
@@ -479,6 +480,11 @@ type Snapshotter struct {
 	eng  engine.Server
 	path string
 
+	// now and hist, when set together (SetObserver), time every
+	// successful write into the server's snapshot-save histogram.
+	now  func() time.Time
+	hist *obs.Histogram
+
 	mu   sync.Mutex
 	last SnapshotResult
 }
@@ -491,13 +497,30 @@ func NewSnapshotter(eng engine.Server, path string) *Snapshotter {
 // Path returns the snapshot file path.
 func (sn *Snapshotter) Path() string { return sn.path }
 
+// SetObserver attaches latency measurement: every successful WriteNow
+// records its duration on hist using the injected clock read. The
+// server wires this in AttachSnapshotter so periodic, admin-triggered,
+// and shutdown writes all land on /metrics.
+func (sn *Snapshotter) SetObserver(now func() time.Time, hist *obs.Histogram) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.now, sn.hist = now, hist
+}
+
 // WriteNow writes one snapshot atomically.
 func (sn *Snapshotter) WriteNow() (SnapshotResult, error) {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
+	var start time.Time
+	if sn.hist != nil {
+		start = sn.now()
+	}
 	res, err := SaveSnapshot(sn.path, sn.eng)
 	if err == nil {
 		sn.last = res
+		if sn.hist != nil {
+			sn.hist.Record(int64(sn.now().Sub(start)))
+		}
 	}
 	return res, err
 }
